@@ -1,0 +1,15 @@
+// Ablation (extension): rank fidelity of noisy evaluation — Spearman /
+// Kendall correlation between noisy scores and full-eval error, plus the
+// probability the true best config wins. Quantifies the "evaluation signal"
+// the paper reasons about qualitatively.
+#include "bench_util.hpp"
+#include "sim/experiments.hpp"
+
+int main() {
+  using namespace fedtune;
+  for (data::BenchmarkId id : data::all_benchmarks()) {
+    bench::emit("ablation_rankfidelity_" + data::benchmark_name(id),
+                sim::ablation_rank_fidelity(id));
+  }
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Ablation (extension): repeated-evaluation averaging (Hertel et al., §5 of
+// the paper). Re-evaluating each config r times and averaging helps against
+// subsampling noise (eps = inf) but backfires under DP, where the per-eval
+// budget shrinks to eps/(K*r) and the noise grows faster than averaging
+// shrinks it.
+#include "bench_util.hpp"
+#include "sim/experiments.hpp"
+
+int main() {
+  using namespace fedtune;
+  bench::emit("ablation_reeval_cifar10",
+              sim::ablation_repeated_evaluation(data::BenchmarkId::kCifar10Like));
+  bench::emit(
+      "ablation_reeval_femnist",
+      sim::ablation_repeated_evaluation(data::BenchmarkId::kFemnistLike));
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Ablation (extension): server optimizers from Reddi et al. (2020) — FedAvg
+// vs FedAdam vs FedAdagrad vs FedYogi — under live noiseless tuning.
+#include "bench_util.hpp"
+#include "sim/experiments.hpp"
+
+int main() {
+  fedtune::bench::emit("ablation_server_optimizers",
+                       fedtune::sim::ablation_server_optimizers());
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Figure 10 (and Figure 14): hyperparameter-transfer scatter — each shared
+// configuration's full error on two datasets, for four dataset pairs.
+//
+// Expected shape: strong positive correlation within a task family
+// (cifar10<->femnist, stackoverflow<->reddit); weak across families.
+#include "bench_util.hpp"
+#include "sim/experiments.hpp"
+
+int main() {
+  using namespace fedtune;
+  using data::BenchmarkId;
+  const std::pair<BenchmarkId, BenchmarkId> pairs[] = {
+      {BenchmarkId::kCifar10Like, BenchmarkId::kFemnistLike},
+      {BenchmarkId::kStackOverflowLike, BenchmarkId::kRedditLike},
+      {BenchmarkId::kCifar10Like, BenchmarkId::kRedditLike},
+      {BenchmarkId::kFemnistLike, BenchmarkId::kStackOverflowLike},
+  };
+  for (const auto& [a, b] : pairs) {
+    bench::emit("fig10_transfer_" + data::benchmark_name(a) + "_vs_" +
+                    data::benchmark_name(b),
+                sim::fig10_transfer_scatter(a, b));
+  }
+  return 0;
+}

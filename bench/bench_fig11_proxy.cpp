@@ -1,0 +1,11 @@
+// Figure 11: one-shot proxy random search for every (proxy, client) pair.
+//
+// Expected shape: same-family proxies are competitive with tuning on the
+// client data itself; mismatched proxies can be worse than random HPs.
+#include "bench_util.hpp"
+#include "sim/experiments.hpp"
+
+int main() {
+  fedtune::bench::emit("fig11_proxy_grid", fedtune::sim::fig11_proxy_grid());
+  return 0;
+}

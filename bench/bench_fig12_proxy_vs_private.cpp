@@ -1,0 +1,16 @@
+// Figure 12: budget curves of noisy-evaluation RS (1% subsample, eps in
+// {1, 10, inf}) against one-shot proxy RS from each proxy dataset.
+//
+// Expected shape: the best proxy is competitive with eps = inf; at eps = 1
+// even mismatched proxies win.
+#include "bench_util.hpp"
+#include "sim/experiments.hpp"
+
+int main() {
+  using namespace fedtune;
+  for (data::BenchmarkId id : data::all_benchmarks()) {
+    bench::emit("fig12_proxy_vs_private_" + data::benchmark_name(id),
+                sim::fig12_proxy_vs_private(id));
+  }
+  return 0;
+}

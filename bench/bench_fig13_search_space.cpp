@@ -1,0 +1,13 @@
+// Figure 13 (appendix): nested server-learning-rate ranges under noiseless
+// vs noisy (1-client subsample, eps = 10) evaluation.
+//
+// Expected shape: wider ranges help (or don't hurt) noiseless tuning but
+// hurt noisy tuning — noise turns extra search freedom into extra risk.
+#include "bench_util.hpp"
+#include "sim/experiments.hpp"
+
+int main() {
+  fedtune::bench::emit("fig13_search_space",
+                       fedtune::sim::fig13_search_space());
+  return 0;
+}

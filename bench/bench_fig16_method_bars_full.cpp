@@ -1,0 +1,9 @@
+// Figure 16: identical to Figure 15 but at the full tuning budget.
+#include "bench_util.hpp"
+#include "sim/experiments.hpp"
+
+int main() {
+  fedtune::bench::emit("fig16_method_bars_full_budget",
+                       fedtune::sim::fig_method_bars(1.0, /*trials=*/16));
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Figure 1 (headline) and Figure 15: methods at 1/3 of the tuning budget,
+// noiseless vs noisy, plus the noise-immune RS(proxy) baseline.
+//
+// Expected shape: under noise the sophisticated methods fall back to (or
+// below) RS; RS(proxy) is unaffected.
+#include "bench_util.hpp"
+#include "sim/experiments.hpp"
+
+int main() {
+  fedtune::bench::emit("fig1_fig15_method_bars_third_budget",
+                       fedtune::sim::fig_method_bars(1.0 / 3.0, /*trials=*/16));
+  return 0;
+}

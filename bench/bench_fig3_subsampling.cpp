@@ -1,0 +1,16 @@
+// Figure 3: random search with a fixed budget (K = 16) while varying the
+// evaluation-client subsampling rate, on all four datasets.
+//
+// Expected shape (paper §E.6): error decreases as the subsample grows; the
+// "best_hps" row lower-bounds every curve.
+#include "bench_util.hpp"
+#include "sim/experiments.hpp"
+
+int main() {
+  using namespace fedtune;
+  for (data::BenchmarkId id : data::all_benchmarks()) {
+    bench::emit("fig3_subsampling_" + data::benchmark_name(id),
+                sim::fig3_subsampling(id));
+  }
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 5: random-search error as the training budget is consumed, at
+// several subsampling rates.
+//
+// Expected shape: curves decrease with budget; the gap between heavy
+// subsampling and full evaluation grows as budget accumulates.
+#include "bench_util.hpp"
+#include "sim/experiments.hpp"
+
+int main() {
+  using namespace fedtune;
+  for (data::BenchmarkId id : data::all_benchmarks()) {
+    bench::emit("fig5_budget_" + data::benchmark_name(id),
+                sim::fig5_budget_tradeoff(id));
+  }
+  return 0;
+}

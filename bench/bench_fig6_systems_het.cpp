@@ -1,0 +1,16 @@
+// Figure 6: systems heterogeneity — evaluation clients sampled with
+// probability proportional to (accuracy + 1e-4)^b, b in {0, 1, 1.5, 3}.
+//
+// Expected shape: larger b hurts, catastrophically so on the datasets with
+// degenerate zero-error clients (cifar10-like, reddit-like; cf. Fig. 7).
+#include "bench_util.hpp"
+#include "sim/experiments.hpp"
+
+int main() {
+  using namespace fedtune;
+  for (data::BenchmarkId id : data::all_benchmarks()) {
+    bench::emit("fig6_systems_het_" + data::benchmark_name(id),
+                sim::fig6_systems_heterogeneity(id));
+  }
+  return 0;
+}

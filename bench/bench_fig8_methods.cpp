@@ -1,0 +1,16 @@
+// Figure 8: online performance of RS, TPE, HB, and BOHB in noiseless vs
+// noisy (1% client subsample + eps = 100 DP) settings, 8 trials each.
+//
+// Expected shape: HB/BOHB win (or tie) under noiseless evaluation but
+// degrade disproportionately — often below RS — under noise.
+#include "bench_util.hpp"
+#include "sim/experiments.hpp"
+
+int main() {
+  using namespace fedtune;
+  for (data::BenchmarkId id : data::all_benchmarks()) {
+    bench::emit("fig8_methods_" + data::benchmark_name(id),
+                sim::fig8_methods_online(id));
+  }
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 9: random search under evaluation differential privacy, eps in
+// {0.1, 1, 10, 100, inf}, across subsampling rates (uniform weighting).
+//
+// Expected shape: smaller eps needs many more sampled clients to recover;
+// eps = 0.1 stays near random-guessing except at the largest samples.
+#include "bench_util.hpp"
+#include "sim/experiments.hpp"
+
+int main() {
+  using namespace fedtune;
+  for (data::BenchmarkId id : data::all_benchmarks()) {
+    bench::emit("fig9_privacy_" + data::benchmark_name(id),
+                sim::fig9_privacy(id));
+  }
+  return 0;
+}

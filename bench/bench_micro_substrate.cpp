@@ -1,0 +1,132 @@
+// Microbenchmarks of the substrate kernels (google-benchmark): gemm, LSTM
+// BPTT, Laplace sampling, client sampling, federated rounds, and tuner
+// ask/tell overhead. These bound the cost model behind the experiment
+// harness sizing in DESIGN.md.
+#include <benchmark/benchmark.h>
+
+#include "core/hp_mapping.hpp"
+#include "data/synth_image.hpp"
+#include "fl/trainer.hpp"
+#include "hpo/random_search.hpp"
+#include "hpo/tpe.hpp"
+#include "nn/factory.hpp"
+#include "nn/mlp.hpp"
+#include "nn/text_models.hpp"
+#include "privacy/laplace.hpp"
+#include "sampling/client_sampler.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace fedtune;
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const Matrix a = Matrix::randn(n, n, rng);
+  const Matrix b = Matrix::randn(n, n, rng);
+  Matrix out;
+  for (auto _ : state) {
+    ops::gemm(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_Gemm)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MlpForwardBackward(benchmark::State& state) {
+  Rng rng(2);
+  nn::MlpClassifier model(32, {32, 32}, 10);
+  model.init(rng);
+  data::ClientData client;
+  client.features = Matrix::randn(32, 32, rng);
+  client.labels.assign(32, 0);
+  std::vector<std::size_t> idx(32);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  for (auto _ : state) {
+    model.zero_grad();
+    benchmark::DoNotOptimize(model.forward_backward(client, idx));
+  }
+}
+BENCHMARK(BM_MlpForwardBackward);
+
+void BM_LstmForwardBackward(benchmark::State& state) {
+  Rng rng(3);
+  nn::LstmLm model(32, 12, 24);
+  model.init(rng);
+  data::ClientData client;
+  client.seq_len = 15;
+  client.tokens.resize(16 * 15);
+  for (auto& t : client.tokens) {
+    t = static_cast<std::int32_t>(rng.uniform_int(0, 31));
+  }
+  std::vector<std::size_t> idx(16);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  for (auto _ : state) {
+    model.zero_grad();
+    benchmark::DoNotOptimize(model.forward_backward(client, idx));
+  }
+}
+BENCHMARK(BM_LstmForwardBackward);
+
+void BM_FederatedRound(benchmark::State& state) {
+  data::SynthImageConfig cfg;
+  cfg.num_train_clients = 50;
+  cfg.num_eval_clients = 10;
+  cfg.mean_examples = 100.0;
+  cfg.input_dim = 32;
+  cfg.seed = 4;
+  const data::FederatedDataset ds = data::make_synth_image(cfg);
+  const auto arch = nn::make_default_model(ds);
+  fl::FedTrainer trainer(ds, *arch, fl::FedHyperParams{}, fl::TrainerConfig{},
+                         Rng(5));
+  for (auto _ : state) trainer.run_round();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FederatedRound);
+
+void BM_LaplaceSample(benchmark::State& state) {
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(privacy::laplace_sample(0.5, rng));
+  }
+}
+BENCHMARK(BM_LaplaceSample);
+
+void BM_BiasedClientSampling(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<double> acc(n);
+  for (auto& a : acc) a = rng.uniform();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sampling::sample_biased(acc, n / 10 + 1, {3.0, 1e-4}, rng));
+  }
+}
+BENCHMARK(BM_BiasedClientSampling)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_TpeProposal(benchmark::State& state) {
+  Rng rng(8);
+  hpo::SearchSpace space = hpo::appendix_b_space();
+  hpo::TpeDensityModel model(space, hpo::TpeOptions{});
+  for (int i = 0; i < 32; ++i) {
+    model.add_observation(space.sample(rng), rng.uniform());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.propose(rng));
+  }
+}
+BENCHMARK(BM_TpeProposal);
+
+void BM_RandomSearchAskTell(benchmark::State& state) {
+  Rng rng(9);
+  for (auto _ : state) {
+    hpo::RandomSearch rs(hpo::appendix_b_space(), 16, 81, rng.split(1));
+    while (auto t = rs.ask()) rs.tell(*t, rng.uniform());
+    benchmark::DoNotOptimize(rs.best_trial());
+  }
+}
+BENCHMARK(BM_RandomSearchAskTell);
+
+}  // namespace

@@ -1,0 +1,24 @@
+// Shared boilerplate for figure/table bench binaries: prints the table to
+// stdout and writes a CSV next to the pool cache (fedtune_results/).
+#pragma once
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+
+namespace fedtune::bench {
+
+inline void emit(const std::string& name, const Table& table) {
+  std::cout << "==== " << name << " ====\n";
+  table.print(std::cout);
+  std::cout << "\n";
+  const char* env = std::getenv("FEDTUNE_RESULTS_DIR");
+  const std::string dir = (env != nullptr && *env != '\0') ? env : "fedtune_results";
+  std::filesystem::create_directories(dir);
+  table.write_csv(dir + "/" + name + ".csv");
+  std::cout << "[csv] " << dir << "/" << name << ".csv\n\n";
+}
+
+}  // namespace fedtune::bench

@@ -1,0 +1,73 @@
+// Quickstart: tune federated hyperparameters with random search under noisy
+// (client-subsampled) evaluation, then compare the tuner's pick against the
+// ground-truth full evaluation.
+//
+//   build/examples/example_quickstart
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/trial_runner.hpp"
+#include "core/tuning_driver.hpp"
+#include "data/synth_image.hpp"
+#include "hpo/random_search.hpp"
+#include "nn/factory.hpp"
+
+int main() {
+  using namespace fedtune;
+
+  // 1. A federated dataset: 60 training clients / 30 validation clients of
+  //    synthetic 8-class image data with Dirichlet(0.3) label skew.
+  data::SynthImageConfig data_cfg;
+  data_cfg.name = "quickstart";
+  data_cfg.num_classes = 8;
+  data_cfg.input_dim = 16;
+  data_cfg.num_train_clients = 60;
+  data_cfg.num_eval_clients = 30;
+  data_cfg.mean_examples = 50.0;
+  data_cfg.dirichlet_alpha = 0.3;
+  data_cfg.seed = 1;
+  const data::FederatedDataset dataset = data::make_synth_image(data_cfg);
+  std::cout << "dataset: " << dataset.train_clients.size() << " train / "
+            << dataset.eval_clients.size() << " eval clients\n";
+
+  // 2. The model architecture (a small MLP classifier) and the paper's
+  //    Appendix-B search space over FedAdam + client SGD hyperparameters.
+  const std::unique_ptr<nn::Model> arch = nn::make_default_model(dataset);
+  hpo::SearchSpace space = hpo::appendix_b_space();
+
+  // 3. Random search, K = 8 configurations, 20 federated rounds each.
+  Rng rng(7);
+  hpo::RandomSearch tuner(space, /*num_configs=*/8, /*rounds_per_config=*/20,
+                          rng.split(1));
+
+  // 4. Noisy evaluation: only 3 of the 30 validation clients report.
+  core::DriverOptions opts;
+  opts.noise.eval_clients = 3;
+  opts.seed = rng.split(2).seed();
+
+  core::LiveTrialRunner runner(dataset, *arch, fl::TrainerConfig{},
+                               rng.split(3));
+  const core::TuneResult result = core::run_tuning(tuner, runner, opts);
+
+  // 5. What the tuner saw vs what was actually true.
+  std::cout << "\ntrial  noisy_err  full_err  config\n";
+  for (const core::TrialRecord& r : result.records) {
+    std::cout << r.trial.id << "      " << Table::format(r.noisy_objective)
+              << "      " << Table::format(r.full_error) << "    "
+              << hpo::to_string(r.trial.config).substr(0, 60) << "...\n";
+  }
+  std::cout << "\nselected trial " << result.best->id
+            << " with full validation error "
+            << Table::format(100.0 * result.best_full_error) << "%\n";
+
+  double oracle = 1.0;
+  for (const core::TrialRecord& r : result.records) {
+    oracle = std::min(oracle, r.full_error);
+  }
+  std::cout << "oracle (noiseless selection) would achieve "
+            << Table::format(100.0 * oracle) << "%\n";
+  std::cout << "regret from noisy evaluation: "
+            << Table::format(100.0 * (result.best_full_error - oracle))
+            << " points\n";
+  return 0;
+}

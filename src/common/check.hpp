@@ -1,0 +1,43 @@
+// Precondition / invariant checking helpers.
+//
+// FEDTUNE_CHECK guards public API preconditions and throws
+// std::invalid_argument with a formatted message; it stays active in release
+// builds because the cost is negligible outside inner loops. Hot-path-only
+// assertions should use plain assert().
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fedtune {
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream oss;
+  oss << "FEDTUNE_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) oss << " — " << msg;
+  throw std::invalid_argument(oss.str());
+}
+
+}  // namespace detail
+
+}  // namespace fedtune
+
+#define FEDTUNE_CHECK(expr)                                                  \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::fedtune::detail::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define FEDTUNE_CHECK_MSG(expr, msg)                                      \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream fedtune_check_oss;                               \
+      fedtune_check_oss << msg;                                           \
+      ::fedtune::detail::throw_check_failure(#expr, __FILE__, __LINE__,   \
+                                             fedtune_check_oss.str());    \
+    }                                                                     \
+  } while (false)

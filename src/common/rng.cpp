@@ -1,0 +1,70 @@
+#include "common/rng.hpp"
+
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace fedtune {
+
+std::vector<double> Rng::dirichlet(double alpha, std::size_t dim) {
+  FEDTUNE_CHECK(alpha > 0.0);
+  FEDTUNE_CHECK(dim > 0);
+  return dirichlet(std::vector<double>(dim, alpha));
+}
+
+std::vector<double> Rng::dirichlet(const std::vector<double>& alpha) {
+  FEDTUNE_CHECK(!alpha.empty());
+  std::vector<double> draws(alpha.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < alpha.size(); ++i) {
+    FEDTUNE_CHECK(alpha[i] > 0.0);
+    draws[i] = gamma(alpha[i], 1.0);
+    // Guard against underflow to exactly zero for tiny concentrations.
+    if (draws[i] <= 0.0) draws[i] = 1e-300;
+    total += draws[i];
+  }
+  for (double& d : draws) d /= total;
+  return draws;
+}
+
+std::size_t Rng::categorical(const std::vector<double>& weights) {
+  FEDTUNE_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    FEDTUNE_CHECK_MSG(w >= 0.0, "categorical weights must be non-negative");
+    total += w;
+  }
+  FEDTUNE_CHECK_MSG(total > 0.0, "categorical weights must not all be zero");
+  double u = uniform(0.0, total);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u <= acc) return i;
+  }
+  return weights.size() - 1;  // floating-point edge: return last index
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  shuffle(idx);
+  return idx;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  FEDTUNE_CHECK_MSG(k <= n, "cannot sample " << k << " from " << n
+                                             << " without replacement");
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  // Partial Fisher–Yates: only the first k positions need shuffling.
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j = static_cast<std::size_t>(
+        uniform_int(static_cast<std::int64_t>(i), static_cast<std::int64_t>(n - 1)));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace fedtune

@@ -1,0 +1,80 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in fedtune takes an explicit Rng so that every
+// experiment is exactly reproducible from a single seed. Rng wraps
+// std::mt19937_64 and adds the distributions the library needs, plus split()
+// for deriving independent child streams (used to give each HP configuration
+// or bootstrap trial its own stream without sharing state across threads).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace fedtune {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : seed_(seed), engine_(mix(seed)) {}
+
+  // Derives an independent child stream; deterministic in (parent seed, salt).
+  Rng split(std::uint64_t salt) const {
+    return Rng(mix(seed_ ^ (0x9e3779b97f4a7c15ULL * (salt + 1))));
+  }
+
+  std::uint64_t seed() const { return seed_; }
+
+  double uniform() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+  double gamma(double shape, double scale = 1.0) {
+    return std::gamma_distribution<double>(shape, scale)(engine_);
+  }
+  double exponential(double rate = 1.0) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  // Dirichlet(alpha, ..., alpha) over `dim` categories.
+  std::vector<double> dirichlet(double alpha, std::size_t dim);
+  // Dirichlet with per-category concentration parameters.
+  std::vector<double> dirichlet(const std::vector<double>& alpha);
+
+  // Samples an index from an (unnormalized, non-negative) weight vector.
+  std::size_t categorical(const std::vector<double>& weights);
+
+  // Random permutation of [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  // k distinct indices drawn uniformly from [0, n) (partial Fisher–Yates).
+  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  // splitmix64 finalizer: decorrelates sequential seeds.
+  static std::uint64_t mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  std::uint64_t seed_ = 0;
+  std::mt19937_64 engine_;
+};
+
+}  // namespace fedtune

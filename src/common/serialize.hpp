@@ -1,0 +1,103 @@
+// Tiny little-endian binary serialization for pool caches.
+//
+// Format: each write_* call appends a fixed-width scalar or a length-prefixed
+// container. Readers must mirror the writer call sequence exactly; a magic +
+// version header guards against stale caches.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace fedtune {
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path)
+      : out_(path, std::ios::binary) {
+    FEDTUNE_CHECK_MSG(out_.good(), "cannot open " << path << " for writing");
+  }
+
+  template <typename T>
+  void write_scalar(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    out_.write(reinterpret_cast<const char*>(&v), sizeof(T));
+  }
+
+  void write_u64(std::uint64_t v) { write_scalar(v); }
+  void write_i64(std::int64_t v) { write_scalar(v); }
+  void write_f64(double v) { write_scalar(v); }
+  void write_f32(float v) { write_scalar(v); }
+
+  void write_string(const std::string& s) {
+    write_u64(s.size());
+    out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+  }
+
+  template <typename T>
+  void write_vector(std::span<const T> v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    write_u64(v.size());
+    out_.write(reinterpret_cast<const char*>(v.data()),
+               static_cast<std::streamsize>(v.size() * sizeof(T)));
+  }
+  template <typename T>
+  void write_vector(const std::vector<T>& v) {
+    write_vector(std::span<const T>(v));
+  }
+
+  bool good() const { return out_.good(); }
+
+ private:
+  std::ofstream out_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path)
+      : in_(path, std::ios::binary) {}
+
+  bool is_open() const { return in_.is_open(); }
+
+  template <typename T>
+  T read_scalar() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v{};
+    in_.read(reinterpret_cast<char*>(&v), sizeof(T));
+    FEDTUNE_CHECK_MSG(in_.good(), "truncated binary stream");
+    return v;
+  }
+
+  std::uint64_t read_u64() { return read_scalar<std::uint64_t>(); }
+  std::int64_t read_i64() { return read_scalar<std::int64_t>(); }
+  double read_f64() { return read_scalar<double>(); }
+  float read_f32() { return read_scalar<float>(); }
+
+  std::string read_string() {
+    const std::uint64_t n = read_u64();
+    std::string s(n, '\0');
+    in_.read(s.data(), static_cast<std::streamsize>(n));
+    FEDTUNE_CHECK_MSG(in_.good(), "truncated binary stream");
+    return s;
+  }
+
+  template <typename T>
+  std::vector<T> read_vector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::uint64_t n = read_u64();
+    std::vector<T> v(n);
+    in_.read(reinterpret_cast<char*>(v.data()),
+             static_cast<std::streamsize>(n * sizeof(T)));
+    FEDTUNE_CHECK_MSG(in_.good(), "truncated binary stream");
+    return v;
+  }
+
+ private:
+  std::ifstream in_;
+};
+
+}  // namespace fedtune

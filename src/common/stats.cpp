@@ -1,0 +1,141 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace fedtune::stats {
+
+double mean(std::span<const double> xs) {
+  FEDTUNE_CHECK(!xs.empty());
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  FEDTUNE_CHECK(!xs.empty());
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double weighted_mean(std::span<const double> xs, std::span<const double> ws) {
+  FEDTUNE_CHECK(!xs.empty());
+  FEDTUNE_CHECK(xs.size() == ws.size());
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    FEDTUNE_CHECK_MSG(ws[i] >= 0.0, "weights must be non-negative");
+    num += ws[i] * xs[i];
+    den += ws[i];
+  }
+  FEDTUNE_CHECK_MSG(den > 0.0, "weights must not all be zero");
+  return num / den;
+}
+
+double quantile(std::span<const double> xs, double q) {
+  FEDTUNE_CHECK(!xs.empty());
+  FEDTUNE_CHECK(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double min(std::span<const double> xs) {
+  FEDTUNE_CHECK(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max(std::span<const double> xs) {
+  FEDTUNE_CHECK(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+std::vector<double> fractional_ranks(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    // Average rank for the tie group [i, j], 1-based ranks.
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  FEDTUNE_CHECK(xs.size() == ys.size());
+  FEDTUNE_CHECK(xs.size() >= 2);
+  const double mx = mean(xs), my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double spearman(std::span<const double> xs, std::span<const double> ys) {
+  FEDTUNE_CHECK(xs.size() == ys.size());
+  FEDTUNE_CHECK(xs.size() >= 2);
+  const std::vector<double> rx = fractional_ranks(xs);
+  const std::vector<double> ry = fractional_ranks(ys);
+  return pearson(rx, ry);
+}
+
+double kendall_tau(std::span<const double> xs, std::span<const double> ys) {
+  FEDTUNE_CHECK(xs.size() == ys.size());
+  FEDTUNE_CHECK(xs.size() >= 2);
+  const std::size_t n = xs.size();
+  long long concordant = 0, discordant = 0, ties_x = 0, ties_y = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = xs[i] - xs[j];
+      const double dy = ys[i] - ys[j];
+      if (dx == 0.0 && dy == 0.0) continue;
+      if (dx == 0.0) {
+        ++ties_x;
+      } else if (dy == 0.0) {
+        ++ties_y;
+      } else if (dx * dy > 0.0) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  const double n0 = static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+  const double denom = std::sqrt((n0 - static_cast<double>(ties_x)) *
+                                 (n0 - static_cast<double>(ties_y)));
+  if (denom == 0.0) return 0.0;
+  return static_cast<double>(concordant - discordant) / denom;
+}
+
+QuartileSummary quartiles(std::span<const double> xs) {
+  QuartileSummary s;
+  s.q25 = quantile(xs, 0.25);
+  s.median = quantile(xs, 0.5);
+  s.q75 = quantile(xs, 0.75);
+  return s;
+}
+
+}  // namespace fedtune::stats

@@ -1,0 +1,50 @@
+// Descriptive statistics used throughout experiment analysis: means,
+// quantiles, weighted aggregation (Eq. 2 of the paper), and rank-correlation
+// measures used by the rank-fidelity diagnostics.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fedtune::stats {
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);  // population variance
+double stddev(std::span<const double> xs);
+
+// Weighted mean: sum_k w_k x_k / sum_k w_k. Weights must be non-negative and
+// not all zero.
+double weighted_mean(std::span<const double> xs, std::span<const double> ws);
+
+// Linear-interpolation quantile, q in [0, 1]. Sorts a copy.
+double quantile(std::span<const double> xs, double q);
+double median(std::span<const double> xs);
+
+double min(std::span<const double> xs);
+double max(std::span<const double> xs);
+
+// Ranks with ties averaged (fractional ranking), as used by Spearman.
+std::vector<double> fractional_ranks(std::span<const double> xs);
+
+// Spearman rank correlation between two equal-length samples.
+double spearman(std::span<const double> xs, std::span<const double> ys);
+
+// Kendall tau-b rank correlation (handles ties).
+double kendall_tau(std::span<const double> xs, std::span<const double> ys);
+
+// Pearson correlation.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+// Summary of a sample: median plus quartiles — the quantities plotted in
+// every figure of the paper ("we show the median ... and fill in the
+// lower/upper quartiles").
+struct QuartileSummary {
+  double q25 = 0.0;
+  double median = 0.0;
+  double q75 = 0.0;
+};
+
+QuartileSummary quartiles(std::span<const double> xs);
+
+}  // namespace fedtune::stats

@@ -1,0 +1,94 @@
+#include "common/table.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace fedtune {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  FEDTUNE_CHECK(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  FEDTUNE_CHECK_MSG(row.size() == header_.size(),
+                    "row has " << row.size() << " fields, header has "
+                               << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_row_values(const std::vector<double>& values, int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size());
+  for (double v : values) row.push_back(format(v, precision));
+  add_row(std::move(row));
+}
+
+std::string Table::format(double v, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << v;
+  return oss.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+namespace {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream oss;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) oss << ',';
+      oss << csv_escape(row[c]);
+    }
+    oss << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return oss.str();
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  FEDTUNE_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out << to_csv();
+}
+
+}  // namespace fedtune

@@ -1,0 +1,38 @@
+// Console table / CSV emission shared by bench harnesses.
+//
+// Every figure-reproduction binary prints (a) a human-readable aligned table
+// and (b) optionally a CSV file, so results can be eyeballed and plotted.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fedtune {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  // Convenience: formats doubles with fixed precision.
+  void add_row_values(const std::vector<double>& values, int precision = 3);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  // Aligned console rendering.
+  void print(std::ostream& os) const;
+  // RFC-4180-ish CSV (quotes fields containing commas/quotes/newlines).
+  void write_csv(const std::string& path) const;
+  std::string to_csv() const;
+
+  static std::string format(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fedtune

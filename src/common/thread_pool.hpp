@@ -1,0 +1,47 @@
+// Minimal fixed-size thread pool with a parallel_for helper.
+//
+// Used to parallelize embarrassingly-parallel work (training a pool of HP
+// configurations, evaluating checkpoints). Work items must not share mutable
+// state; the pool provides no synchronization beyond joining.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fedtune {
+
+class ThreadPool {
+ public:
+  // n_threads == 0 selects hardware_concurrency() (at least 1).
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Runs fn(i) for i in [0, n). Blocks until all items complete. Exceptions
+  // thrown by work items are rethrown (the first one captured) after all
+  // items finish or are abandoned.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  // Process-wide shared pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace fedtune

@@ -1,0 +1,276 @@
+#include "core/config_pool.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/serialize.hpp"
+#include "common/thread_pool.hpp"
+#include "core/hp_mapping.hpp"
+#include "fl/evaluator.hpp"
+
+namespace fedtune::core {
+
+namespace {
+constexpr std::uint64_t kPoolMagic = 0xfed7d2ae00000003ULL;
+constexpr std::uint64_t kViewMagic = 0xfed7a11e00000001ULL;
+}
+
+// ------------------------------------------------------------ PoolEvalView --
+
+PoolEvalView::PoolEvalView(std::vector<std::size_t> checkpoints,
+                           std::vector<double> client_weights,
+                           std::size_t num_configs)
+    : checkpoints_(std::move(checkpoints)),
+      client_weights_(std::move(client_weights)), num_configs_(num_configs) {
+  FEDTUNE_CHECK(!checkpoints_.empty());
+  FEDTUNE_CHECK(std::is_sorted(checkpoints_.begin(), checkpoints_.end()));
+  FEDTUNE_CHECK(!client_weights_.empty());
+  FEDTUNE_CHECK(num_configs_ > 0);
+  errors_.assign(num_configs_ * checkpoints_.size() * client_weights_.size(),
+                 1.0f);
+}
+
+std::size_t PoolEvalView::checkpoint_index(std::size_t rounds) const {
+  for (std::size_t i = 0; i < checkpoints_.size(); ++i) {
+    if (checkpoints_[i] == rounds) return i;
+  }
+  FEDTUNE_CHECK_MSG(false, "no checkpoint at " << rounds << " rounds");
+  return 0;
+}
+
+std::span<float> PoolEvalView::errors(std::size_t config,
+                                      std::size_t checkpoint) {
+  FEDTUNE_CHECK(config < num_configs_ && checkpoint < checkpoints_.size());
+  const std::size_t n = num_clients();
+  return std::span<float>(
+      errors_.data() + (config * checkpoints_.size() + checkpoint) * n, n);
+}
+
+std::span<const float> PoolEvalView::errors(std::size_t config,
+                                            std::size_t checkpoint) const {
+  FEDTUNE_CHECK(config < num_configs_ && checkpoint < checkpoints_.size());
+  const std::size_t n = num_clients();
+  return std::span<const float>(
+      errors_.data() + (config * checkpoints_.size() + checkpoint) * n, n);
+}
+
+std::vector<double> PoolEvalView::errors_f64(std::size_t config,
+                                             std::size_t checkpoint) const {
+  const auto e = errors(config, checkpoint);
+  return std::vector<double>(e.begin(), e.end());
+}
+
+double PoolEvalView::full_error(std::size_t config, std::size_t checkpoint,
+                                fl::Weighting weighting) const {
+  const auto e = errors(config, checkpoint);
+  double num = 0.0, den = 0.0;
+  for (std::size_t k = 0; k < e.size(); ++k) {
+    const double w = (weighting == fl::Weighting::kUniform)
+                         ? 1.0
+                         : client_weights_[k];
+    num += w * static_cast<double>(e[k]);
+    den += w;
+  }
+  return num / den;
+}
+
+double PoolEvalView::min_client_error(std::size_t config,
+                                      std::size_t checkpoint) const {
+  const auto e = errors(config, checkpoint);
+  return static_cast<double>(*std::min_element(e.begin(), e.end()));
+}
+
+void PoolEvalView::save(const std::string& path) const {
+  BinaryWriter w(path);
+  w.write_u64(kViewMagic);
+  w.write_u64(num_configs_);
+  w.write_vector<std::size_t>(checkpoints_);
+  w.write_vector<double>(client_weights_);
+  w.write_vector<float>(errors_);
+  FEDTUNE_CHECK_MSG(w.good(), "failed writing view to " << path);
+}
+
+std::optional<PoolEvalView> PoolEvalView::load(const std::string& path) {
+  BinaryReader r(path);
+  if (!r.is_open()) return std::nullopt;
+  try {
+    if (r.read_u64() != kViewMagic) return std::nullopt;
+    const std::uint64_t num_configs = r.read_u64();
+    const auto checkpoints = r.read_vector<std::size_t>();
+    const auto weights = r.read_vector<double>();
+    PoolEvalView view(checkpoints, weights, num_configs);
+    view.errors_ = r.read_vector<float>();
+    FEDTUNE_CHECK(view.errors_.size() ==
+                  num_configs * checkpoints.size() * weights.size());
+    return view;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+double PoolEvalView::best_full_error(fl::Weighting weighting) const {
+  double best = 1.0;
+  for (std::size_t c = 0; c < num_configs_; ++c) {
+    best = std::min(best, full_error(c, final_checkpoint(), weighting));
+  }
+  return best;
+}
+
+// -------------------------------------------------------------- ConfigPool --
+
+ConfigPool ConfigPool::build(const data::FederatedDataset& dataset,
+                             const nn::Model& architecture,
+                             const hpo::SearchSpace& space,
+                             const PoolBuildOptions& opts) {
+  FEDTUNE_CHECK(opts.num_configs > 0);
+  FEDTUNE_CHECK(!opts.checkpoints.empty());
+  FEDTUNE_CHECK(std::is_sorted(opts.checkpoints.begin(), opts.checkpoints.end()));
+
+  ConfigPool pool;
+  pool.dataset_name_ = dataset.name;
+  Rng config_rng(opts.config_seed);
+  pool.configs_.reserve(opts.num_configs);
+  for (std::size_t i = 0; i < opts.num_configs; ++i) {
+    pool.configs_.push_back(space.sample(config_rng));
+  }
+
+  pool.view_ = PoolEvalView(opts.checkpoints,
+                            data::example_count_weights(dataset.eval_clients),
+                            opts.num_configs);
+  pool.param_count_ = architecture.num_params();
+  if (opts.store_params) {
+    pool.params_.assign(
+        opts.num_configs * opts.checkpoints.size() * pool.param_count_, 0.0f);
+  }
+
+  const Rng train_rng(opts.train_seed);
+  ThreadPool workers(opts.num_threads);
+  workers.parallel_for(opts.num_configs, [&](std::size_t c) {
+    const fl::FedHyperParams hps = to_fed_hyperparams(pool.configs_[c]);
+    fl::FedTrainer trainer(dataset, architecture, hps, opts.trainer,
+                           train_rng.split(c));
+    for (std::size_t ck = 0; ck < opts.checkpoints.size(); ++ck) {
+      trainer.run_rounds(opts.checkpoints[ck] - trainer.rounds_done());
+      const std::vector<double> errs =
+          fl::all_client_errors(trainer.model(), dataset.eval_clients);
+      auto dst = pool.view_.errors(c, ck);
+      for (std::size_t k = 0; k < errs.size(); ++k) {
+        dst[k] = static_cast<float>(errs[k]);
+      }
+      if (opts.store_params) {
+        const auto src = trainer.model().params();
+        std::copy(src.begin(), src.end(),
+                  pool.params_.begin() +
+                      static_cast<std::ptrdiff_t>(
+                          (c * opts.checkpoints.size() + ck) *
+                          pool.param_count_));
+      }
+    }
+  });
+  return pool;
+}
+
+std::span<const float> ConfigPool::params(std::size_t config,
+                                          std::size_t checkpoint) const {
+  FEDTUNE_CHECK_MSG(has_params(), "pool was built without parameter snapshots");
+  FEDTUNE_CHECK(config < configs_.size());
+  FEDTUNE_CHECK(checkpoint < view_.checkpoints().size());
+  return std::span<const float>(
+      params_.data() +
+          (config * view_.checkpoints().size() + checkpoint) * param_count_,
+      param_count_);
+}
+
+PoolEvalView ConfigPool::evaluate_on(const nn::Model& architecture,
+                                     std::span<const data::ClientData> clients,
+                                     std::vector<std::size_t> checkpoint_subset,
+                                     std::size_t num_threads) const {
+  FEDTUNE_CHECK(has_params());
+  FEDTUNE_CHECK(architecture.num_params() == param_count_);
+  if (checkpoint_subset.empty()) checkpoint_subset = view_.checkpoints();
+  // Map requested rounds onto source checkpoint indices (validates grid).
+  std::vector<std::size_t> src_idx;
+  src_idx.reserve(checkpoint_subset.size());
+  for (std::size_t rounds : checkpoint_subset) {
+    src_idx.push_back(view_.checkpoint_index(rounds));
+  }
+
+  std::vector<data::ClientData> client_copy(clients.begin(), clients.end());
+  PoolEvalView out(checkpoint_subset, data::example_count_weights(clients),
+                   configs_.size());
+  ThreadPool workers(num_threads);
+  workers.parallel_for(configs_.size(), [&](std::size_t c) {
+    std::unique_ptr<nn::Model> model = architecture.clone_architecture();
+    for (std::size_t ck = 0; ck < src_idx.size(); ++ck) {
+      const auto p = params(c, src_idx[ck]);
+      std::copy(p.begin(), p.end(), model->params().begin());
+      auto dst = out.errors(c, ck);
+      for (std::size_t k = 0; k < client_copy.size(); ++k) {
+        dst[k] = static_cast<float>(model->error_rate(client_copy[k]));
+      }
+    }
+  });
+  return out;
+}
+
+void ConfigPool::save(const std::string& path) const {
+  BinaryWriter w(path);
+  w.write_u64(kPoolMagic);
+  w.write_string(dataset_name_);
+  w.write_u64(configs_.size());
+  for (const auto& config : configs_) {
+    w.write_u64(config.size());
+    for (const auto& [name, value] : config) {
+      w.write_string(name);
+      w.write_f64(value);
+    }
+  }
+  w.write_vector<std::size_t>(view_.checkpoints());
+  w.write_vector<double>(view_.client_weights());
+  // Error tensor, config-major.
+  for (std::size_t c = 0; c < configs_.size(); ++c) {
+    for (std::size_t ck = 0; ck < view_.checkpoints().size(); ++ck) {
+      w.write_vector<float>(view_.errors(c, ck));
+    }
+  }
+  w.write_u64(param_count_);
+  w.write_vector<float>(params_);
+  FEDTUNE_CHECK_MSG(w.good(), "failed writing pool to " << path);
+}
+
+std::optional<ConfigPool> ConfigPool::load(const std::string& path) {
+  BinaryReader r(path);
+  if (!r.is_open()) return std::nullopt;
+  try {
+    if (r.read_u64() != kPoolMagic) return std::nullopt;
+    ConfigPool pool;
+    pool.dataset_name_ = r.read_string();
+    const std::uint64_t num_configs = r.read_u64();
+    pool.configs_.resize(num_configs);
+    for (auto& config : pool.configs_) {
+      const std::uint64_t n = r.read_u64();
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const std::string name = r.read_string();
+        config[name] = r.read_f64();
+      }
+    }
+    const auto checkpoints = r.read_vector<std::size_t>();
+    const auto weights = r.read_vector<double>();
+    pool.view_ = PoolEvalView(checkpoints, weights, num_configs);
+    for (std::size_t c = 0; c < num_configs; ++c) {
+      for (std::size_t ck = 0; ck < checkpoints.size(); ++ck) {
+        const auto errs = r.read_vector<float>();
+        FEDTUNE_CHECK(errs.size() == weights.size());
+        auto dst = pool.view_.errors(c, ck);
+        std::copy(errs.begin(), errs.end(), dst.begin());
+      }
+    }
+    pool.param_count_ = r.read_u64();
+    pool.params_ = r.read_vector<float>();
+    return pool;
+  } catch (const std::exception&) {
+    return std::nullopt;  // stale/corrupt cache: rebuild
+  }
+}
+
+}  // namespace fedtune::core

@@ -1,0 +1,120 @@
+// ConfigPool — train once, simulate many times.
+//
+// The paper's evaluation protocol (§3, "Evaluation") trains 128 random HP
+// configurations per dataset and then *bootstraps* tuning runs over the
+// cached results. A ConfigPool stores, for every configuration and every
+// rung checkpoint, the per-client error vector over the full eval pool (and
+// optionally the model parameters, so new evaluation views — e.g. the
+// IID-repartitioned clients of Fig. 4 — can be computed later without
+// retraining).
+//
+// Pools are expensive to build (they are the only place real federated
+// training happens in the benches) and are cached on disk; see
+// sim/pool_cache.hpp.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/noise_model.hpp"
+#include "data/client_data.hpp"
+#include "fl/trainer.hpp"
+#include "hpo/search_space.hpp"
+#include "nn/model.hpp"
+
+namespace fedtune::core {
+
+// Per-client errors for every (config, checkpoint) — the data the
+// PoolTrialRunner and all pool simulations consume.
+class PoolEvalView {
+ public:
+  PoolEvalView() = default;
+  PoolEvalView(std::vector<std::size_t> checkpoints,
+               std::vector<double> client_weights, std::size_t num_configs);
+
+  std::size_t num_configs() const { return num_configs_; }
+  std::size_t num_clients() const { return client_weights_.size(); }
+  const std::vector<std::size_t>& checkpoints() const { return checkpoints_; }
+  const std::vector<double>& client_weights() const { return client_weights_; }
+
+  // Index of the checkpoint with exactly `rounds` cumulative rounds.
+  std::size_t checkpoint_index(std::size_t rounds) const;
+  std::size_t final_checkpoint() const { return checkpoints_.size() - 1; }
+
+  std::span<float> errors(std::size_t config, std::size_t checkpoint);
+  std::span<const float> errors(std::size_t config, std::size_t checkpoint) const;
+  // Double-precision copy (NoisyEvaluator input).
+  std::vector<double> errors_f64(std::size_t config, std::size_t checkpoint) const;
+
+  double full_error(std::size_t config, std::size_t checkpoint,
+                    fl::Weighting weighting) const;
+  double min_client_error(std::size_t config, std::size_t checkpoint) const;
+
+  // "Best HPs" reference line of Fig. 3: min over configs of full error at
+  // the final checkpoint.
+  double best_full_error(fl::Weighting weighting) const;
+
+  // Standalone (de)serialization — derived views (e.g. Fig. 4's
+  // repartitioned eval clients) are cached without the parameter snapshots.
+  void save(const std::string& path) const;
+  static std::optional<PoolEvalView> load(const std::string& path);
+
+ private:
+  std::vector<std::size_t> checkpoints_;
+  std::vector<double> client_weights_;
+  std::size_t num_configs_ = 0;
+  std::vector<float> errors_;  // [config][checkpoint][client]
+};
+
+struct PoolBuildOptions {
+  std::size_t num_configs = 128;
+  // Shared across datasets so configurations can be compared pairwise
+  // (Figures 10/11/12/14).
+  std::uint64_t config_seed = 1234;
+  std::uint64_t train_seed = 99;
+  fl::TrainerConfig trainer;
+  // Cumulative-round checkpoints (the SHA rung grid). Must be increasing.
+  std::vector<std::size_t> checkpoints = {1, 3, 9, 27, 81};
+  bool store_params = true;
+  std::size_t num_threads = 0;  // 0 = hardware concurrency
+};
+
+class ConfigPool {
+ public:
+  // Trains the pool (parallel over configurations).
+  static ConfigPool build(const data::FederatedDataset& dataset,
+                          const nn::Model& architecture,
+                          const hpo::SearchSpace& space,
+                          const PoolBuildOptions& opts);
+
+  const std::string& dataset_name() const { return dataset_name_; }
+  const std::vector<hpo::Config>& configs() const { return configs_; }
+  const PoolEvalView& view() const { return view_; }
+  bool has_params() const { return !params_.empty(); }
+
+  // Stored global-model parameters at (config, checkpoint).
+  std::span<const float> params(std::size_t config, std::size_t checkpoint) const;
+
+  // Recomputes per-client errors on an alternative eval-client set (same
+  // architecture) from the stored parameter snapshots — Fig. 4's
+  // repartitioned views. `checkpoint_subset` (cumulative rounds) restricts
+  // the work to the listed fidelities; empty = all checkpoints.
+  PoolEvalView evaluate_on(const nn::Model& architecture,
+                           std::span<const data::ClientData> clients,
+                           std::vector<std::size_t> checkpoint_subset = {},
+                           std::size_t num_threads = 0) const;
+
+  void save(const std::string& path) const;
+  static std::optional<ConfigPool> load(const std::string& path);
+
+ private:
+  std::string dataset_name_;
+  std::vector<hpo::Config> configs_;
+  PoolEvalView view_;
+  std::size_t param_count_ = 0;
+  std::vector<float> params_;  // [config][checkpoint][param]
+};
+
+}  // namespace fedtune::core

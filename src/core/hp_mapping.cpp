@@ -1,0 +1,52 @@
+#include "core/hp_mapping.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace fedtune::core {
+
+namespace {
+
+double get_or(const hpo::Config& config, const std::string& name,
+              double fallback) {
+  const auto it = config.find(name);
+  return it == config.end() ? fallback : it->second;
+}
+
+}  // namespace
+
+fl::FedHyperParams to_fed_hyperparams(const hpo::Config& config) {
+  fl::FedHyperParams hps;
+  hps.server_lr = get_or(config, "server_lr", hps.server_lr);
+  hps.beta1 = get_or(config, "beta1", hps.beta1);
+  hps.beta2 = get_or(config, "beta2", hps.beta2);
+  hps.server_lr_decay = get_or(config, "server_lr_decay", hps.server_lr_decay);
+  hps.client_lr = get_or(config, "client_lr", hps.client_lr);
+  hps.client_momentum = get_or(config, "client_momentum", hps.client_momentum);
+  hps.client_weight_decay =
+      get_or(config, "client_weight_decay", hps.client_weight_decay);
+  hps.batch_size = static_cast<std::size_t>(std::llround(
+      get_or(config, "batch_size", static_cast<double>(hps.batch_size))));
+  hps.local_epochs = static_cast<std::size_t>(std::llround(
+      get_or(config, "local_epochs", static_cast<double>(hps.local_epochs))));
+  FEDTUNE_CHECK(hps.server_lr > 0.0 && hps.client_lr > 0.0);
+  FEDTUNE_CHECK(hps.batch_size > 0 && hps.local_epochs > 0);
+  return hps;
+}
+
+hpo::Config from_fed_hyperparams(const fl::FedHyperParams& hps) {
+  hpo::Config c;
+  c["server_lr"] = hps.server_lr;
+  c["beta1"] = hps.beta1;
+  c["beta2"] = hps.beta2;
+  c["server_lr_decay"] = hps.server_lr_decay;
+  c["client_lr"] = hps.client_lr;
+  c["client_momentum"] = hps.client_momentum;
+  c["client_weight_decay"] = hps.client_weight_decay;
+  c["batch_size"] = static_cast<double>(hps.batch_size);
+  c["local_epochs"] = static_cast<double>(hps.local_epochs);
+  return c;
+}
+
+}  // namespace fedtune::core

@@ -1,0 +1,17 @@
+// Bridges the generic hpo::Config (named doubles) and the typed federated
+// hyperparameters consumed by fl::FedTrainer. Uses the Appendix-B parameter
+// names produced by hpo::appendix_b_space().
+#pragma once
+
+#include "fl/hyperparams.hpp"
+#include "hpo/search_space.hpp"
+
+namespace fedtune::core {
+
+// Missing keys keep their FedHyperParams defaults, so partial configs (e.g.
+// server-side-only sweeps) remain valid.
+fl::FedHyperParams to_fed_hyperparams(const hpo::Config& config);
+
+hpo::Config from_fed_hyperparams(const fl::FedHyperParams& hps);
+
+}  // namespace fedtune::core

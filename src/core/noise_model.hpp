@@ -1,0 +1,45 @@
+// The evaluation-noise model of the paper (§2.2): every knob that stands
+// between a hyperparameter configuration and a faithful estimate of its
+// full-validation error.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+#include "fl/evaluator.hpp"
+
+namespace fedtune::core {
+
+struct NoiseModel {
+  // 1. Client subsampling: |S| validation clients per evaluation.
+  //    SIZE_MAX means full evaluation (S = [N_val]).
+  std::size_t eval_clients = std::numeric_limits<std::size_t>::max();
+
+  // 2. Systems heterogeneity: participation bias (a + delta)^b over client
+  //    accuracy a. b = 0 disables the bias (uniform sampling).
+  double bias_b = 0.0;
+  double bias_delta = 1e-4;
+
+  // 3. Privacy: total epsilon budget for the tuning run. Infinity disables
+  //    DP noise. Finite epsilon forces uniform weighting (the sensitivity
+  //    bound requires p_k = 1; §2.2 footnote 1).
+  double epsilon = std::numeric_limits<double>::infinity();
+
+  // Client weighting for the aggregate (Eq. 2).
+  fl::Weighting weighting = fl::Weighting::kByExampleCount;
+
+  bool is_private() const {
+    return epsilon != std::numeric_limits<double>::infinity();
+  }
+  bool is_full_eval() const {
+    return eval_clients == std::numeric_limits<std::size_t>::max();
+  }
+  fl::Weighting effective_weighting() const {
+    return is_private() ? fl::Weighting::kUniform : weighting;
+  }
+
+  // Data heterogeneity (knob 4, the IID fraction p) acts on the dataset
+  // itself — see data::repartition_iid — not on the evaluator.
+};
+
+}  // namespace fedtune::core

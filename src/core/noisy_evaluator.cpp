@@ -1,0 +1,80 @@
+#include "core/noisy_evaluator.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "privacy/laplace.hpp"
+#include "sampling/client_sampler.hpp"
+
+namespace fedtune::core {
+
+NoisyEvaluator::NoisyEvaluator(const NoiseModel& noise,
+                               std::vector<double> client_weights,
+                               std::size_t planned_evals, Rng rng)
+    : noise_(noise), client_weights_(std::move(client_weights)),
+      planned_evals_(planned_evals), rng_(rng),
+      accountant_(noise.epsilon) {
+  FEDTUNE_CHECK(!client_weights_.empty());
+  FEDTUNE_CHECK(planned_evals_ > 0);
+  FEDTUNE_CHECK(noise_.is_full_eval() ||
+                noise_.eval_clients <= client_weights_.size());
+  FEDTUNE_CHECK(noise_.eval_clients > 0);
+}
+
+double NoisyEvaluator::full_error(
+    std::span<const double> all_client_errors) const {
+  FEDTUNE_CHECK(all_client_errors.size() == client_weights_.size());
+  double num = 0.0, den = 0.0;
+  const bool uniform =
+      noise_.effective_weighting() == fl::Weighting::kUniform;
+  for (std::size_t k = 0; k < all_client_errors.size(); ++k) {
+    const double w = uniform ? 1.0 : client_weights_[k];
+    num += w * all_client_errors[k];
+    den += w;
+  }
+  return num / den;
+}
+
+double NoisyEvaluator::evaluate(std::span<const double> all_client_errors) {
+  FEDTUNE_CHECK(all_client_errors.size() == client_weights_.size());
+  const std::size_t n = all_client_errors.size();
+  const std::size_t s = noise_.is_full_eval()
+                            ? n
+                            : std::min(noise_.eval_clients, n);
+
+  // 1. Subsampling, possibly participation-biased (systems heterogeneity).
+  if (noise_.bias_b > 0.0) {
+    std::vector<double> accuracies(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      accuracies[k] = std::clamp(1.0 - all_client_errors[k], 0.0, 1.0);
+    }
+    last_sample_ = sampling::sample_biased(
+        accuracies, s, {noise_.bias_b, noise_.bias_delta}, rng_);
+  } else {
+    last_sample_ = sampling::sample_uniform(n, s, rng_);
+  }
+
+  // 2. Aggregate (Eq. 2) — uniform weighting whenever DP is on.
+  const bool uniform =
+      noise_.effective_weighting() == fl::Weighting::kUniform;
+  double num = 0.0, den = 0.0;
+  for (std::size_t k : last_sample_) {
+    const double w = uniform ? 1.0 : client_weights_[k];
+    num += w * all_client_errors[k];
+    den += w;
+  }
+  double value = num / den;
+
+  // 3. Privacy: Lap(M / (epsilon * |S|)) on the aggregate, charging the
+  //    accountant epsilon / M per evaluation (basic composition).
+  if (noise_.is_private()) {
+    const double sensitivity = 1.0 / static_cast<double>(s);
+    value = privacy::privatize(value, sensitivity, noise_.epsilon,
+                               planned_evals_, rng_);
+    accountant_.charge(noise_.epsilon / static_cast<double>(planned_evals_));
+  }
+  ++evals_;
+  return value;
+}
+
+}  // namespace fedtune::core

@@ -1,0 +1,54 @@
+// NoisyEvaluator — the heart of the study.
+//
+// Composes the noise sources of §2.2 over a vector of per-client error
+// rates: subsamples |S| clients (uniformly or with accuracy bias), computes
+// the weighted/uniform aggregate (Eq. 2), and optionally privatizes it with
+// per-evaluation Laplace noise Lap(M / (epsilon |S|)). Works identically for
+// live federated evaluation and for cached config-pool errors, since both
+// reduce to a per-client error vector.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/noise_model.hpp"
+#include "privacy/accountant.hpp"
+
+namespace fedtune::core {
+
+class NoisyEvaluator {
+ public:
+  // `client_weights` are the eval pool's example counts (p_k of Eq. 2);
+  // `planned_evals` is M, the number of evaluation calls the tuning run will
+  // make (per-eval budget = epsilon / M).
+  NoisyEvaluator(const NoiseModel& noise, std::vector<double> client_weights,
+                 std::size_t planned_evals, Rng rng);
+
+  // One noisy evaluation of a model whose per-client errors are given over
+  // the FULL eval pool (the evaluator does the subsampling).
+  double evaluate(std::span<const double> all_client_errors);
+
+  // Ground truth: full-pool aggregate under the noise model's weighting
+  // (no subsampling, no DP noise).
+  double full_error(std::span<const double> all_client_errors) const;
+
+  // The clients selected by the most recent evaluate() call.
+  const std::vector<std::size_t>& last_sample() const { return last_sample_; }
+
+  std::size_t evals_performed() const { return evals_; }
+  const privacy::BasicCompositionAccountant& accountant() const {
+    return accountant_;
+  }
+
+ private:
+  NoiseModel noise_;
+  std::vector<double> client_weights_;
+  std::size_t planned_evals_;
+  Rng rng_;
+  privacy::BasicCompositionAccountant accountant_;
+  std::vector<std::size_t> last_sample_;
+  std::size_t evals_ = 0;
+};
+
+}  // namespace fedtune::core

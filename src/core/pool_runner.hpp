@@ -1,0 +1,42 @@
+// PoolTrialRunner — serves trials from a pre-trained ConfigPool view.
+//
+// Tuners must be in candidate-pool mode (Trial::config_index set); fidelity
+// requests must land exactly on the pool's checkpoint grid, which is the SHA
+// rung grid by construction.
+#pragma once
+
+#include "core/config_pool.hpp"
+#include "core/trial_runner.hpp"
+
+namespace fedtune::core {
+
+class PoolTrialRunner final : public TrialRunner {
+ public:
+  // `view` must outlive the runner.
+  explicit PoolTrialRunner(const PoolEvalView& view) : view_(&view) {}
+
+  std::vector<double> run(const hpo::Trial& trial) override {
+    FEDTUNE_CHECK_MSG(
+        trial.config_index < view_->num_configs(),
+        "trial has no pool index — tuner not in candidate-pool mode?");
+    return view_->errors_f64(trial.config_index,
+                             view_->checkpoint_index(trial.target_rounds));
+  }
+
+  const std::vector<double>& client_weights() const override {
+    return view_->client_weights();
+  }
+
+  std::size_t rounds_consumed(const hpo::Trial& trial) const override {
+    if (trial.parent_id < 0) return trial.target_rounds;
+    // Promotions resume from the previous rung on the checkpoint grid.
+    const std::size_t idx = view_->checkpoint_index(trial.target_rounds);
+    FEDTUNE_CHECK(idx > 0);
+    return trial.target_rounds - view_->checkpoints()[idx - 1];
+  }
+
+ private:
+  const PoolEvalView* view_;
+};
+
+}  // namespace fedtune::core

@@ -1,0 +1,75 @@
+#include "core/proxy.hpp"
+
+#include "common/check.hpp"
+
+namespace fedtune::core {
+
+namespace {
+
+void check_compatible(const PoolEvalView& proxy, const PoolEvalView& client) {
+  FEDTUNE_CHECK_MSG(proxy.num_configs() == client.num_configs(),
+                    "proxy and client pools must share the config list");
+}
+
+}  // namespace
+
+ProxyTuneResult one_shot_proxy_rs(const PoolEvalView& proxy_view,
+                                  const PoolEvalView& client_view,
+                                  std::size_t num_configs, Rng& rng,
+                                  fl::Weighting weighting) {
+  check_compatible(proxy_view, client_view);
+  FEDTUNE_CHECK(num_configs > 0);
+
+  const std::size_t proxy_ck = proxy_view.final_checkpoint();
+  ProxyTuneResult result;
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t j = 0; j < num_configs; ++j) {
+    const auto c = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(proxy_view.num_configs()) - 1));
+    const double err = proxy_view.full_error(c, proxy_ck, weighting);
+    if (err < best) {
+      best = err;
+      result.config_index = c;
+    }
+  }
+  result.proxy_full_error = best;
+  result.client_full_error = client_view.full_error(
+      result.config_index, client_view.final_checkpoint(), weighting);
+  // Proxy tuning trains num_configs models; deploying trains one more.
+  result.rounds_used =
+      (num_configs + 1) *
+      client_view.checkpoints()[client_view.final_checkpoint()];
+  return result;
+}
+
+std::vector<CurvePoint> one_shot_proxy_rs_curve(
+    const PoolEvalView& proxy_view, const PoolEvalView& client_view,
+    std::size_t num_configs, std::size_t rounds_per_config, Rng& rng,
+    fl::Weighting weighting) {
+  check_compatible(proxy_view, client_view);
+  FEDTUNE_CHECK(num_configs > 0 && rounds_per_config > 0);
+
+  const std::size_t proxy_ck = proxy_view.final_checkpoint();
+  const std::size_t client_ck = client_view.final_checkpoint();
+  std::vector<CurvePoint> curve;
+  curve.reserve(num_configs);
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_idx = 0;
+  for (std::size_t j = 0; j < num_configs; ++j) {
+    const auto c = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(proxy_view.num_configs()) - 1));
+    const double err = proxy_view.full_error(c, proxy_ck, weighting);
+    if (err < best) {
+      best = err;
+      best_idx = c;
+    }
+    CurvePoint point;
+    // Budget: j+1 proxy configs plus the one final client training run.
+    point.rounds = (j + 2) * rounds_per_config;
+    point.full_error = client_view.full_error(best_idx, client_ck, weighting);
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+}  // namespace fedtune::core

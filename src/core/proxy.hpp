@@ -1,0 +1,41 @@
+// One-shot proxy random search (§4 of the paper).
+//
+// Step 1: run RS on public server-side proxy data — training AND evaluation
+// use the proxy, so evaluation is full, clean, and costs no privacy budget.
+// Step 2: train the single best configuration on the client dataset. Since
+// only one configuration crosses over, client-side evaluation noise cannot
+// affect the selection.
+#pragma once
+
+#include "core/config_pool.hpp"
+#include "core/tuning_driver.hpp"
+
+namespace fedtune::core {
+
+struct ProxyTuneResult {
+  std::size_t config_index = 0;     // winning pool config
+  double proxy_full_error = 1.0;    // winner's error on the proxy
+  double client_full_error = 1.0;   // winner's error on the client dataset
+  std::size_t rounds_used = 0;      // proxy tuning + final client training
+};
+
+// Pool-based protocol (proxy and client pools share the same config list —
+// checked). Draws K bootstrap configs from the pool, selects by *proxy* full
+// validation error at the final checkpoint, reports the winner's *client*
+// full error.
+ProxyTuneResult one_shot_proxy_rs(const PoolEvalView& proxy_view,
+                                  const PoolEvalView& client_view,
+                                  std::size_t num_configs, Rng& rng,
+                                  fl::Weighting weighting =
+                                      fl::Weighting::kByExampleCount);
+
+// Budget-resolved variant for Fig. 12: entry j is the client full error of
+// the best-on-proxy config among the first j+1 sampled configs (the final
+// client training run consumes one extra config's worth of rounds, reflected
+// in CurvePoint::rounds).
+std::vector<CurvePoint> one_shot_proxy_rs_curve(
+    const PoolEvalView& proxy_view, const PoolEvalView& client_view,
+    std::size_t num_configs, std::size_t rounds_per_config, Rng& rng,
+    fl::Weighting weighting = fl::Weighting::kByExampleCount);
+
+}  // namespace fedtune::core

@@ -1,0 +1,29 @@
+// Rank-fidelity diagnostics (library extension; DESIGN.md §6).
+//
+// The paper argues qualitatively that noise destroys the *ranking* signal
+// tuners rely on. This module measures it directly: the Spearman/Kendall
+// correlation between configurations' noisy evaluations and their full
+// validation errors, as a function of the noise model.
+#pragma once
+
+#include "core/config_pool.hpp"
+#include "core/noise_model.hpp"
+
+namespace fedtune::core {
+
+struct RankFidelity {
+  double spearman = 0.0;
+  double kendall = 0.0;
+  // Probability that the true best config (by full error) is ranked first
+  // by the noisy evaluation.
+  double top1_hit_rate = 0.0;
+};
+
+// Evaluates every pool config once under the noise model (`trials`
+// repetitions; M = num_configs per repetition for the DP budget split) and
+// correlates noisy scores with full errors at the final checkpoint.
+RankFidelity measure_rank_fidelity(const PoolEvalView& view,
+                                   const NoiseModel& noise,
+                                   std::size_t trials, Rng& rng);
+
+}  // namespace fedtune::core

@@ -1,0 +1,47 @@
+#include "core/trial_runner.hpp"
+
+#include "common/check.hpp"
+#include "core/hp_mapping.hpp"
+#include "fl/evaluator.hpp"
+
+namespace fedtune::core {
+
+LiveTrialRunner::LiveTrialRunner(const data::FederatedDataset& dataset,
+                                 const nn::Model& architecture,
+                                 fl::TrainerConfig trainer_cfg, Rng rng)
+    : dataset_(&dataset), architecture_(&architecture),
+      trainer_cfg_(trainer_cfg), rng_(rng),
+      weights_(data::example_count_weights(dataset.eval_clients)) {}
+
+std::vector<double> LiveTrialRunner::run(const hpo::Trial& trial) {
+  const fl::FedHyperParams hps = to_fed_hyperparams(trial.config);
+  fl::FedTrainer trainer(*dataset_, *architecture_, hps, trainer_cfg_,
+                         rng_.split(static_cast<std::uint64_t>(trial.id)));
+  if (trial.parent_id >= 0) {
+    const auto it = checkpoints_.find(trial.parent_id);
+    FEDTUNE_CHECK_MSG(it != checkpoints_.end(),
+                      "missing checkpoint for parent trial " << trial.parent_id);
+    trainer.restore(it->second);
+  }
+  FEDTUNE_CHECK_MSG(trainer.rounds_done() <= trial.target_rounds,
+                    "trial resumes beyond its target fidelity");
+  trainer.run_rounds(trial.target_rounds - trainer.rounds_done());
+  checkpoints_[trial.id] = trainer.checkpoint();
+  return fl::all_client_errors(trainer.model(), dataset_->eval_clients);
+}
+
+std::size_t LiveTrialRunner::rounds_consumed(const hpo::Trial& trial) const {
+  if (trial.parent_id < 0) return trial.target_rounds;
+  const auto it = checkpoints_.find(trial.parent_id);
+  FEDTUNE_CHECK(it != checkpoints_.end());
+  return trial.target_rounds - it->second.rounds;
+}
+
+const std::vector<float>& LiveTrialRunner::trial_params(int trial_id) const {
+  const auto it = checkpoints_.find(trial_id);
+  FEDTUNE_CHECK_MSG(it != checkpoints_.end(),
+                    "no checkpoint for trial " << trial_id);
+  return it->second.params;
+}
+
+}  // namespace fedtune::core

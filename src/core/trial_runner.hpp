@@ -1,0 +1,61 @@
+// TrialRunner abstracts how a Trial's model gets trained and evaluated.
+//
+// LiveTrialRunner trains real federated models (Algorithm 2), keeping
+// checkpoints so Successive-Halving promotions resume rather than retrain.
+// PoolTrialRunner (core/config_pool.hpp) serves cached per-client errors
+// from a pre-trained configuration pool — the paper's bootstrap protocol.
+// Both return per-client error rates over the FULL eval pool; the
+// NoisyEvaluator applies subsampling/bias/DP on top.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "data/client_data.hpp"
+#include "fl/trainer.hpp"
+#include "hpo/tuner.hpp"
+#include "nn/model.hpp"
+
+namespace fedtune::core {
+
+class TrialRunner {
+ public:
+  virtual ~TrialRunner() = default;
+
+  // Trains (or resumes) to trial.target_rounds; returns per-client error
+  // rates over the full eval pool at that fidelity.
+  virtual std::vector<double> run(const hpo::Trial& trial) = 0;
+
+  // Eval-pool example counts (the p_k weights of Eq. 2).
+  virtual const std::vector<double>& client_weights() const = 0;
+
+  // Fresh training rounds this trial consumed (resumes only pay the delta).
+  virtual std::size_t rounds_consumed(const hpo::Trial& trial) const = 0;
+};
+
+class LiveTrialRunner final : public TrialRunner {
+ public:
+  // `dataset` and `architecture` must outlive the runner.
+  LiveTrialRunner(const data::FederatedDataset& dataset,
+                  const nn::Model& architecture, fl::TrainerConfig trainer_cfg,
+                  Rng rng);
+
+  std::vector<double> run(const hpo::Trial& trial) override;
+  const std::vector<double>& client_weights() const override {
+    return weights_;
+  }
+  std::size_t rounds_consumed(const hpo::Trial& trial) const override;
+
+  // Global-model parameters of a completed trial (e.g. to deploy the winner).
+  const std::vector<float>& trial_params(int trial_id) const;
+
+ private:
+  const data::FederatedDataset* dataset_;
+  const nn::Model* architecture_;
+  fl::TrainerConfig trainer_cfg_;
+  Rng rng_;
+  std::vector<double> weights_;
+  std::map<int, fl::Checkpoint> checkpoints_;  // by trial id
+};
+
+}  // namespace fedtune::core

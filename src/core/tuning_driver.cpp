@@ -1,0 +1,93 @@
+#include "core/tuning_driver.hpp"
+
+#include "common/check.hpp"
+#include "privacy/topk.hpp"
+
+namespace fedtune::core {
+
+hpo::TopKSelector make_dp_top_k_selector(double epsilon_total,
+                                         std::size_t selection_events,
+                                         std::size_t clients_per_eval,
+                                         Rng* rng) {
+  FEDTUNE_CHECK(rng != nullptr);
+  privacy::OneShotTopKParams params;
+  params.epsilon_total = epsilon_total;
+  params.total_rounds = selection_events;
+  params.num_clients = clients_per_eval;
+  return [params, rng](std::span<const double> accuracies, std::size_t k) {
+    return privacy::one_shot_top_k(accuracies, k, params, *rng);
+  };
+}
+
+TuneResult run_tuning(hpo::Tuner& tuner, TrialRunner& runner,
+                      const DriverOptions& opts) {
+  Rng rng(opts.seed);
+  Rng eval_rng = rng.split(1);
+  Rng selector_rng = rng.split(2);
+
+  const std::size_t num_clients =
+      opts.noise.is_full_eval() ? runner.client_weights().size()
+                                : opts.noise.eval_clients;
+
+  // DP wiring. Per-evaluation noise goes through the NoisyEvaluator; the
+  // one-shot style leaves evaluations clean and privatizes every selection
+  // event instead.
+  NoiseModel eval_noise = opts.noise;
+  if (opts.noise.is_private() && opts.dp_style == DpStyle::kOneShotTopK) {
+    eval_noise.epsilon = std::numeric_limits<double>::infinity();
+    eval_noise.weighting = fl::Weighting::kUniform;  // keep sensitivity bound
+    tuner.set_selector(make_dp_top_k_selector(
+        opts.noise.epsilon, tuner.planned_selection_events(), num_clients,
+        &selector_rng));
+  }
+
+  NoisyEvaluator evaluator(eval_noise, runner.client_weights(),
+                           tuner.planned_evaluations(), eval_rng);
+
+  TuneResult result;
+  double best_noisy = std::numeric_limits<double>::infinity();
+
+  while (!tuner.done()) {
+    const std::optional<hpo::Trial> trial = tuner.ask();
+    if (!trial.has_value()) break;
+    if (result.rounds_used >= opts.budget_rounds) break;
+
+    const std::vector<double> errors = runner.run(*trial);
+    result.rounds_used += runner.rounds_consumed(*trial);
+
+    TrialRecord record;
+    record.trial = *trial;
+    record.noisy_objective = evaluator.evaluate(errors);
+    record.full_error = evaluator.full_error(errors);
+    record.cumulative_rounds = result.rounds_used;
+    result.records.push_back(record);
+
+    // Incumbent: best noisy objective seen so far (what a practitioner
+    // tracking the tuner's own signal would deploy).
+    if (record.noisy_objective < best_noisy) {
+      best_noisy = record.noisy_objective;
+      result.incumbent_curve.push_back(
+          {result.rounds_used, record.full_error});
+    } else if (!result.incumbent_curve.empty()) {
+      result.incumbent_curve.push_back(
+          {result.rounds_used, result.incumbent_curve.back().full_error});
+    }
+
+    tuner.tell(*trial, record.noisy_objective);
+  }
+
+  // Final selection: the tuner's own pick (which saw only noisy signal).
+  if (!result.records.empty()) {
+    const hpo::Trial best = tuner.best_trial();
+    result.best = best;
+    for (const TrialRecord& r : result.records) {
+      if (r.trial.id == best.id) {
+        result.best_full_error = r.full_error;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace fedtune::core

@@ -1,0 +1,65 @@
+// TuningDriver — runs any Tuner against any TrialRunner under a NoiseModel.
+//
+// This is Algorithm 2 generalized: the driver owns budget accounting (in
+// training rounds), the noisy evaluation of every trial, the DP plumbing
+// (per-evaluation Laplace for RS/TPE-style methods, one-shot top-k selection
+// for rung-based methods), and the online "incumbent" curve plotted in
+// Figures 5, 8 and 12 (full validation error of the configuration the tuner
+// currently believes best).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/noise_model.hpp"
+#include "core/noisy_evaluator.hpp"
+#include "core/trial_runner.hpp"
+#include "hpo/tuner.hpp"
+
+namespace fedtune::core {
+
+// DP style per method family (§3.3): RS/TPE privatize every evaluation;
+// HB/BOHB select survivors with the one-shot Laplace top-k mechanism.
+enum class DpStyle { kPerEvaluation, kOneShotTopK };
+
+struct DriverOptions {
+  NoiseModel noise;
+  DpStyle dp_style = DpStyle::kPerEvaluation;
+  // Stop issuing new trials once consumed rounds reach this budget.
+  std::size_t budget_rounds = std::numeric_limits<std::size_t>::max();
+  std::uint64_t seed = 0;
+};
+
+struct TrialRecord {
+  hpo::Trial trial;
+  double noisy_objective = 1.0;
+  double full_error = 1.0;           // ground truth at the trial's fidelity
+  std::size_t cumulative_rounds = 0; // budget consumed after this trial
+};
+
+struct CurvePoint {
+  std::size_t rounds = 0;   // cumulative training rounds
+  double full_error = 1.0;  // full-eval error of the current incumbent
+};
+
+struct TuneResult {
+  std::vector<TrialRecord> records;
+  std::vector<CurvePoint> incumbent_curve;
+  std::optional<hpo::Trial> best;  // tuner's final selection
+  double best_full_error = 1.0;    // ground truth of that selection
+  std::size_t rounds_used = 0;
+};
+
+TuneResult run_tuning(hpo::Tuner& tuner, TrialRunner& runner,
+                      const DriverOptions& opts);
+
+// The DP selection mechanism injected for rung-based tuners: one-shot
+// Laplace top-k with T = planned selection events and |S| clients per
+// evaluation. `rng` must outlive the selector.
+hpo::TopKSelector make_dp_top_k_selector(double epsilon_total,
+                                         std::size_t selection_events,
+                                         std::size_t clients_per_eval,
+                                         Rng* rng);
+
+}  // namespace fedtune::core

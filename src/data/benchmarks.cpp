@@ -1,0 +1,148 @@
+#include "data/benchmarks.hpp"
+
+#include "common/check.hpp"
+#include "data/synth_image.hpp"
+#include "data/synth_text.hpp"
+
+namespace fedtune::data {
+
+std::vector<BenchmarkId> all_benchmarks() {
+  return {BenchmarkId::kCifar10Like, BenchmarkId::kFemnistLike,
+          BenchmarkId::kStackOverflowLike, BenchmarkId::kRedditLike};
+}
+
+std::string benchmark_name(BenchmarkId id) {
+  switch (id) {
+    case BenchmarkId::kCifar10Like: return "cifar10-like";
+    case BenchmarkId::kFemnistLike: return "femnist-like";
+    case BenchmarkId::kStackOverflowLike: return "stackoverflow-like";
+    case BenchmarkId::kRedditLike: return "reddit-like";
+  }
+  FEDTUNE_CHECK_MSG(false, "unknown benchmark id");
+  return {};
+}
+
+BenchmarkId benchmark_from_name(const std::string& name) {
+  for (BenchmarkId id : all_benchmarks()) {
+    if (benchmark_name(id) == name) return id;
+  }
+  FEDTUNE_CHECK_MSG(false, "unknown benchmark name: " << name);
+  return BenchmarkId::kCifar10Like;
+}
+
+FederatedDataset make_benchmark(BenchmarkId id) {
+  switch (id) {
+    case BenchmarkId::kCifar10Like: {
+      SynthImageConfig cfg;
+      cfg.name = benchmark_name(id);
+      cfg.num_classes = 10;
+      cfg.input_dim = 32;
+      cfg.num_train_clients = 400;
+      cfg.num_eval_clients = 100;
+      cfg.mean_examples = 100.0;
+      cfg.example_lognorm_sigma = 0.08;  // paper: min 83 / mean 100 / max 131
+      cfg.min_examples = 60;
+      cfg.dirichlet_alpha = 0.1;
+      cfg.class_separation = 2.0;
+      cfg.noise_stddev = 1.0;
+      cfg.seed = 101;
+      return make_synth_image(cfg);
+    }
+    case BenchmarkId::kFemnistLike: {
+      SynthImageConfig cfg;
+      cfg.name = benchmark_name(id);
+      cfg.num_classes = 16;
+      cfg.input_dim = 24;
+      cfg.num_train_clients = 700;  // paper 3507, scaled 5x (DESIGN.md)
+      cfg.num_eval_clients = 360;
+      cfg.mean_examples = 40.0;     // paper 203, scaled 5x
+      cfg.example_lognorm_sigma = 0.5;  // paper: min 19 / max 393
+      cfg.min_examples = 4;
+      cfg.max_examples = 120;
+      cfg.dirichlet_alpha = 50.0;   // near-uniform labels (natural partition)
+      cfg.class_separation = 2.4;
+      cfg.noise_stddev = 1.0;
+      cfg.feature_shift_stddev = 0.5;  // writer styles
+      cfg.seed = 202;
+      return make_synth_image(cfg);
+    }
+    case BenchmarkId::kStackOverflowLike: {
+      SynthTextConfig cfg;
+      cfg.name = benchmark_name(id);
+      cfg.vocab = 32;
+      cfg.seq_len = 15;
+      cfg.num_train_clients = 1080;  // paper 10815, scaled 10x
+      cfg.num_eval_clients = 368;    // paper 3678, scaled 10x
+      cfg.mean_examples = 40.0;      // paper 391, scaled 10x
+      cfg.example_lognorm_sigma = 1.3;  // heavy tail: min 1 / max 194k
+      cfg.min_examples = 1;
+      cfg.max_examples = 400;
+      cfg.base_row_concentration = 0.3;
+      cfg.client_concentration = 25.0;  // moderate heterogeneity
+      cfg.seed = 303;
+      return make_synth_text(cfg);
+    }
+    case BenchmarkId::kRedditLike: {
+      SynthTextConfig cfg;
+      cfg.name = benchmark_name(id);
+      cfg.vocab = 24;
+      cfg.seq_len = 12;
+      cfg.num_train_clients = 4000;  // paper 40000, scaled 10x
+      cfg.num_eval_clients = 1000;   // paper 9928, scaled 10x
+      cfg.mean_examples = 12.0;      // paper 19: tiny clients
+      cfg.example_lognorm_sigma = 1.0;
+      cfg.min_examples = 1;
+      cfg.max_examples = 150;
+      cfg.base_row_concentration = 0.25;
+      cfg.client_concentration = 4.0;   // strong heterogeneity
+      cfg.degenerate_fraction = 0.10;   // Fig. 7 zero-error clients
+      cfg.seed = 404;
+      return make_synth_text(cfg);
+    }
+  }
+  FEDTUNE_CHECK_MSG(false, "unknown benchmark id");
+  return {};
+}
+
+std::vector<std::size_t> subsample_grid(BenchmarkId id) {
+  switch (id) {
+    case BenchmarkId::kCifar10Like:
+      return {1, 3, 9, 27, 100};
+    case BenchmarkId::kFemnistLike:
+      return {1, 3, 9, 27, 81, 360};
+    case BenchmarkId::kStackOverflowLike:
+      return {1, 9, 81, 368};
+    case BenchmarkId::kRedditLike:
+      return {1, 9, 81, 729, 1000};
+  }
+  FEDTUNE_CHECK_MSG(false, "unknown benchmark id");
+  return {};
+}
+
+std::size_t max_rounds_per_config(BenchmarkId id) {
+  switch (id) {
+    case BenchmarkId::kCifar10Like:
+    case BenchmarkId::kFemnistLike:
+      return 243;
+    case BenchmarkId::kStackOverflowLike:
+    case BenchmarkId::kRedditLike:
+      return 81;
+  }
+  return 243;
+}
+
+std::size_t min_rounds_per_config(BenchmarkId id) {
+  // R / r0 = 3^4 on every dataset => exactly the paper's "5 brackets of SHA
+  // with elimination factor eta = 3".
+  switch (id) {
+    case BenchmarkId::kCifar10Like:
+    case BenchmarkId::kFemnistLike:
+      return 3;
+    case BenchmarkId::kStackOverflowLike:
+    case BenchmarkId::kRedditLike:
+      return 1;
+  }
+  return 3;
+}
+
+}  // namespace fedtune::data

@@ -1,0 +1,38 @@
+#include "data/client_data.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace fedtune::data {
+
+PoolStats pool_stats(std::span<const ClientData> clients) {
+  PoolStats s;
+  s.num_clients = clients.size();
+  if (clients.empty()) return s;
+  s.min_examples = clients.front().num_examples();
+  for (const ClientData& c : clients) {
+    const std::size_t n = c.num_examples();
+    s.total_examples += n;
+    s.min_examples = std::min(s.min_examples, n);
+    s.max_examples = std::max(s.max_examples, n);
+  }
+  s.mean_examples =
+      static_cast<double>(s.total_examples) / static_cast<double>(s.num_clients);
+  return s;
+}
+
+std::vector<double> example_count_weights(std::span<const ClientData> clients) {
+  std::vector<double> w;
+  w.reserve(clients.size());
+  for (const ClientData& c : clients) {
+    w.push_back(static_cast<double>(c.num_examples()));
+  }
+  return w;
+}
+
+std::vector<double> uniform_weights(std::size_t n) {
+  return std::vector<double>(n, 1.0);
+}
+
+}  // namespace fedtune::data

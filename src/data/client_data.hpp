@@ -1,0 +1,70 @@
+// Federated data containers.
+//
+// A FederatedDataset mirrors the paper's setup (§2.1): data is partitioned
+// *by client* into two disjoint pools — training clients and validation
+// ("eval") clients. Each client holds either dense classification examples
+// (features + integer labels) or fixed-length token sequences for next-token
+// prediction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace fedtune::data {
+
+enum class TaskKind {
+  kClassification,  // image-like: features (n, d) + labels (n)
+  kNextToken,       // text-like: token sequences (n, seq_len)
+};
+
+struct ClientData {
+  // Classification payload.
+  Matrix features;                    // (n, input_dim)
+  std::vector<std::int32_t> labels;   // (n)
+
+  // Next-token payload: n sequences flattened row-major.
+  std::vector<std::int32_t> tokens;   // (n * seq_len)
+  std::size_t seq_len = 0;
+
+  std::size_t num_examples() const {
+    if (seq_len > 0) return tokens.size() / seq_len;
+    return labels.size();
+  }
+
+  std::span<const std::int32_t> sequence(std::size_t i) const {
+    return std::span<const std::int32_t>(tokens.data() + i * seq_len, seq_len);
+  }
+};
+
+struct FederatedDataset {
+  std::string name;
+  TaskKind task = TaskKind::kClassification;
+  std::size_t input_dim = 0;     // classification only
+  std::size_t num_classes = 0;   // classification: #labels; next-token: vocab
+  std::vector<ClientData> train_clients;
+  std::vector<ClientData> eval_clients;
+
+  std::size_t vocab_size() const { return num_classes; }
+};
+
+// Per-pool example-count statistics (Table 1 / Table 2 of the paper).
+struct PoolStats {
+  std::size_t num_clients = 0;
+  std::size_t total_examples = 0;
+  std::size_t min_examples = 0;
+  std::size_t max_examples = 0;
+  double mean_examples = 0.0;
+};
+
+PoolStats pool_stats(std::span<const ClientData> clients);
+
+// Client weights p_k for the weighted objective (Eq. 2): the number of
+// samples held by each client. Uniform weighting is a vector of ones.
+std::vector<double> example_count_weights(std::span<const ClientData> clients);
+std::vector<double> uniform_weights(std::size_t n);
+
+}  // namespace fedtune::data

@@ -1,0 +1,108 @@
+#include "data/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace fedtune::data {
+
+std::vector<std::vector<std::size_t>> dirichlet_label_partition(
+    std::span<const std::int32_t> labels, std::size_t num_classes,
+    std::size_t num_clients, double alpha, Rng& rng) {
+  FEDTUNE_CHECK(num_clients > 0 && num_classes > 0);
+  FEDTUNE_CHECK(labels.size() >= num_clients);
+
+  // Build shuffled per-class pools.
+  std::vector<std::vector<std::size_t>> class_pool(num_classes);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const auto y = static_cast<std::size_t>(labels[i]);
+    FEDTUNE_CHECK(y < num_classes);
+    class_pool[y].push_back(i);
+  }
+  for (auto& pool : class_pool) rng.shuffle(pool);
+  std::vector<std::size_t> pool_pos(num_classes, 0);
+
+  const std::size_t base = labels.size() / num_clients;
+  std::size_t remainder = labels.size() % num_clients;
+
+  std::vector<std::vector<std::size_t>> assignment(num_clients);
+  for (std::size_t k = 0; k < num_clients; ++k) {
+    std::size_t quota = base + (k < remainder ? 1 : 0);
+    const std::vector<double> mix = rng.dirichlet(alpha, num_classes);
+    auto& mine = assignment[k];
+    mine.reserve(quota);
+    while (quota > 0) {
+      // Sample a class by the client's mix, restricted to non-empty pools.
+      std::vector<double> avail(num_classes, 0.0);
+      double total = 0.0;
+      for (std::size_t c = 0; c < num_classes; ++c) {
+        if (pool_pos[c] < class_pool[c].size()) {
+          avail[c] = mix[c] + 1e-12;  // epsilon keeps exhausted-mix clients alive
+          total += avail[c];
+        }
+      }
+      FEDTUNE_CHECK_MSG(total > 0.0, "ran out of examples during partition");
+      const std::size_t c = rng.categorical(avail);
+      mine.push_back(class_pool[c][pool_pos[c]++]);
+      --quota;
+    }
+  }
+  return assignment;
+}
+
+namespace {
+
+// Flat view of one example for pooled redistribution.
+struct ExampleRef {
+  std::size_t client;
+  std::size_t index;
+};
+
+void copy_example(const ClientData& src, std::size_t src_idx, ClientData& dst,
+                  std::size_t dst_idx) {
+  if (src.seq_len > 0) {
+    std::copy_n(src.tokens.begin() + static_cast<std::ptrdiff_t>(src_idx * src.seq_len),
+                src.seq_len,
+                dst.tokens.begin() + static_cast<std::ptrdiff_t>(dst_idx * dst.seq_len));
+  } else {
+    const auto row = src.features.row(src_idx);
+    std::copy(row.begin(), row.end(), dst.features.row(dst_idx).begin());
+    dst.labels[dst_idx] = src.labels[src_idx];
+  }
+}
+
+}  // namespace
+
+std::vector<ClientData> repartition_iid(std::span<const ClientData> clients,
+                                        double p, Rng& rng) {
+  FEDTUNE_CHECK(p >= 0.0 && p <= 1.0);
+  std::vector<ClientData> out(clients.begin(), clients.end());
+  if (p == 0.0 || clients.empty()) return out;
+
+  // Select ceil(p * n_k) example slots from each client.
+  std::vector<ExampleRef> pooled;
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    const std::size_t n = out[k].num_examples();
+    const auto take = static_cast<std::size_t>(
+        std::min<double>(static_cast<double>(n),
+                         std::ceil(p * static_cast<double>(n))));
+    for (std::size_t idx : rng.sample_without_replacement(n, take)) {
+      pooled.push_back({k, idx});
+    }
+  }
+
+  // Deal the pooled examples back uniformly: a random permutation of the
+  // pooled slots defines where each pooled example lands.
+  std::vector<std::size_t> perm = rng.permutation(pooled.size());
+  // Copy sources first (slots overlap between read and write positions).
+  std::vector<ClientData> sources(clients.begin(), clients.end());
+  for (std::size_t i = 0; i < pooled.size(); ++i) {
+    const ExampleRef from = pooled[perm[i]];
+    const ExampleRef to = pooled[i];
+    copy_example(sources[from.client], from.index, out[to.client], to.index);
+  }
+  return out;
+}
+
+}  // namespace fedtune::data

@@ -1,0 +1,37 @@
+// Client partitioning utilities.
+//
+// dirichlet_label_partition implements the synthetic non-IID split of Hsu et
+// al. (2019) used by the paper for CIFAR10: each client draws a label
+// distribution from Dirichlet(alpha) and fills its quota from per-class
+// pools.
+//
+// repartition_iid implements the paper's heterogeneity knob (§3.2): a
+// fraction p of every eval client's examples is pooled and dealt back
+// uniformly at random, interpolating from the natural non-IID partition
+// (p = 0) to a fully IID one (p = 1).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/client_data.hpp"
+
+namespace fedtune::data {
+
+// Assigns `num_examples` examples with the given labels to `num_clients`
+// clients. Returns per-client example-index lists. Every client receives
+// approximately num_examples / num_clients examples whose label mix follows
+// its own Dirichlet(alpha) draw; small alpha => severe label skew.
+std::vector<std::vector<std::size_t>> dirichlet_label_partition(
+    std::span<const std::int32_t> labels, std::size_t num_classes,
+    std::size_t num_clients, double alpha, Rng& rng);
+
+// Pools a fraction p of all examples across `clients` and redistributes the
+// pooled examples uniformly, preserving each client's example count. p = 0 is
+// a no-op; p = 1 makes all clients draws from the same pooled distribution.
+// Works for both classification and next-token clients.
+std::vector<ClientData> repartition_iid(std::span<const ClientData> clients,
+                                        double p, Rng& rng);
+
+}  // namespace fedtune::data

@@ -1,0 +1,82 @@
+#include "data/synth_image.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "data/partition.hpp"
+
+namespace fedtune::data {
+
+namespace {
+
+// Draws a per-client example count: lognormal around the mean, clamped.
+std::size_t draw_client_size(const SynthImageConfig& cfg, Rng& rng) {
+  const double mu = std::log(cfg.mean_examples) -
+                    0.5 * cfg.example_lognorm_sigma * cfg.example_lognorm_sigma;
+  const double draw = std::exp(rng.normal(mu, cfg.example_lognorm_sigma));
+  const auto n = static_cast<std::size_t>(std::lround(draw));
+  return std::clamp(n, cfg.min_examples, cfg.max_examples);
+}
+
+std::vector<ClientData> make_pool(const SynthImageConfig& cfg,
+                                  const Matrix& prototypes,
+                                  std::size_t num_clients, Rng& rng) {
+  std::vector<ClientData> clients(num_clients);
+  for (std::size_t k = 0; k < num_clients; ++k) {
+    const std::size_t n = draw_client_size(cfg, rng);
+    const std::vector<double> mix = rng.dirichlet(
+        cfg.dirichlet_alpha, cfg.num_classes);
+
+    // Per-client style shift (zero vector when the knob is off).
+    std::vector<float> shift(cfg.input_dim, 0.0f);
+    if (cfg.feature_shift_stddev > 0.0) {
+      for (float& s : shift) {
+        s = static_cast<float>(rng.normal(0.0, cfg.feature_shift_stddev));
+      }
+    }
+
+    ClientData& c = clients[k];
+    c.features.resize(n, cfg.input_dim);
+    c.labels.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto y = static_cast<std::int32_t>(rng.categorical(mix));
+      c.labels[i] = y;
+      auto row = c.features.row(i);
+      const auto proto = prototypes.row(static_cast<std::size_t>(y));
+      for (std::size_t d = 0; d < cfg.input_dim; ++d) {
+        row[d] = proto[d] + shift[d] +
+                 static_cast<float>(rng.normal(0.0, cfg.noise_stddev));
+      }
+    }
+  }
+  return clients;
+}
+
+}  // namespace
+
+FederatedDataset make_synth_image(const SynthImageConfig& cfg) {
+  FEDTUNE_CHECK(cfg.num_classes >= 2 && cfg.input_dim > 0);
+  FEDTUNE_CHECK(cfg.num_train_clients > 0 && cfg.num_eval_clients > 0);
+  FEDTUNE_CHECK(cfg.mean_examples >= 1.0);
+
+  Rng rng(cfg.seed);
+
+  // Class prototypes scaled so expected pairwise distance ~ separation.
+  const float proto_scale = static_cast<float>(
+      cfg.class_separation / std::sqrt(static_cast<double>(cfg.input_dim)));
+  Matrix prototypes =
+      Matrix::randn(cfg.num_classes, cfg.input_dim, rng, proto_scale);
+
+  FederatedDataset ds;
+  ds.name = cfg.name;
+  ds.task = TaskKind::kClassification;
+  ds.input_dim = cfg.input_dim;
+  ds.num_classes = cfg.num_classes;
+  Rng train_rng = rng.split(1);
+  Rng eval_rng = rng.split(2);
+  ds.train_clients = make_pool(cfg, prototypes, cfg.num_train_clients, train_rng);
+  ds.eval_clients = make_pool(cfg, prototypes, cfg.num_eval_clients, eval_rng);
+  return ds;
+}
+
+}  // namespace fedtune::data

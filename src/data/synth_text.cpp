@@ -1,0 +1,99 @@
+#include "data/synth_text.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace fedtune::data {
+
+namespace {
+
+std::size_t draw_client_size(const SynthTextConfig& cfg, Rng& rng) {
+  const double mu = std::log(cfg.mean_examples) -
+                    0.5 * cfg.example_lognorm_sigma * cfg.example_lognorm_sigma;
+  const double draw = std::exp(rng.normal(mu, cfg.example_lognorm_sigma));
+  const auto n = static_cast<std::size_t>(std::lround(draw));
+  return std::clamp(n, cfg.min_examples, cfg.max_examples);
+}
+
+// One transition-probability row per current token.
+using Chain = std::vector<std::vector<double>>;
+
+Chain make_global_chain(const SynthTextConfig& cfg, Rng& rng) {
+  Chain chain(cfg.vocab);
+  for (auto& row : chain) row = rng.dirichlet(cfg.base_row_concentration, cfg.vocab);
+  return chain;
+}
+
+Chain make_client_chain(const SynthTextConfig& cfg, const Chain& global,
+                        Rng& rng, bool degenerate) {
+  Chain chain(cfg.vocab);
+  if (degenerate) {
+    // Near self-loop on a single random token: p(loop) = 0.95.
+    const auto loop_tok = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(cfg.vocab) - 1));
+    for (std::size_t t = 0; t < cfg.vocab; ++t) {
+      std::vector<double> row(cfg.vocab, 0.05 / static_cast<double>(cfg.vocab - 1));
+      row[loop_tok] = 0.95;
+      chain[t] = std::move(row);
+    }
+    return chain;
+  }
+  for (std::size_t t = 0; t < cfg.vocab; ++t) {
+    std::vector<double> alpha(cfg.vocab);
+    for (std::size_t j = 0; j < cfg.vocab; ++j) {
+      alpha[j] = cfg.client_concentration * global[t][j] + 1e-3;
+    }
+    chain[t] = rng.dirichlet(alpha);
+  }
+  return chain;
+}
+
+std::vector<ClientData> make_pool(const SynthTextConfig& cfg,
+                                  const Chain& global, std::size_t num_clients,
+                                  Rng& rng) {
+  std::vector<ClientData> clients(num_clients);
+  for (std::size_t k = 0; k < num_clients; ++k) {
+    const bool degenerate = rng.uniform() < cfg.degenerate_fraction;
+    const Chain chain = make_client_chain(cfg, global, rng, degenerate);
+    const std::size_t n = draw_client_size(cfg, rng);
+
+    ClientData& c = clients[k];
+    c.seq_len = cfg.seq_len;
+    c.tokens.resize(n * cfg.seq_len);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::int32_t tok = static_cast<std::int32_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(cfg.vocab) - 1));
+      for (std::size_t t = 0; t < cfg.seq_len; ++t) {
+        c.tokens[i * cfg.seq_len + t] = tok;
+        tok = static_cast<std::int32_t>(
+            rng.categorical(chain[static_cast<std::size_t>(tok)]));
+      }
+    }
+  }
+  return clients;
+}
+
+}  // namespace
+
+FederatedDataset make_synth_text(const SynthTextConfig& cfg) {
+  FEDTUNE_CHECK(cfg.vocab >= 2 && cfg.seq_len >= 3);
+  FEDTUNE_CHECK(cfg.num_train_clients > 0 && cfg.num_eval_clients > 0);
+  FEDTUNE_CHECK(cfg.mean_examples >= 1.0);
+  FEDTUNE_CHECK(cfg.degenerate_fraction >= 0.0 && cfg.degenerate_fraction <= 1.0);
+
+  Rng rng(cfg.seed);
+  const Chain global = make_global_chain(cfg, rng);
+
+  FederatedDataset ds;
+  ds.name = cfg.name;
+  ds.task = TaskKind::kNextToken;
+  ds.num_classes = cfg.vocab;
+  Rng train_rng = rng.split(1);
+  Rng eval_rng = rng.split(2);
+  ds.train_clients = make_pool(cfg, global, cfg.num_train_clients, train_rng);
+  ds.eval_clients = make_pool(cfg, global, cfg.num_eval_clients, eval_rng);
+  return ds;
+}
+
+}  // namespace fedtune::data

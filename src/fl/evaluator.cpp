@@ -1,0 +1,66 @@
+#include "fl/evaluator.hpp"
+
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace fedtune::fl {
+
+std::vector<double> client_errors(const nn::Model& model,
+                                  std::span<const data::ClientData> clients,
+                                  std::span<const std::size_t> which) {
+  std::vector<double> errors;
+  errors.reserve(which.size());
+  for (std::size_t k : which) {
+    FEDTUNE_CHECK(k < clients.size());
+    errors.push_back(model.error_rate(clients[k]));
+  }
+  return errors;
+}
+
+std::vector<double> all_client_errors(
+    const nn::Model& model, std::span<const data::ClientData> clients) {
+  std::vector<std::size_t> which(clients.size());
+  std::iota(which.begin(), which.end(), std::size_t{0});
+  return client_errors(model, clients, which);
+}
+
+double aggregate_error(std::span<const double> errors,
+                       std::span<const data::ClientData> clients,
+                       std::span<const std::size_t> which,
+                       Weighting weighting) {
+  FEDTUNE_CHECK(errors.size() == which.size());
+  FEDTUNE_CHECK(!errors.empty());
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    const double w =
+        (weighting == Weighting::kUniform)
+            ? 1.0
+            : static_cast<double>(clients[which[i]].num_examples());
+    num += w * errors[i];
+    den += w;
+  }
+  FEDTUNE_CHECK_MSG(den > 0.0, "all sampled clients are empty");
+  return num / den;
+}
+
+double full_validation_error(const nn::Model& model,
+                             const data::FederatedDataset& dataset,
+                             Weighting weighting) {
+  std::vector<std::size_t> which(dataset.eval_clients.size());
+  std::iota(which.begin(), which.end(), std::size_t{0});
+  const std::vector<double> errors =
+      client_errors(model, dataset.eval_clients, which);
+  return aggregate_error(errors, dataset.eval_clients, which, weighting);
+}
+
+double subsampled_validation_error(const nn::Model& model,
+                                   const data::FederatedDataset& dataset,
+                                   std::span<const std::size_t> which,
+                                   Weighting weighting) {
+  const std::vector<double> errors =
+      client_errors(model, dataset.eval_clients, which);
+  return aggregate_error(errors, dataset.eval_clients, which, weighting);
+}
+
+}  // namespace fedtune::fl

@@ -1,0 +1,29 @@
+// The hyperparameters tuned throughout the paper (Appendix B): three server
+// FedAdam HPs (learning rate and both moment decays) and two client SGD HPs
+// (learning rate and batch size), plus the fixed values the paper pins
+// (server lr decay gamma, client momentum/weight decay, one local epoch).
+#pragma once
+
+#include <cstddef>
+
+namespace fedtune::fl {
+
+struct FedHyperParams {
+  // Server (FedAdam) — tuned.
+  double server_lr = 1e-3;
+  double beta1 = 0.9;    // 1st moment decay, Unif[0, 0.9]
+  double beta2 = 0.99;   // 2nd moment decay, Unif[0, 0.999]
+  // Server — fixed by the paper.
+  double server_lr_decay = 0.9999;  // gamma, per round
+  double tau = 1e-3;                // adaptivity epsilon
+
+  // Client (SGD) — tuned.
+  double client_lr = 0.1;
+  std::size_t batch_size = 32;  // in {32, 64, 128}
+  // Client — searched in Appendix B's space (momentum) / fixed (the rest).
+  double client_momentum = 0.0;       // Unif[0, 0.9]
+  double client_weight_decay = 5e-5;  // fixed
+  std::size_t local_epochs = 1;       // fixed
+};
+
+}  // namespace fedtune::fl

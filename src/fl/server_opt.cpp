@@ -1,0 +1,134 @@
+#include "fl/server_opt.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace fedtune::fl {
+
+std::string server_opt_name(ServerOptKind kind) {
+  switch (kind) {
+    case ServerOptKind::kFedAvg: return "fedavg";
+    case ServerOptKind::kFedAdam: return "fedadam";
+    case ServerOptKind::kFedAdagrad: return "fedadagrad";
+    case ServerOptKind::kFedYogi: return "fedyogi";
+  }
+  return "?";
+}
+
+namespace {
+
+// FedAvg with server learning rate and decay: w += lr * delta.
+class FedAvg final : public ServerOpt {
+ public:
+  explicit FedAvg(const FedHyperParams& hps)
+      : lr_(hps.server_lr), decay_(hps.server_lr_decay), current_lr_(hps.server_lr) {}
+
+  void apply(std::span<float> params, std::span<const float> delta) override {
+    FEDTUNE_CHECK(params.size() == delta.size());
+    const auto lr = static_cast<float>(current_lr_);
+    for (std::size_t i = 0; i < params.size(); ++i) params[i] += lr * delta[i];
+    current_lr_ *= decay_;
+    ++rounds_;
+  }
+
+  State save_state() const override { return {{}, {}, rounds_, current_lr_}; }
+  void load_state(const State& s) override {
+    rounds_ = s.rounds;
+    current_lr_ = s.current_lr;
+  }
+
+ private:
+  double lr_, decay_, current_lr_;
+  std::size_t rounds_ = 0;
+};
+
+// Shared core of the adaptive family: m update is common; v update differs.
+class AdaptiveServerOpt : public ServerOpt {
+ public:
+  explicit AdaptiveServerOpt(const FedHyperParams& hps)
+      : beta1_(hps.beta1), beta2_(hps.beta2), tau_(hps.tau),
+        decay_(hps.server_lr_decay), current_lr_(hps.server_lr) {}
+
+  void apply(std::span<float> params, std::span<const float> delta) override {
+    FEDTUNE_CHECK(params.size() == delta.size());
+    if (m_.size() != params.size()) {
+      m_.assign(params.size(), 0.0f);
+      // Reddi et al. initialize v to tau^2.
+      v_.assign(params.size(), static_cast<float>(tau_ * tau_));
+    }
+    const auto b1 = static_cast<float>(beta1_);
+    const auto lr = static_cast<float>(current_lr_);
+    const auto tau = static_cast<float>(tau_);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      m_[i] = b1 * m_[i] + (1.0f - b1) * delta[i];
+      v_[i] = update_v(v_[i], delta[i]);
+      params[i] += lr * m_[i] / (std::sqrt(v_[i]) + tau);
+    }
+    current_lr_ *= decay_;
+    ++rounds_;
+  }
+
+  State save_state() const override { return {m_, v_, rounds_, current_lr_}; }
+  void load_state(const State& s) override {
+    m_ = s.m;
+    v_ = s.v;
+    rounds_ = s.rounds;
+    current_lr_ = s.current_lr;
+  }
+
+ protected:
+  virtual float update_v(float v, float d) const = 0;
+
+  double beta1_, beta2_, tau_, decay_, current_lr_;
+  std::vector<float> m_, v_;
+  std::size_t rounds_ = 0;
+};
+
+class FedAdam final : public AdaptiveServerOpt {
+ public:
+  using AdaptiveServerOpt::AdaptiveServerOpt;
+
+ protected:
+  float update_v(float v, float d) const override {
+    const auto b2 = static_cast<float>(beta2_);
+    return b2 * v + (1.0f - b2) * d * d;
+  }
+};
+
+class FedAdagrad final : public AdaptiveServerOpt {
+ public:
+  using AdaptiveServerOpt::AdaptiveServerOpt;
+
+ protected:
+  float update_v(float v, float d) const override { return v + d * d; }
+};
+
+class FedYogi final : public AdaptiveServerOpt {
+ public:
+  using AdaptiveServerOpt::AdaptiveServerOpt;
+
+ protected:
+  float update_v(float v, float d) const override {
+    const auto b2 = static_cast<float>(beta2_);
+    const float d2 = d * d;
+    const float sign = (v > d2) ? 1.0f : ((v < d2) ? -1.0f : 0.0f);
+    return v - (1.0f - b2) * d2 * sign;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ServerOpt> make_server_opt(ServerOptKind kind,
+                                           const FedHyperParams& hps) {
+  switch (kind) {
+    case ServerOptKind::kFedAvg: return std::make_unique<FedAvg>(hps);
+    case ServerOptKind::kFedAdam: return std::make_unique<FedAdam>(hps);
+    case ServerOptKind::kFedAdagrad: return std::make_unique<FedAdagrad>(hps);
+    case ServerOptKind::kFedYogi: return std::make_unique<FedYogi>(hps);
+  }
+  FEDTUNE_CHECK_MSG(false, "unknown server optimizer");
+  return nullptr;
+}
+
+}  // namespace fedtune::fl

@@ -1,0 +1,44 @@
+// Server-side federated optimizers (Reddi et al., 2020).
+//
+// Each round the trainer computes the aggregated pseudo-gradient
+// delta = sum_k p_k (w_k - w) / sum_k p_k over the sampled clients; the
+// server optimizer turns it into a global-model update. FedAdam is the
+// paper's optimizer; FedAvg (sgd-style), FedAdagrad and FedYogi are provided
+// for the ablation bench (DESIGN.md §6).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fl/hyperparams.hpp"
+
+namespace fedtune::fl {
+
+enum class ServerOptKind { kFedAvg, kFedAdam, kFedAdagrad, kFedYogi };
+
+std::string server_opt_name(ServerOptKind kind);
+
+class ServerOpt {
+ public:
+  virtual ~ServerOpt() = default;
+
+  // params += f(delta), where delta is the aggregated pseudo-gradient.
+  virtual void apply(std::span<float> params, std::span<const float> delta) = 0;
+
+  // Opaque state snapshot for Successive-Halving checkpoint/resume.
+  struct State {
+    std::vector<float> m, v;
+    std::size_t rounds = 0;
+    double current_lr = 0.0;
+  };
+  virtual State save_state() const = 0;
+  virtual void load_state(const State& s) = 0;
+};
+
+// Factory from the tuned hyperparameters.
+std::unique_ptr<ServerOpt> make_server_opt(ServerOptKind kind,
+                                           const FedHyperParams& hps);
+
+}  // namespace fedtune::fl

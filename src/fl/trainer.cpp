@@ -1,0 +1,109 @@
+#include "fl/trainer.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "opt/optimizer.hpp"
+#include "sampling/client_sampler.hpp"
+
+namespace fedtune::fl {
+
+FedTrainer::FedTrainer(const data::FederatedDataset& dataset,
+                       const nn::Model& architecture, const FedHyperParams& hps,
+                       const TrainerConfig& cfg, Rng rng)
+    : dataset_(&dataset), hps_(hps), cfg_(cfg), rng_(rng),
+      model_(architecture.clone_architecture()),
+      server_opt_(make_server_opt(cfg.server_opt, hps)) {
+  FEDTUNE_CHECK(!dataset.train_clients.empty());
+  FEDTUNE_CHECK(cfg.clients_per_round > 0);
+  FEDTUNE_CHECK_MSG(cfg.clients_per_round <= dataset.train_clients.size(),
+                    "clients_per_round exceeds training pool");
+  FEDTUNE_CHECK(hps.batch_size > 0 && hps.local_epochs > 0);
+  Rng init_rng = rng_.split(0xfeed);
+  model_->init(init_rng);
+  global_params_.assign(model_->params().begin(), model_->params().end());
+  delta_accum_.assign(global_params_.size(), 0.0f);
+}
+
+void FedTrainer::train_client_locally(const data::ClientData& client) {
+  const std::size_t n = client.num_examples();
+  opt::SgdConfig sgd_cfg;
+  sgd_cfg.lr = hps_.client_lr;
+  sgd_cfg.momentum = hps_.client_momentum;
+  sgd_cfg.weight_decay = hps_.client_weight_decay;
+  opt::Sgd sgd(sgd_cfg);
+
+  const std::size_t batch = std::min(hps_.batch_size, n);
+  for (std::size_t epoch = 0; epoch < hps_.local_epochs; ++epoch) {
+    std::vector<std::size_t> order = rng_.permutation(n);
+    for (std::size_t start = 0; start < n; start += batch) {
+      const std::size_t end = std::min(n, start + batch);
+      std::span<const std::size_t> idx(order.data() + start, end - start);
+      model_->zero_grad();
+      model_->forward_backward(client, idx);
+      sgd.step(model_->params(), model_->grads());
+    }
+  }
+}
+
+void FedTrainer::run_round() {
+  const auto& clients = dataset_->train_clients;
+  const std::vector<std::size_t> sampled = sampling::sample_uniform(
+      clients.size(), cfg_.clients_per_round, rng_);
+
+  std::fill(delta_accum_.begin(), delta_accum_.end(), 0.0f);
+  double weight_total = 0.0;
+  for (std::size_t k : sampled) {
+    const data::ClientData& client = clients[k];
+    if (client.num_examples() == 0) continue;
+    const double w = cfg_.weighted_aggregation
+                         ? static_cast<double>(client.num_examples())
+                         : 1.0;
+    // Start from the global model.
+    std::copy(global_params_.begin(), global_params_.end(),
+              model_->params().begin());
+    train_client_locally(client);
+    // delta_accum += w * (local - global)
+    const auto local = model_->params();
+    const auto wf = static_cast<float>(w);
+    for (std::size_t i = 0; i < global_params_.size(); ++i) {
+      delta_accum_[i] += wf * (local[i] - global_params_[i]);
+    }
+    weight_total += w;
+  }
+
+  if (weight_total > 0.0) {
+    const auto inv = static_cast<float>(1.0 / weight_total);
+    for (float& d : delta_accum_) d *= inv;
+    server_opt_->apply(global_params_, delta_accum_);
+  }
+  // Leave the model holding the new global parameters for evaluation.
+  std::copy(global_params_.begin(), global_params_.end(),
+            model_->params().begin());
+  ++rounds_;
+}
+
+void FedTrainer::run_rounds(std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) run_round();
+}
+
+Checkpoint FedTrainer::checkpoint() const {
+  Checkpoint ckpt;
+  ckpt.params = global_params_;
+  ckpt.server_state = server_opt_->save_state();
+  ckpt.rounds = rounds_;
+  ckpt.rng = rng_;
+  return ckpt;
+}
+
+void FedTrainer::restore(const Checkpoint& ckpt) {
+  FEDTUNE_CHECK(ckpt.params.size() == global_params_.size());
+  global_params_ = ckpt.params;
+  server_opt_->load_state(ckpt.server_state);
+  rounds_ = ckpt.rounds;
+  rng_ = ckpt.rng;
+  std::copy(global_params_.begin(), global_params_.end(),
+            model_->params().begin());
+}
+
+}  // namespace fedtune::fl

@@ -1,0 +1,73 @@
+// Federated training loop — Algorithm 2 of the paper.
+//
+// Each round: sample clients_per_round training clients uniformly without
+// replacement, run ClientOPT (local SGD with the tuned lr/momentum/batch
+// size) from the current global model on each, aggregate the weighted
+// parameter deltas, and apply ServerOPT (FedAdam by default).
+//
+// The trainer owns the global parameter vector and a scratch model used for
+// local training, so each FedTrainer instance is independent and
+// thread-compatible (one per HP configuration / thread).
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "data/client_data.hpp"
+#include "fl/hyperparams.hpp"
+#include "fl/server_opt.hpp"
+#include "nn/model.hpp"
+
+namespace fedtune::fl {
+
+struct TrainerConfig {
+  std::size_t clients_per_round = 10;  // paper: 10 on all datasets
+  bool weighted_aggregation = true;    // p_k = client example count vs 1
+  ServerOptKind server_opt = ServerOptKind::kFedAdam;
+};
+
+// Snapshot sufficient to resume training deterministically (Successive
+// Halving promotes configurations by continuing their checkpoints).
+struct Checkpoint {
+  std::vector<float> params;
+  ServerOpt::State server_state;
+  std::size_t rounds = 0;
+  Rng rng{0};
+};
+
+class FedTrainer {
+ public:
+  // `dataset` must outlive the trainer. The model architecture is cloned
+  // from `architecture`; parameters are initialized from `rng`.
+  FedTrainer(const data::FederatedDataset& dataset, const nn::Model& architecture,
+             const FedHyperParams& hps, const TrainerConfig& cfg, Rng rng);
+
+  // Runs one communication round.
+  void run_round();
+  void run_rounds(std::size_t n);
+
+  std::size_t rounds_done() const { return rounds_; }
+  const FedHyperParams& hyperparams() const { return hps_; }
+
+  // The current global model (parameters are kept in sync after each round).
+  const nn::Model& model() const { return *model_; }
+  nn::Model& model() { return *model_; }
+
+  Checkpoint checkpoint() const;
+  void restore(const Checkpoint& ckpt);
+
+ private:
+  void train_client_locally(const data::ClientData& client);
+
+  const data::FederatedDataset* dataset_;
+  FedHyperParams hps_;
+  TrainerConfig cfg_;
+  Rng rng_;
+  std::unique_ptr<nn::Model> model_;   // holds global params between rounds
+  std::unique_ptr<ServerOpt> server_opt_;
+  std::vector<float> global_params_;
+  std::vector<float> delta_accum_;
+  std::size_t rounds_ = 0;
+};
+
+}  // namespace fedtune::fl

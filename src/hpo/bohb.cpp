@@ -1,0 +1,67 @@
+#include "hpo/bohb.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace fedtune::hpo {
+
+Bohb::Bohb(SearchSpace space, BohbOptions opts, Rng rng)
+    : space_(std::move(space)), opts_(opts) {
+  if (opts_.min_observations == 0) {
+    // Needs enough points that the gamma-split produces a meaningful *bad*
+    // group too — with very few observations (e.g. only bracket winners) both
+    // KDE groups sit on good configs and the l/g ratio points away from the
+    // optimum.
+    opts_.min_observations = std::max<std::size_t>(space_.num_dims() + 3, 8);
+  }
+  hb_ = std::make_unique<Hyperband>(space_, opts_.hyperband, rng);
+  hb_->set_provider([this](Rng& r) { return propose(r); });
+}
+
+void Bohb::set_candidate_pool(CandidatePool pool) {
+  FEDTUNE_CHECK(!pool.configs.empty());
+  pool_ = std::move(pool);
+}
+
+void Bohb::set_selector(TopKSelector selector) {
+  Tuner::set_selector(selector);
+  hb_->set_selector(std::move(selector));
+}
+
+const TpeDensityModel* Bohb::model_for_proposal() const {
+  // Highest fidelity with enough observations.
+  for (auto it = models_.rbegin(); it != models_.rend(); ++it) {
+    if (it->second.num_observations() >= opts_.min_observations &&
+        it->second.ready()) {
+      return &it->second;
+    }
+  }
+  return nullptr;
+}
+
+ConfigProposal Bohb::propose(Rng& rng) {
+  ConfigProposal p;
+  const TpeDensityModel* model = model_for_proposal();
+  if (pool_.has_value()) {
+    if (model != nullptr) {
+      p.config_index = model->propose_pool_index(rng, pool_->configs);
+    } else {
+      p.config_index = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(pool_->configs.size()) - 1));
+    }
+    p.config = pool_->configs[p.config_index];
+  } else {
+    p.config = (model != nullptr) ? model->propose(rng) : space_.sample(rng);
+  }
+  return p;
+}
+
+void Bohb::tell(const Trial& trial, double objective) {
+  hb_->tell(trial, objective);
+  auto [it, inserted] =
+      models_.try_emplace(trial.target_rounds, space_, opts_.tpe);
+  it->second.add_observation(trial.config, objective);
+}
+
+}  // namespace fedtune::hpo

@@ -1,0 +1,58 @@
+// BOHB (Falkner et al., 2018): Hyperband whose fresh configurations come
+// from a TPE density model instead of random sampling. Following the BOHB
+// paper we keep one model per fidelity and propose from the highest fidelity
+// that has accumulated enough observations, falling back to random draws
+// until then.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "hpo/hyperband.hpp"
+#include "hpo/tpe.hpp"
+
+namespace fedtune::hpo {
+
+struct BohbOptions {
+  HyperbandOptions hyperband;
+  TpeOptions tpe;
+  // Per-fidelity model threshold; 0 = auto (search dims + 3, following the
+  // BOHB paper's |D_b| >= n_min + 2 with n_min = d + 1).
+  std::size_t min_observations = 0;
+};
+
+class Bohb final : public Tuner {
+ public:
+  Bohb(SearchSpace space, BohbOptions opts, Rng rng);
+
+  Bohb(const Bohb&) = delete;             // provider captures `this`
+  Bohb& operator=(const Bohb&) = delete;
+
+  void set_candidate_pool(CandidatePool pool);
+  void set_selector(TopKSelector selector) override;
+
+  std::optional<Trial> ask() override { return hb_->ask(); }
+  void tell(const Trial& trial, double objective) override;
+  bool done() const override { return hb_->done(); }
+  Trial best_trial() const override { return hb_->best_trial(); }
+  std::size_t planned_evaluations() const override {
+    return hb_->planned_evaluations();
+  }
+  std::size_t planned_selection_events() const override {
+    return hb_->planned_selection_events();
+  }
+
+ private:
+  ConfigProposal propose(Rng& rng);
+  const TpeDensityModel* model_for_proposal() const;
+
+  SearchSpace space_;
+  BohbOptions opts_;
+  std::optional<CandidatePool> pool_;
+  std::unique_ptr<Hyperband> hb_;
+  // fidelity (rounds) -> density model over configs evaluated there.
+  std::map<std::size_t, TpeDensityModel> models_;
+};
+
+}  // namespace fedtune::hpo

@@ -1,0 +1,78 @@
+#include "hpo/grid_search.hpp"
+
+#include "common/check.hpp"
+
+namespace fedtune::hpo {
+
+GridSearch::GridSearch(SearchSpace space, std::size_t points_per_dim,
+                       std::size_t rounds_per_config, std::size_t max_configs,
+                       Rng rng)
+    : space_(std::move(space)), rounds_per_config_(rounds_per_config) {
+  FEDTUNE_CHECK(points_per_dim >= 1 && rounds_per_config > 0 && max_configs > 0);
+  const std::size_t dims = space_.num_dims();
+  FEDTUNE_CHECK(dims > 0);
+
+  // Per-dim levels in the unit encoding: centers of equal bins for
+  // continuous dims, every category (capped) for choice dims.
+  std::vector<std::vector<double>> levels(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    const ParamSpec& spec = space_.dim_spec(d);
+    if (spec.kind == ParamSpec::Kind::kChoice) {
+      const std::size_t n = std::min(points_per_dim, spec.choices.size());
+      for (std::size_t i = 0; i < n; ++i) levels[d].push_back(static_cast<double>(i));
+    } else {
+      for (std::size_t i = 0; i < points_per_dim; ++i) {
+        levels[d].push_back((static_cast<double>(i) + 0.5) /
+                            static_cast<double>(points_per_dim));
+      }
+    }
+  }
+
+  std::size_t total = 1;
+  for (const auto& l : levels) {
+    FEDTUNE_CHECK(total < (std::size_t{1} << 40) / l.size());
+    total *= l.size();
+  }
+
+  // Enumerate in shuffled order so truncation keeps coverage even.
+  std::vector<std::size_t> order = rng.permutation(total);
+  const std::size_t take = std::min(total, max_configs);
+  grid_.reserve(take);
+  std::vector<double> encoded(dims);
+  for (std::size_t g = 0; g < take; ++g) {
+    std::size_t rem = order[g];
+    for (std::size_t d = 0; d < dims; ++d) {
+      encoded[d] = levels[d][rem % levels[d].size()];
+      rem /= levels[d].size();
+    }
+    grid_.push_back(space_.decode(encoded));
+  }
+}
+
+std::optional<Trial> GridSearch::ask() {
+  if (issued_ >= grid_.size()) return std::nullopt;
+  Trial t;
+  t.id = static_cast<int>(issued_);
+  t.config = grid_[issued_];
+  t.target_rounds = rounds_per_config_;
+  ++issued_;
+  return t;
+}
+
+void GridSearch::tell(const Trial& trial, double objective) {
+  history_.emplace_back(trial, objective);
+}
+
+bool GridSearch::done() const {
+  return issued_ >= grid_.size() && history_.size() >= grid_.size();
+}
+
+Trial GridSearch::best_trial() const {
+  FEDTUNE_CHECK_MSG(!history_.empty(), "no completed trials");
+  std::vector<double> accuracies;
+  accuracies.reserve(history_.size());
+  for (const auto& [trial, obj] : history_) accuracies.push_back(1.0 - obj);
+  return history_[selector_(accuracies, 1).front()].first;
+}
+
+}  // namespace fedtune::hpo

@@ -1,0 +1,32 @@
+// Grid search (§2.3): discretizes each searchable dimension into
+// `points_per_dim` levels and enumerates the Cartesian product (capped at
+// max_configs, enumerated in a deterministic shuffled order so a truncated
+// grid still covers the space evenly).
+#pragma once
+
+#include <optional>
+
+#include "hpo/tuner.hpp"
+
+namespace fedtune::hpo {
+
+class GridSearch final : public Tuner {
+ public:
+  GridSearch(SearchSpace space, std::size_t points_per_dim,
+             std::size_t rounds_per_config, std::size_t max_configs, Rng rng);
+
+  std::optional<Trial> ask() override;
+  void tell(const Trial& trial, double objective) override;
+  bool done() const override;
+  Trial best_trial() const override;
+  std::size_t planned_evaluations() const override { return grid_.size(); }
+
+ private:
+  SearchSpace space_;
+  std::size_t rounds_per_config_;
+  std::vector<Config> grid_;
+  std::size_t issued_ = 0;
+  std::vector<std::pair<Trial, double>> history_;
+};
+
+}  // namespace fedtune::hpo

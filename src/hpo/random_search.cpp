@@ -1,0 +1,54 @@
+#include "hpo/random_search.hpp"
+
+#include "common/check.hpp"
+
+namespace fedtune::hpo {
+
+RandomSearch::RandomSearch(SearchSpace space, std::size_t num_configs,
+                           std::size_t rounds_per_config, Rng rng)
+    : space_(std::move(space)), num_configs_(num_configs),
+      rounds_per_config_(rounds_per_config), rng_(rng) {
+  FEDTUNE_CHECK(num_configs > 0 && rounds_per_config > 0);
+}
+
+void RandomSearch::set_candidate_pool(CandidatePool pool) {
+  FEDTUNE_CHECK(!pool.configs.empty());
+  pool_ = std::move(pool);
+}
+
+std::optional<Trial> RandomSearch::ask() {
+  if (issued_ >= num_configs_) return std::nullopt;
+  Trial t;
+  t.id = static_cast<int>(issued_);
+  t.target_rounds = rounds_per_config_;
+  if (pool_.has_value()) {
+    const auto idx = static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(pool_->configs.size()) - 1));
+    t.config = pool_->configs[idx];
+    t.config_index = idx;
+  } else {
+    t.config = space_.sample(rng_);
+  }
+  ++issued_;
+  return t;
+}
+
+void RandomSearch::tell(const Trial& trial, double objective) {
+  history_.emplace_back(trial, objective);
+}
+
+bool RandomSearch::done() const {
+  return issued_ >= num_configs_ && history_.size() >= num_configs_;
+}
+
+Trial RandomSearch::best_trial() const {
+  FEDTUNE_CHECK_MSG(!history_.empty(), "no completed trials");
+  // Selection = top-1 by accuracy through the (possibly private) selector.
+  std::vector<double> accuracies;
+  accuracies.reserve(history_.size());
+  for (const auto& [trial, obj] : history_) accuracies.push_back(1.0 - obj);
+  const std::vector<std::size_t> top = selector_(accuracies, 1);
+  return history_[top.front()].first;
+}
+
+}  // namespace fedtune::hpo

@@ -1,0 +1,41 @@
+// Random search (Algorithm 1/2 of the paper): K iid configurations, each
+// trained for a fixed number of rounds, best noisy evaluation wins.
+#pragma once
+
+#include <optional>
+
+#include "hpo/tuner.hpp"
+
+namespace fedtune::hpo {
+
+class RandomSearch final : public Tuner {
+ public:
+  RandomSearch(SearchSpace space, std::size_t num_configs,
+               std::size_t rounds_per_config, Rng rng);
+
+  // Draw configurations from a finite pool (with replacement — the paper's
+  // bootstrap protocol) instead of the continuous space.
+  void set_candidate_pool(CandidatePool pool);
+
+  std::optional<Trial> ask() override;
+  void tell(const Trial& trial, double objective) override;
+  bool done() const override;
+  Trial best_trial() const override;
+  std::size_t planned_evaluations() const override { return num_configs_; }
+
+  // All completed (trial, objective) pairs in completion order.
+  const std::vector<std::pair<Trial, double>>& history() const {
+    return history_;
+  }
+
+ private:
+  SearchSpace space_;
+  std::size_t num_configs_;
+  std::size_t rounds_per_config_;
+  Rng rng_;
+  std::optional<CandidatePool> pool_;
+  std::size_t issued_ = 0;
+  std::vector<std::pair<Trial, double>> history_;
+};
+
+}  // namespace fedtune::hpo

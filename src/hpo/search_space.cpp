@@ -1,0 +1,176 @@
+#include "hpo/search_space.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace fedtune::hpo {
+
+SearchSpace& SearchSpace::add_uniform(const std::string& name, double lo,
+                                      double hi) {
+  FEDTUNE_CHECK(lo < hi);
+  specs_.push_back({name, ParamSpec::Kind::kUniform, lo, hi, {}, 0.0});
+  return *this;
+}
+
+SearchSpace& SearchSpace::add_log_uniform(const std::string& name, double lo,
+                                          double hi) {
+  FEDTUNE_CHECK(0.0 < lo && lo < hi);
+  specs_.push_back({name, ParamSpec::Kind::kLogUniform, lo, hi, {}, 0.0});
+  return *this;
+}
+
+SearchSpace& SearchSpace::add_choice(const std::string& name,
+                                     std::vector<double> choices) {
+  FEDTUNE_CHECK(!choices.empty());
+  specs_.push_back(
+      {name, ParamSpec::Kind::kChoice, 0.0, 0.0, std::move(choices), 0.0});
+  return *this;
+}
+
+SearchSpace& SearchSpace::add_fixed(const std::string& name, double value) {
+  specs_.push_back({name, ParamSpec::Kind::kFixed, 0.0, 0.0, {}, value});
+  return *this;
+}
+
+std::size_t SearchSpace::num_dims() const {
+  std::size_t n = 0;
+  for (const auto& s : specs_) {
+    if (s.kind != ParamSpec::Kind::kFixed) ++n;
+  }
+  return n;
+}
+
+const ParamSpec& SearchSpace::dim_spec(std::size_t dim) const {
+  std::size_t n = 0;
+  for (const auto& s : specs_) {
+    if (s.kind == ParamSpec::Kind::kFixed) continue;
+    if (n == dim) return s;
+    ++n;
+  }
+  FEDTUNE_CHECK_MSG(false, "dim " << dim << " out of range");
+  return specs_.front();
+}
+
+Config SearchSpace::sample(Rng& rng) const {
+  FEDTUNE_CHECK(!specs_.empty());
+  Config c;
+  for (const auto& s : specs_) {
+    switch (s.kind) {
+      case ParamSpec::Kind::kUniform:
+        c[s.name] = rng.uniform(s.lo, s.hi);
+        break;
+      case ParamSpec::Kind::kLogUniform:
+        c[s.name] = std::pow(
+            10.0, rng.uniform(std::log10(s.lo), std::log10(s.hi)));
+        break;
+      case ParamSpec::Kind::kChoice:
+        c[s.name] = s.choices[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(s.choices.size()) - 1))];
+        break;
+      case ParamSpec::Kind::kFixed:
+        c[s.name] = s.fixed_value;
+        break;
+    }
+  }
+  return c;
+}
+
+std::vector<double> SearchSpace::encode(const Config& config) const {
+  std::vector<double> out;
+  out.reserve(num_dims());
+  for (const auto& s : specs_) {
+    if (s.kind == ParamSpec::Kind::kFixed) continue;
+    const auto it = config.find(s.name);
+    FEDTUNE_CHECK_MSG(it != config.end(), "config missing param " << s.name);
+    const double v = it->second;
+    switch (s.kind) {
+      case ParamSpec::Kind::kUniform:
+        out.push_back((v - s.lo) / (s.hi - s.lo));
+        break;
+      case ParamSpec::Kind::kLogUniform:
+        out.push_back((std::log10(v) - std::log10(s.lo)) /
+                      (std::log10(s.hi) - std::log10(s.lo)));
+        break;
+      case ParamSpec::Kind::kChoice: {
+        // Encode the index of the nearest choice.
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < s.choices.size(); ++i) {
+          if (std::abs(s.choices[i] - v) < std::abs(s.choices[best] - v)) {
+            best = i;
+          }
+        }
+        out.push_back(static_cast<double>(best));
+        break;
+      }
+      case ParamSpec::Kind::kFixed:
+        break;
+    }
+  }
+  return out;
+}
+
+Config SearchSpace::decode(const std::vector<double>& encoded) const {
+  FEDTUNE_CHECK(encoded.size() == num_dims());
+  Config c;
+  std::size_t d = 0;
+  for (const auto& s : specs_) {
+    switch (s.kind) {
+      case ParamSpec::Kind::kUniform: {
+        const double u = std::clamp(encoded[d++], 0.0, 1.0);
+        c[s.name] = s.lo + u * (s.hi - s.lo);
+        break;
+      }
+      case ParamSpec::Kind::kLogUniform: {
+        const double u = std::clamp(encoded[d++], 0.0, 1.0);
+        c[s.name] = std::pow(10.0, std::log10(s.lo) +
+                                       u * (std::log10(s.hi) - std::log10(s.lo)));
+        break;
+      }
+      case ParamSpec::Kind::kChoice: {
+        const auto idx = static_cast<std::size_t>(std::clamp<double>(
+            std::round(encoded[d++]), 0.0,
+            static_cast<double>(s.choices.size() - 1)));
+        c[s.name] = s.choices[idx];
+        break;
+      }
+      case ParamSpec::Kind::kFixed:
+        c[s.name] = s.fixed_value;
+        break;
+    }
+  }
+  return c;
+}
+
+Config SearchSpace::project(const Config& config) const {
+  return decode(encode(config));
+}
+
+SearchSpace appendix_b_space(double server_lr_lo, double server_lr_hi) {
+  SearchSpace space;
+  space.add_log_uniform("server_lr", server_lr_lo, server_lr_hi)
+      .add_uniform("beta1", 0.0, 0.9)
+      .add_uniform("beta2", 0.0, 0.999)
+      .add_fixed("server_lr_decay", 0.9999)
+      .add_log_uniform("client_lr", 1e-6, 1.0)
+      .add_uniform("client_momentum", 0.0, 0.9)
+      .add_fixed("client_weight_decay", 5e-5)
+      .add_choice("batch_size", {32.0, 64.0, 128.0})
+      .add_fixed("local_epochs", 1.0);
+  return space;
+}
+
+std::string to_string(const Config& config) {
+  std::ostringstream oss;
+  bool first = true;
+  for (const auto& [name, value] : config) {
+    if (!first) oss << ", ";
+    first = false;
+    oss << name << "=" << value;
+  }
+  return oss.str();
+}
+
+}  // namespace fedtune::hpo

@@ -1,0 +1,67 @@
+// Hyperparameter search space (Appendix B of the paper).
+//
+// A Config maps parameter names to values. The space knows how to sample
+// configs, and how to encode/decode them to the unit hypercube used by the
+// TPE density model (log-uniform dims are encoded in log space, choice dims
+// as category indices).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fedtune::hpo {
+
+using Config = std::map<std::string, double>;
+
+struct ParamSpec {
+  enum class Kind { kUniform, kLogUniform, kChoice, kFixed };
+  std::string name;
+  Kind kind = Kind::kUniform;
+  double lo = 0.0, hi = 1.0;       // uniform / log-uniform bounds (raw scale)
+  std::vector<double> choices;     // choice values
+  double fixed_value = 0.0;
+};
+
+class SearchSpace {
+ public:
+  SearchSpace& add_uniform(const std::string& name, double lo, double hi);
+  SearchSpace& add_log_uniform(const std::string& name, double lo, double hi);
+  SearchSpace& add_choice(const std::string& name, std::vector<double> choices);
+  SearchSpace& add_fixed(const std::string& name, double value);
+
+  const std::vector<ParamSpec>& specs() const { return specs_; }
+  // Number of *searchable* (non-fixed) dimensions.
+  std::size_t num_dims() const;
+
+  Config sample(Rng& rng) const;
+
+  // Unit-hypercube encoding of the searchable dims, in spec order.
+  std::vector<double> encode(const Config& config) const;
+  Config decode(const std::vector<double>& encoded) const;
+
+  // Spec lookup for a searchable dim index (skipping fixed params).
+  const ParamSpec& dim_spec(std::size_t dim) const;
+
+  // Clamp/snap a config onto the space (e.g. after perturbation).
+  Config project(const Config& config) const;
+
+ private:
+  std::vector<ParamSpec> specs_;
+};
+
+// The paper's search space (Appendix B): server FedAdam lr/beta1/beta2 and
+// client SGD lr/momentum/batch size, with the paper's fixed values for
+// everything else. `server_lr_lo/hi` allow the nested-range experiment of
+// Fig. 13 (defaults are the full Appendix-B range).
+SearchSpace appendix_b_space(double server_lr_lo = 1e-6,
+                             double server_lr_hi = 1e-1);
+
+// Translates a sampled Config into hyperparameter names used by fl.
+// (Implemented in core/hp_mapping.cpp to keep hpo independent of fl.)
+
+std::string to_string(const Config& config);
+
+}  // namespace fedtune::hpo

@@ -1,0 +1,247 @@
+#include "hpo/tpe.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace fedtune::hpo {
+
+namespace {
+
+constexpr double kLog2Pi = 1.8378770664093453;
+
+double gaussian_log_pdf(double x, double mu, double sigma) {
+  const double z = (x - mu) / sigma;
+  return -0.5 * (z * z + kLog2Pi) - std::log(sigma);
+}
+
+// Silverman's rule over the group's values in one dim, floored.
+double bandwidth(const std::vector<const std::vector<double>*>& group,
+                 std::size_t dim, double floor_bw) {
+  if (group.size() < 2) return std::max(floor_bw, 0.25);
+  double mean = 0.0;
+  for (const auto* x : group) mean += (*x)[dim];
+  mean /= static_cast<double>(group.size());
+  double var = 0.0;
+  for (const auto* x : group) {
+    var += ((*x)[dim] - mean) * ((*x)[dim] - mean);
+  }
+  var /= static_cast<double>(group.size());
+  const double sd = std::sqrt(var);
+  const double bw =
+      1.06 * sd * std::pow(static_cast<double>(group.size()), -0.2);
+  return std::max(bw, floor_bw);
+}
+
+}  // namespace
+
+TpeDensityModel::TpeDensityModel(const SearchSpace& space, TpeOptions opts)
+    : space_(&space), opts_(opts) {
+  FEDTUNE_CHECK(opts.gamma > 0.0 && opts.gamma < 1.0);
+  FEDTUNE_CHECK(opts.n_candidates > 0);
+}
+
+void TpeDensityModel::add_observation(const Config& config, double objective) {
+  xs_.push_back(space_->encode(config));
+  ys_.push_back(objective);
+}
+
+void TpeDensityModel::clear() {
+  xs_.clear();
+  ys_.clear();
+}
+
+TpeDensityModel::Groups TpeDensityModel::split() const {
+  FEDTUNE_CHECK(ready());
+  const std::size_t n = ys_.size();
+  const auto n_good = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(opts_.gamma * static_cast<double>(n))));
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return ys_[a] < ys_[b]; });
+  Groups g;
+  for (std::size_t i = 0; i < n; ++i) {
+    (i < n_good ? g.good : g.bad).push_back(&xs_[order[i]]);
+  }
+  if (g.bad.empty()) {  // degenerate tiny history: reuse good as bad
+    g.bad = g.good;
+  }
+  return g;
+}
+
+double TpeDensityModel::log_density(
+    const std::vector<double>& encoded,
+    const std::vector<const std::vector<double>*>& group) const {
+  const std::size_t dims = space_->num_dims();
+  FEDTUNE_CHECK(encoded.size() == dims);
+  double total = 0.0;
+  for (std::size_t d = 0; d < dims; ++d) {
+    const ParamSpec& spec = space_->dim_spec(d);
+    if (spec.kind == ParamSpec::Kind::kChoice) {
+      // Smoothed categorical frequency.
+      const std::size_t n_cat = spec.choices.size();
+      std::vector<double> counts(n_cat, opts_.prior_weight / static_cast<double>(n_cat));
+      double total_count = opts_.prior_weight;
+      for (const auto* x : group) {
+        const auto c = static_cast<std::size_t>(std::clamp<double>(
+            std::round((*x)[d]), 0.0, static_cast<double>(n_cat - 1)));
+        counts[c] += 1.0;
+        total_count += 1.0;
+      }
+      const auto c = static_cast<std::size_t>(std::clamp<double>(
+          std::round(encoded[d]), 0.0, static_cast<double>(n_cat - 1)));
+      total += std::log(counts[c] / total_count);
+    } else {
+      // Parzen mixture of Gaussians (untruncated; the shared support of l
+      // and g makes the normalization cancel in the EI ratio).
+      const double bw = bandwidth(group, d, opts_.bandwidth_floor);
+      double acc = -std::numeric_limits<double>::infinity();
+      for (const auto* x : group) {
+        acc = std::max(acc, gaussian_log_pdf(encoded[d], (*x)[d], bw));
+      }
+      // log-sum-exp over kernels (max + correction).
+      double sum = 0.0;
+      for (const auto* x : group) {
+        sum += std::exp(gaussian_log_pdf(encoded[d], (*x)[d], bw) - acc);
+      }
+      total += acc + std::log(sum / static_cast<double>(group.size()));
+    }
+  }
+  return total;
+}
+
+double TpeDensityModel::acquisition(const std::vector<double>& encoded) const {
+  const Groups groups = split();
+  return log_density(encoded, groups.good) - log_density(encoded, groups.bad);
+}
+
+std::vector<double> TpeDensityModel::sample_from_good(Rng& rng) const {
+  const Groups groups = split();
+  const std::size_t dims = space_->num_dims();
+  const auto& anchor =
+      *groups.good[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(groups.good.size()) - 1))];
+  std::vector<double> out(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    const ParamSpec& spec = space_->dim_spec(d);
+    if (spec.kind == ParamSpec::Kind::kChoice) {
+      // Sample a category from the smoothed good histogram.
+      const std::size_t n_cat = spec.choices.size();
+      std::vector<double> counts(n_cat,
+                                 opts_.prior_weight / static_cast<double>(n_cat));
+      for (const auto* x : groups.good) {
+        const auto c = static_cast<std::size_t>(std::clamp<double>(
+            std::round((*x)[d]), 0.0, static_cast<double>(n_cat - 1)));
+        counts[c] += 1.0;
+      }
+      out[d] = static_cast<double>(rng.categorical(counts));
+    } else {
+      const double bw = bandwidth(groups.good, d, opts_.bandwidth_floor);
+      out[d] = std::clamp(anchor[d] + rng.normal(0.0, bw), 0.0, 1.0);
+    }
+  }
+  return out;
+}
+
+Config TpeDensityModel::propose(Rng& rng, const std::vector<Config>* pool) const {
+  FEDTUNE_CHECK(ready());
+  if (pool != nullptr) {
+    return (*pool)[propose_pool_index(rng, *pool)];
+  }
+  std::vector<double> best;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < opts_.n_candidates; ++c) {
+    std::vector<double> cand = sample_from_good(rng);
+    const double score = acquisition(cand);
+    if (score > best_score) {
+      best_score = score;
+      best = std::move(cand);
+    }
+  }
+  return space_->decode(best);
+}
+
+std::size_t TpeDensityModel::propose_pool_index(
+    Rng& rng, const std::vector<Config>& pool) const {
+  FEDTUNE_CHECK(ready());
+  FEDTUNE_CHECK(!pool.empty());
+  // Score a random subset (or all, if small) to bound cost on large pools.
+  std::vector<std::size_t> candidates;
+  if (pool.size() <= 4 * opts_.n_candidates) {
+    candidates.resize(pool.size());
+    std::iota(candidates.begin(), candidates.end(), std::size_t{0});
+  } else {
+    candidates = rng.sample_without_replacement(pool.size(),
+                                                4 * opts_.n_candidates);
+  }
+  std::size_t best = candidates.front();
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (std::size_t i : candidates) {
+    const double score = acquisition(space_->encode(pool[i]));
+    if (score > best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return best;
+}
+
+// -------------------------------------------------------------------- Tpe --
+
+Tpe::Tpe(SearchSpace space, std::size_t num_configs,
+         std::size_t rounds_per_config, TpeOptions opts, Rng rng)
+    : space_(std::move(space)), num_configs_(num_configs),
+      rounds_per_config_(rounds_per_config), opts_(opts), rng_(rng),
+      model_(space_, opts) {
+  FEDTUNE_CHECK(num_configs > 0 && rounds_per_config > 0);
+}
+
+void Tpe::set_candidate_pool(CandidatePool pool) {
+  FEDTUNE_CHECK(!pool.configs.empty());
+  pool_ = std::move(pool);
+}
+
+std::optional<Trial> Tpe::ask() {
+  if (issued_ >= num_configs_) return std::nullopt;
+  Trial t;
+  t.id = static_cast<int>(issued_);
+  t.target_rounds = rounds_per_config_;
+
+  const bool use_model =
+      issued_ >= opts_.n_startup && model_.num_observations() >= 2;
+  if (pool_.has_value()) {
+    if (use_model) {
+      t.config_index = model_.propose_pool_index(rng_, pool_->configs);
+    } else {
+      t.config_index = static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(pool_->configs.size()) - 1));
+    }
+    t.config = pool_->configs[t.config_index];
+  } else {
+    t.config = use_model ? model_.propose(rng_) : space_.sample(rng_);
+  }
+  ++issued_;
+  return t;
+}
+
+void Tpe::tell(const Trial& trial, double objective) {
+  history_.emplace_back(trial, objective);
+  model_.add_observation(trial.config, objective);
+}
+
+bool Tpe::done() const {
+  return issued_ >= num_configs_ && history_.size() >= num_configs_;
+}
+
+Trial Tpe::best_trial() const {
+  FEDTUNE_CHECK_MSG(!history_.empty(), "no completed trials");
+  std::vector<double> accuracies;
+  accuracies.reserve(history_.size());
+  for (const auto& [trial, obj] : history_) accuracies.push_back(1.0 - obj);
+  return history_[selector_(accuracies, 1).front()].first;
+}
+
+}  // namespace fedtune::hpo

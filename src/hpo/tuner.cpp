@@ -1,0 +1,24 @@
+#include "hpo/tuner.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace fedtune::hpo {
+
+TopKSelector exact_top_k_selector() {
+  return [](std::span<const double> accuracies, std::size_t k) {
+    FEDTUNE_CHECK(k <= accuracies.size());
+    std::vector<std::size_t> idx(accuracies.size());
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+                      idx.end(), [&](std::size_t a, std::size_t b) {
+                        return accuracies[a] > accuracies[b];
+                      });
+    idx.resize(k);
+    return idx;
+  };
+}
+
+}  // namespace fedtune::hpo

@@ -1,0 +1,88 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace fedtune::nn {
+
+Linear::Linear(ParamStore& store, std::size_t in, std::size_t out)
+    : store_(&store), in_(in), out_(out) {
+  FEDTUNE_CHECK(in > 0 && out > 0);
+  w_ = {store.allocate(in * out), in * out};
+  b_ = {store.allocate(out), out};
+}
+
+void Linear::init(Rng& rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(in_));
+  auto w = store_->values(w_.offset, w_.size);
+  for (float& v : w) v = static_cast<float>(rng.normal(0.0, stddev));
+  auto b = store_->values(b_.offset, b_.size);
+  std::fill(b.begin(), b.end(), 0.0f);
+}
+
+void Linear::forward(const Matrix& x, Matrix& y) const {
+  FEDTUNE_CHECK(x.cols() == in_);
+  y.resize(x.rows(), out_);
+  ops::gemm_raw(x.data(), store_->value_ptr(w_.offset), y.data(), x.rows(),
+                in_, out_, /*accumulate=*/false);
+  ops::add_row_bias(y, store_->values(b_.offset, b_.size));
+}
+
+void Linear::backward(const Matrix& x, const Matrix& grad_y, Matrix* grad_x) {
+  FEDTUNE_CHECK(x.cols() == in_ && grad_y.cols() == out_);
+  FEDTUNE_CHECK(x.rows() == grad_y.rows());
+  // dW += x^T @ grad_y : (batch,in)^T x (batch,out) -> (in,out)
+  ops::gemm_tn_raw(x.data(), grad_y.data(), store_->grad_ptr(w_.offset),
+                   x.rows(), in_, out_, /*accumulate=*/true);
+  // db += column sums of grad_y
+  ops::col_sums_acc(grad_y, store_->grads(b_.offset, b_.size));
+  if (grad_x != nullptr) {
+    // grad_x = grad_y @ W^T : (batch,out) x (in,out)^T -> (batch,in)
+    grad_x->resize(grad_y.rows(), in_);
+    ops::gemm_nt_raw(grad_y.data(), store_->value_ptr(w_.offset),
+                     grad_x->data(), grad_y.rows(), out_, in_,
+                     /*accumulate=*/false);
+  }
+}
+
+Embedding::Embedding(ParamStore& store, std::size_t vocab, std::size_t dim)
+    : store_(&store), vocab_(vocab), dim_(dim) {
+  FEDTUNE_CHECK(vocab > 0 && dim > 0);
+  table_ = {store.allocate(vocab * dim), vocab * dim};
+}
+
+void Embedding::init(Rng& rng) {
+  auto t = store_->values(table_.offset, table_.size);
+  const float stddev = 0.1f;
+  for (float& v : t) v = static_cast<float>(rng.normal(0.0, stddev));
+}
+
+void Embedding::forward(std::span<const std::int32_t> ids, Matrix& out,
+                        std::size_t col_offset) const {
+  FEDTUNE_CHECK(out.rows() == ids.size());
+  FEDTUNE_CHECK(out.cols() >= col_offset + dim_);
+  const float* table = store_->value_ptr(table_.offset);
+  for (std::size_t r = 0; r < ids.size(); ++r) {
+    const auto id = static_cast<std::size_t>(ids[r]);
+    FEDTUNE_CHECK(id < vocab_);
+    const float* src = table + id * dim_;
+    float* dst = out.data() + r * out.cols() + col_offset;
+    for (std::size_t c = 0; c < dim_; ++c) dst[c] = src[c];
+  }
+}
+
+void Embedding::backward(std::span<const std::int32_t> ids,
+                         const Matrix& grad_out, std::size_t col_offset) {
+  FEDTUNE_CHECK(grad_out.rows() == ids.size());
+  FEDTUNE_CHECK(grad_out.cols() >= col_offset + dim_);
+  float* gtable = store_->grad_ptr(table_.offset);
+  for (std::size_t r = 0; r < ids.size(); ++r) {
+    const auto id = static_cast<std::size_t>(ids[r]);
+    const float* src = grad_out.data() + r * grad_out.cols() + col_offset;
+    float* dst = gtable + id * dim_;
+    for (std::size_t c = 0; c < dim_; ++c) dst[c] += src[c];
+  }
+}
+
+}  // namespace fedtune::nn

@@ -1,0 +1,67 @@
+// Reusable layers over a shared ParamStore: Linear and Embedding.
+//
+// Layers are stateless between calls except for parameters; forward caches
+// nothing — callers keep the activations they need for backward. This keeps
+// layers thread-compatible (one model instance per thread).
+#pragma once
+
+#include <span>
+
+#include "nn/param_store.hpp"
+#include "tensor/matrix.hpp"
+
+namespace fedtune::nn {
+
+class Linear {
+ public:
+  // Allocates weight (in,out) and bias (out) in `store`.
+  Linear(ParamStore& store, std::size_t in, std::size_t out);
+
+  std::size_t in_dim() const { return in_; }
+  std::size_t out_dim() const { return out_; }
+
+  // He/Glorot-style init: N(0, sqrt(2/in)) weights, zero bias.
+  void init(Rng& rng);
+
+  // y = x @ W + b. x: (batch, in) -> y: (batch, out).
+  void forward(const Matrix& x, Matrix& y) const;
+
+  // Given cached input x and upstream grad_y, accumulates dW, db and writes
+  // grad_x (unless grad_x == nullptr, e.g. first layer).
+  void backward(const Matrix& x, const Matrix& grad_y, Matrix* grad_x);
+
+ private:
+  ParamStore* store_;
+  ParamBlock w_;  // (in, out) row-major
+  ParamBlock b_;  // (out)
+  std::size_t in_;
+  std::size_t out_;
+};
+
+class Embedding {
+ public:
+  // Allocates a (vocab, dim) table in `store`.
+  Embedding(ParamStore& store, std::size_t vocab, std::size_t dim);
+
+  std::size_t vocab() const { return vocab_; }
+  std::size_t dim() const { return dim_; }
+
+  void init(Rng& rng);
+
+  // Writes table rows for `ids` into out[:, col_offset:col_offset+dim].
+  // out must already be sized (ids.size(), >= col_offset + dim).
+  void forward(std::span<const std::int32_t> ids, Matrix& out,
+               std::size_t col_offset = 0) const;
+
+  // Accumulates grad_out[:, col_offset:...] into the table gradient rows.
+  void backward(std::span<const std::int32_t> ids, const Matrix& grad_out,
+                std::size_t col_offset = 0);
+
+ private:
+  ParamStore* store_;
+  ParamBlock table_;
+  std::size_t vocab_;
+  std::size_t dim_;
+};
+
+}  // namespace fedtune::nn

@@ -1,0 +1,50 @@
+// Single-layer LSTM with full backpropagation through time.
+//
+// Parameters: Wx (input, 4H), Wh (H, 4H), b (4H), gate order [i | f | g | o].
+// forward() fills a Cache that backward() consumes; the caller owns both the
+// input sequence and the cache, so one Lstm instance is thread-compatible
+// when each thread uses its own cache.
+#pragma once
+
+#include <vector>
+
+#include "nn/param_store.hpp"
+#include "tensor/matrix.hpp"
+
+namespace fedtune::nn {
+
+class Lstm {
+ public:
+  Lstm(ParamStore& store, std::size_t input_dim, std::size_t hidden_dim);
+
+  std::size_t input_dim() const { return input_; }
+  std::size_t hidden_dim() const { return hidden_; }
+
+  void init(Rng& rng);
+
+  struct Cache {
+    // Per time step t: gates and states, each (batch, H).
+    std::vector<Matrix> i, f, g, o, c, tanh_c, h;
+    // Inputs are kept by pointer into the caller's sequence.
+    const std::vector<Matrix>* x = nullptr;
+  };
+
+  // x_seq: T matrices of shape (batch, input). Initial h/c are zero.
+  void forward(const std::vector<Matrix>& x_seq, Cache& cache) const;
+
+  // grad_h_seq[t] = dL/dh_t (external contribution, e.g. from the output
+  // head). Accumulates parameter gradients; if grad_x_seq != nullptr, writes
+  // dL/dx_t for each step (resized as needed).
+  void backward(const Cache& cache, const std::vector<Matrix>& grad_h_seq,
+                std::vector<Matrix>* grad_x_seq);
+
+ private:
+  ParamStore* store_;
+  ParamBlock wx_;  // (input, 4H)
+  ParamBlock wh_;  // (H, 4H)
+  ParamBlock b_;   // (4H)
+  std::size_t input_;
+  std::size_t hidden_;
+};
+
+}  // namespace fedtune::nn

@@ -1,0 +1,94 @@
+#include "nn/mlp.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace fedtune::nn {
+
+MlpClassifier::MlpClassifier(std::size_t input_dim,
+                             std::vector<std::size_t> hidden,
+                             std::size_t num_classes)
+    : input_dim_(input_dim), hidden_(std::move(hidden)),
+      num_classes_(num_classes) {
+  FEDTUNE_CHECK(input_dim > 0 && num_classes >= 2);
+  std::size_t prev = input_dim_;
+  for (std::size_t h : hidden_) {
+    FEDTUNE_CHECK(h > 0);
+    layers_.emplace_back(store_, prev, h);
+    prev = h;
+  }
+  layers_.emplace_back(store_, prev, num_classes_);
+  acts_.resize(layers_.size());
+}
+
+void MlpClassifier::init(Rng& rng) {
+  for (Linear& l : layers_) l.init(rng);
+}
+
+std::unique_ptr<Model> MlpClassifier::clone_architecture() const {
+  return std::make_unique<MlpClassifier>(input_dim_, hidden_, num_classes_);
+}
+
+void MlpClassifier::forward_cached(const Matrix& x) const {
+  const Matrix* cur = &x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    Matrix pre;
+    layers_[i].forward(*cur, pre);
+    if (i + 1 < layers_.size()) {
+      ops::relu(pre, acts_[i]);
+    } else {
+      acts_[i] = std::move(pre);  // logits: no activation
+    }
+    cur = &acts_[i];
+  }
+}
+
+double MlpClassifier::forward_backward(const data::ClientData& client,
+                                       std::span<const std::size_t> idx) {
+  FEDTUNE_CHECK(!idx.empty());
+  FEDTUNE_CHECK(client.features.cols() == input_dim_);
+
+  // Gather the minibatch.
+  const std::size_t batch = idx.size();
+  batch_x_.resize(batch, input_dim_);
+  std::vector<std::int32_t> labels(batch);
+  for (std::size_t r = 0; r < batch; ++r) {
+    FEDTUNE_CHECK(idx[r] < client.num_examples());
+    const auto src = client.features.row(idx[r]);
+    std::copy(src.begin(), src.end(), batch_x_.row(r).begin());
+    labels[r] = client.labels[idx[r]];
+  }
+
+  forward_cached(batch_x_);
+  const double loss =
+      ops::softmax_cross_entropy(acts_.back(), labels, grad_logits_);
+
+  // Backward through the stack. grad_cur holds dL/d(output of layer i);
+  // the two scratch buffers alternate so a gemm never reads and writes the
+  // same matrix.
+  Matrix* grad_cur = &grad_logits_;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    const Matrix& input = (i == 0) ? batch_x_ : acts_[i - 1];
+    if (i == 0) {
+      layers_[i].backward(input, *grad_cur, nullptr);
+      break;
+    }
+    Matrix& grad_post = (grad_cur == &grad_tmp_a_) ? grad_tmp_b_ : grad_tmp_a_;
+    layers_[i].backward(input, *grad_cur, &grad_post);
+    Matrix& grad_pre = (&grad_post == &grad_tmp_a_) ? grad_tmp_b_ : grad_tmp_a_;
+    ops::relu_backward(acts_[i - 1], grad_post, grad_pre);
+    grad_cur = &grad_pre;
+  }
+  return loss;
+}
+
+std::pair<std::size_t, std::size_t> MlpClassifier::errors(
+    const data::ClientData& client) const {
+  const std::size_t n = client.num_examples();
+  if (n == 0) return {0, 0};
+  FEDTUNE_CHECK(client.features.cols() == input_dim_);
+  forward_cached(client.features);
+  const std::size_t wrong = ops::count_errors(acts_.back(), client.labels);
+  return {wrong, n};
+}
+
+}  // namespace fedtune::nn

@@ -1,0 +1,50 @@
+// MLP classifier — the image-task model (stands in for the paper's 2-layer
+// CNN on CIFAR10/FEMNIST; see DESIGN.md substitution table).
+#pragma once
+
+#include <vector>
+
+#include "nn/layers.hpp"
+#include "nn/model.hpp"
+#include "nn/param_store.hpp"
+
+namespace fedtune::nn {
+
+class MlpClassifier final : public Model {
+ public:
+  // hidden may be empty (multinomial logistic regression).
+  MlpClassifier(std::size_t input_dim, std::vector<std::size_t> hidden,
+                std::size_t num_classes);
+
+  std::size_t num_params() const override { return store_.size(); }
+  std::span<float> params() override { return store_.values(); }
+  std::span<const float> params() const override { return store_.values(); }
+  std::span<float> grads() override { return store_.grads(); }
+  void zero_grad() override { store_.zero_grad(); }
+  void init(Rng& rng) override;
+
+  double forward_backward(const data::ClientData& client,
+                          std::span<const std::size_t> idx) override;
+  std::pair<std::size_t, std::size_t> errors(
+      const data::ClientData& client) const override;
+  std::unique_ptr<Model> clone_architecture() const override;
+
+ private:
+  // Runs the forward pass on X, filling per-layer pre-activation outputs and
+  // activations; returns logits in acts_.back().
+  void forward_cached(const Matrix& x) const;
+
+  std::size_t input_dim_;
+  std::vector<std::size_t> hidden_;
+  std::size_t num_classes_;
+  ParamStore store_;
+  std::vector<Linear> layers_;
+
+  // Scratch (mutable: reused across calls, one model per thread).
+  mutable std::vector<Matrix> acts_;  // acts_[i] = output of layer i (post-ReLU)
+  mutable Matrix batch_x_;
+  mutable Matrix grad_logits_;
+  mutable Matrix grad_tmp_a_, grad_tmp_b_;
+};
+
+}  // namespace fedtune::nn

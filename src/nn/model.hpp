@@ -1,0 +1,58 @@
+// Model interface used by the federated training loop.
+//
+// A Model owns its ParamStore; the optimizer and server aggregation code see
+// only flat spans. forward_backward() accumulates gradients (callers
+// zero_grad() between minibatches); errors() evaluates prediction error for
+// federated evaluation (Eq. 2 of the paper).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "data/client_data.hpp"
+
+namespace fedtune::nn {
+
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  virtual std::size_t num_params() const = 0;
+  virtual std::span<float> params() = 0;
+  virtual std::span<const float> params() const = 0;
+  virtual std::span<float> grads() = 0;
+  virtual void zero_grad() = 0;
+
+  // Random (re-)initialization of all parameters.
+  virtual void init(Rng& rng) = 0;
+
+  // Mean loss over the examples of `client` selected by `idx`; accumulates
+  // parameter gradients of the mean loss.
+  virtual double forward_backward(const data::ClientData& client,
+                                  std::span<const std::size_t> idx) = 0;
+
+  // (wrong predictions, total predictions) over ALL examples of `client`.
+  // For next-token models every predicted position counts as a prediction.
+  virtual std::pair<std::size_t, std::size_t> errors(
+      const data::ClientData& client) const = 0;
+
+  // Fresh model of identical architecture with uninitialized parameters.
+  // Used to give each thread / HP configuration its own instance.
+  virtual std::unique_ptr<Model> clone_architecture() const = 0;
+
+  // Error rate helper: wrong / total over a client (1.0 if no examples).
+  double error_rate(const data::ClientData& client) const {
+    const auto [wrong, total] = errors(client);
+    if (total == 0) return 1.0;
+    return static_cast<double>(wrong) / static_cast<double>(total);
+  }
+};
+
+// Factory: builds a fresh, unseeded model for a task. Implementations live
+// with the dataset definitions (data/benchmarks.hpp) and in user code.
+using ModelFactory = std::unique_ptr<Model> (*)();
+
+}  // namespace fedtune::nn

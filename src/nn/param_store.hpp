@@ -1,0 +1,67 @@
+// Flat parameter/gradient storage.
+//
+// All of a model's parameters live in one contiguous float vector (and a
+// parallel gradient vector). This makes federated aggregation, optimizer
+// steps, and checkpointing trivial span operations. Layers allocate regions
+// at construction time and keep (offset, size) handles — never raw pointers,
+// since the underlying vector reallocates during the allocation phase.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace fedtune::nn {
+
+class ParamStore {
+ public:
+  // Reserves a region of n parameters; returns its offset.
+  std::size_t allocate(std::size_t n) {
+    const std::size_t offset = values_.size();
+    values_.resize(offset + n, 0.0f);
+    grads_.resize(offset + n, 0.0f);
+    return offset;
+  }
+
+  std::size_t size() const { return values_.size(); }
+
+  std::span<float> values() { return values_; }
+  std::span<const float> values() const { return values_; }
+  std::span<float> grads() { return grads_; }
+  std::span<const float> grads() const { return grads_; }
+
+  std::span<float> values(std::size_t offset, std::size_t n) {
+    FEDTUNE_CHECK(offset + n <= values_.size());
+    return std::span<float>(values_.data() + offset, n);
+  }
+  std::span<const float> values(std::size_t offset, std::size_t n) const {
+    FEDTUNE_CHECK(offset + n <= values_.size());
+    return std::span<const float>(values_.data() + offset, n);
+  }
+  std::span<float> grads(std::size_t offset, std::size_t n) {
+    FEDTUNE_CHECK(offset + n <= grads_.size());
+    return std::span<float>(grads_.data() + offset, n);
+  }
+
+  float* value_ptr(std::size_t offset) { return values_.data() + offset; }
+  const float* value_ptr(std::size_t offset) const {
+    return values_.data() + offset;
+  }
+  float* grad_ptr(std::size_t offset) { return grads_.data() + offset; }
+
+  void zero_grad() { std::fill(grads_.begin(), grads_.end(), 0.0f); }
+
+ private:
+  std::vector<float> values_;
+  std::vector<float> grads_;
+};
+
+// Handle to a region of a ParamStore.
+struct ParamBlock {
+  std::size_t offset = 0;
+  std::size_t size = 0;
+};
+
+}  // namespace fedtune::nn

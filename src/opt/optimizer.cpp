@@ -1,0 +1,45 @@
+#include "opt/optimizer.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace fedtune::opt {
+
+void Sgd::step(std::span<float> params, std::span<const float> grads) {
+  FEDTUNE_CHECK(params.size() == grads.size());
+  if (velocity_.size() != params.size()) velocity_.assign(params.size(), 0.0f);
+  const auto lr = static_cast<float>(cfg_.lr);
+  const auto mu = static_cast<float>(cfg_.momentum);
+  const auto wd = static_cast<float>(cfg_.weight_decay);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const float g = grads[i] + wd * params[i];
+    velocity_[i] = mu * velocity_[i] + g;
+    params[i] -= lr * velocity_[i];
+  }
+}
+
+void Adam::step(std::span<float> params, std::span<const float> grads) {
+  FEDTUNE_CHECK(params.size() == grads.size());
+  if (m_.size() != params.size()) {
+    m_.assign(params.size(), 0.0f);
+    v_.assign(params.size(), 0.0f);
+  }
+  ++t_;
+  const auto b1 = static_cast<float>(cfg_.beta1);
+  const auto b2 = static_cast<float>(cfg_.beta2);
+  const auto eps = static_cast<float>(cfg_.epsilon);
+  const double bc1 = 1.0 - std::pow(cfg_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(cfg_.beta2, static_cast<double>(t_));
+  const auto lr_hat =
+      static_cast<float>(current_lr_ * std::sqrt(bc2) / bc1);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const float g = grads[i];
+    m_[i] = b1 * m_[i] + (1.0f - b1) * g;
+    v_[i] = b2 * v_[i] + (1.0f - b2) * g * g;
+    params[i] -= lr_hat * m_[i] / (std::sqrt(v_[i]) + eps);
+  }
+  current_lr_ *= cfg_.lr_decay;
+}
+
+}  // namespace fedtune::opt

@@ -1,0 +1,92 @@
+// First-order optimizers over flat parameter/gradient spans.
+//
+// Used both as the client-side local optimizer (SGD with momentum + weight
+// decay, per the paper's search space) and as the core of the adaptive
+// server optimizers in fl/server_opt.hpp.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace fedtune::opt {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  // Applies one update step in place: params -= f(grads).
+  virtual void step(std::span<float> params, std::span<const float> grads) = 0;
+  // Clears momentum/moment state (new training run).
+  virtual void reset() = 0;
+};
+
+// SGD with classical momentum and decoupled L2 weight decay:
+//   v <- mu * v + (g + wd * w);  w <- w - lr * v
+struct SgdConfig {
+  double lr = 0.01;
+  double momentum = 0.0;
+  double weight_decay = 0.0;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(SgdConfig cfg) : cfg_(cfg) {}
+
+  void step(std::span<float> params, std::span<const float> grads) override;
+  void reset() override { velocity_.clear(); }
+
+  const SgdConfig& config() const { return cfg_; }
+
+ private:
+  SgdConfig cfg_;
+  std::vector<float> velocity_;
+};
+
+// Adam (Kingma & Ba) with optional per-step multiplicative lr decay, matching
+// the FedAdam server optimizer of Reddi et al. (2020): m/v accumulators,
+// bias correction, constant epsilon.
+struct AdamConfig {
+  double lr = 0.001;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-3;  // tau in Reddi et al.; large eps is standard in FL
+  double lr_decay = 1.0;  // gamma: lr *= gamma after every step
+};
+
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(AdamConfig cfg) : cfg_(cfg), current_lr_(cfg.lr) {}
+
+  void step(std::span<float> params, std::span<const float> grads) override;
+  void reset() override {
+    m_.clear();
+    v_.clear();
+    t_ = 0;
+    current_lr_ = cfg_.lr;
+  }
+
+  const AdamConfig& config() const { return cfg_; }
+  double current_lr() const { return current_lr_; }
+
+  // State accessors for checkpointing (Successive Halving resume).
+  struct State {
+    std::vector<float> m, v;
+    std::size_t t = 0;
+    double current_lr = 0.0;
+  };
+  State save_state() const { return {m_, v_, t_, current_lr_}; }
+  void load_state(const State& s) {
+    m_ = s.m;
+    v_ = s.v;
+    t_ = s.t;
+    current_lr_ = s.current_lr;
+  }
+
+ private:
+  AdamConfig cfg_;
+  std::vector<float> m_, v_;
+  std::size_t t_ = 0;
+  double current_lr_;
+};
+
+}  // namespace fedtune::opt

@@ -1,0 +1,16 @@
+#include "privacy/accountant.hpp"
+
+#include <cmath>
+
+namespace fedtune::privacy {
+
+void BasicCompositionAccountant::charge(double epsilon) {
+  FEDTUNE_CHECK(epsilon >= 0.0);
+  if (std::isinf(epsilon_total_)) return;  // non-private: nothing to track
+  FEDTUNE_CHECK_MSG(spent_ + epsilon <= epsilon_total_ * (1.0 + 1e-9),
+                    "privacy budget exceeded: spent " << spent_ << " + "
+                    << epsilon << " > " << epsilon_total_);
+  spent_ += epsilon;
+}
+
+}  // namespace fedtune::privacy

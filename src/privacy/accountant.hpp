@@ -1,0 +1,42 @@
+// Basic-composition privacy accounting (Dwork & Roth, 2013).
+//
+// The paper allocates a fixed per-evaluation budget up front (epsilon/M for
+// M planned evaluations); this accountant both supports that static split
+// and tracks actually-spent budget so tests can assert an algorithm never
+// exceeds its total epsilon.
+#pragma once
+
+#include <cstddef>
+
+#include "common/check.hpp"
+
+namespace fedtune::privacy {
+
+class BasicCompositionAccountant {
+ public:
+  // epsilon_total may be infinity (non-private runs spend nothing).
+  explicit BasicCompositionAccountant(double epsilon_total)
+      : epsilon_total_(epsilon_total) {
+    FEDTUNE_CHECK(epsilon_total > 0.0);
+  }
+
+  double epsilon_total() const { return epsilon_total_; }
+  double spent() const { return spent_; }
+  double remaining() const { return epsilon_total_ - spent_; }
+
+  // Records a mechanism invocation consuming `epsilon`. Throws if the charge
+  // would exceed the total budget (with a small float tolerance).
+  void charge(double epsilon);
+
+  // Budget per evaluation when splitting evenly across `num_evals`.
+  double per_eval_budget(std::size_t num_evals) const {
+    FEDTUNE_CHECK(num_evals > 0);
+    return epsilon_total_ / static_cast<double>(num_evals);
+  }
+
+ private:
+  double epsilon_total_;
+  double spent_ = 0.0;
+};
+
+}  // namespace fedtune::privacy

@@ -1,0 +1,37 @@
+#include "privacy/laplace.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace fedtune::privacy {
+
+double laplace_sample(double scale, Rng& rng) {
+  FEDTUNE_CHECK(scale >= 0.0);
+  if (scale == 0.0) return 0.0;
+  // Inverse CDF: u ~ Unif(-1/2, 1/2); x = -scale * sgn(u) * ln(1 - 2|u|).
+  const double u = rng.uniform() - 0.5;
+  const double sign = (u >= 0.0) ? 1.0 : -1.0;
+  return -scale * sign * std::log(std::max(1.0 - 2.0 * std::abs(u),
+                                           std::numeric_limits<double>::min()));
+}
+
+double laplace_scale_per_eval(double sensitivity, double epsilon_total,
+                              std::size_t num_evals) {
+  FEDTUNE_CHECK(sensitivity >= 0.0);
+  FEDTUNE_CHECK_MSG(epsilon_total > 0.0, "epsilon must be positive");
+  FEDTUNE_CHECK(num_evals > 0);
+  if (std::isinf(epsilon_total)) return 0.0;
+  // Per-eval budget is epsilon_total / M  =>  scale = M * sensitivity / eps.
+  return sensitivity * static_cast<double>(num_evals) / epsilon_total;
+}
+
+double privatize(double value, double sensitivity, double epsilon_total,
+                 std::size_t num_evals, Rng& rng) {
+  const double scale =
+      laplace_scale_per_eval(sensitivity, epsilon_total, num_evals);
+  return value + laplace_sample(scale, rng);
+}
+
+}  // namespace fedtune::privacy

@@ -1,0 +1,26 @@
+// Laplace mechanism for differentially private evaluation (§3.3).
+//
+// Each HP evaluation releases the average accuracy of a configuration over
+// |S| sampled clients; one client changes that average by at most 1/|S|
+// (accuracies lie in [0,1] and weighting is uniform), so the sensitivity is
+// 1/|S|. Under basic composition an algorithm making M evaluations with
+// total budget epsilon adds Lap(M / (epsilon * |S|)) noise per evaluation.
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace fedtune::privacy {
+
+// A draw from Laplace(0, scale) via inverse CDF.
+double laplace_sample(double scale, Rng& rng);
+
+// Noise scale for one evaluation: sensitivity / per-evaluation epsilon.
+// epsilon_total = inf (or <= 0 treated as an error) disables noise upstream.
+double laplace_scale_per_eval(double sensitivity, double epsilon_total,
+                              std::size_t num_evals);
+
+// Convenience: value + Lap(sensitivity * num_evals / epsilon_total).
+double privatize(double value, double sensitivity, double epsilon_total,
+                 std::size_t num_evals, Rng& rng);
+
+}  // namespace fedtune::privacy

@@ -1,0 +1,42 @@
+#include "privacy/topk.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "privacy/laplace.hpp"
+
+namespace fedtune::privacy {
+
+double one_shot_noise_scale(std::size_t k, const OneShotTopKParams& params) {
+  FEDTUNE_CHECK(k > 0);
+  FEDTUNE_CHECK(params.epsilon_total > 0.0);
+  FEDTUNE_CHECK(params.total_rounds > 0 && params.num_clients > 0);
+  if (std::isinf(params.epsilon_total)) return 0.0;
+  return 2.0 * static_cast<double>(params.total_rounds) *
+         static_cast<double>(k) /
+         (params.epsilon_total * static_cast<double>(params.num_clients));
+}
+
+std::vector<std::size_t> one_shot_top_k(std::span<const double> values,
+                                        std::size_t k,
+                                        const OneShotTopKParams& params,
+                                        Rng& rng) {
+  FEDTUNE_CHECK(!values.empty());
+  FEDTUNE_CHECK_MSG(k <= values.size(),
+                    "k = " << k << " exceeds candidate count " << values.size());
+  const double scale = one_shot_noise_scale(k, params);
+  std::vector<std::pair<double, std::size_t>> noisy(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    noisy[i] = {values[i] + laplace_sample(scale, rng), i};
+  }
+  std::partial_sort(noisy.begin(), noisy.begin() + static_cast<std::ptrdiff_t>(k),
+                    noisy.end(), [](const auto& a, const auto& b) {
+                      return a.first > b.first;
+                    });
+  std::vector<std::size_t> out(k);
+  for (std::size_t i = 0; i < k; ++i) out[i] = noisy[i].second;
+  return out;
+}
+
+}  // namespace fedtune::privacy

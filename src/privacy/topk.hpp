@@ -1,0 +1,34 @@
+// One-shot Laplace mechanism for top-k selection (Qiao, Su & Zhang, 2021).
+//
+// Used by rung-based tuners (Hyperband/BOHB): at an evaluation round with T
+// total rounds and k_t survivors to select, the server adds Laplace noise of
+// scale 2*T*k_t / (epsilon * |S|) to each configuration's accuracy once, and
+// releases the identities of the top k_t noisy scores (§3.3 of the paper).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fedtune::privacy {
+
+struct OneShotTopKParams {
+  double epsilon_total = 1.0;   // budget for the whole tuning run
+  std::size_t total_rounds = 1; // T: number of evaluation rounds in the run
+  std::size_t num_clients = 1;  // |S|: clients per evaluation
+};
+
+// Returns the indices of the k highest noisy values (descending by noisy
+// score). Values are accuracies in [0,1]; higher is better. With
+// epsilon_total = inf this degenerates to exact top-k.
+std::vector<std::size_t> one_shot_top_k(std::span<const double> values,
+                                        std::size_t k,
+                                        const OneShotTopKParams& params,
+                                        Rng& rng);
+
+// The per-value noise scale used above: 2*T*k / (epsilon * |S|).
+double one_shot_noise_scale(std::size_t k, const OneShotTopKParams& params);
+
+}  // namespace fedtune::privacy

@@ -1,0 +1,36 @@
+// Client selection for federated training and evaluation rounds.
+//
+// UniformSampler implements the standard "sample s clients without
+// replacement" of Algorithm 2. BiasedSampler implements the paper's systems-
+// heterogeneity model (§3.2): clients are drawn without replacement with
+// probability proportional to (accuracy + delta)^b, so high-performing
+// clients participate more often — b = 0 recovers uniform sampling.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fedtune::sampling {
+
+// k distinct indices from [0, n), uniformly.
+std::vector<std::size_t> sample_uniform(std::size_t n, std::size_t k, Rng& rng);
+
+struct BiasConfig {
+  double b = 0.0;        // bias exponent; 0 = uniform
+  double delta = 1e-4;   // additive floor keeping probabilities non-zero
+};
+
+// k distinct indices from [0, accuracies.size()), weighted by
+// (accuracy + delta)^b, without replacement (Efraimidis–Spirakis keys).
+std::vector<std::size_t> sample_biased(std::span<const double> accuracies,
+                                       std::size_t k, const BiasConfig& cfg,
+                                       Rng& rng);
+
+// Weighted sampling without replacement from explicit non-negative weights.
+std::vector<std::size_t> sample_weighted(std::span<const double> weights,
+                                         std::size_t k, Rng& rng);
+
+}  // namespace fedtune::sampling

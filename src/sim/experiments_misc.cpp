@@ -1,0 +1,137 @@
+// Table 1/2 (dataset statistics), Fig. 13 (search-space width under noise),
+// and the server-optimizer ablation.
+#include <cmath>
+#include <iostream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "core/trial_runner.hpp"
+#include "hpo/random_search.hpp"
+#include "nn/factory.hpp"
+#include "sim/experiments.hpp"
+#include "sim/method_runner.hpp"
+#include "sim/pool_hub.hpp"
+
+namespace fedtune::sim {
+
+Table table1_dataset_stats() {
+  PoolHub& hub = PoolHub::instance();
+  Table table({"dataset", "task", "train_clients", "eval_clients",
+               "mean_examples", "min_examples", "max_examples",
+               "total_examples"});
+  for (data::BenchmarkId id : data::all_benchmarks()) {
+    const data::FederatedDataset& ds = hub.dataset(id);
+    const data::PoolStats train = data::pool_stats(ds.train_clients);
+    const data::PoolStats eval = data::pool_stats(ds.eval_clients);
+    const std::size_t total = train.total_examples + eval.total_examples;
+    const double mean =
+        static_cast<double>(total) /
+        static_cast<double>(train.num_clients + eval.num_clients);
+    const std::size_t mn = std::min(train.min_examples, eval.min_examples);
+    const std::size_t mx = std::max(train.max_examples, eval.max_examples);
+    table.add_row({ds.name,
+                   ds.task == data::TaskKind::kClassification
+                       ? "image classification"
+                       : "next-token prediction",
+                   std::to_string(train.num_clients),
+                   std::to_string(eval.num_clients), Table::format(mean, 1),
+                   std::to_string(mn), std::to_string(mx),
+                   std::to_string(total)});
+  }
+  return table;
+}
+
+Table fig13_search_space(const BootstrapOptions& opts) {
+  // Nested server-lr ranges centered (in log space) on 1e-2 — the sweet spot
+  // of this substrate, mirroring the paper's ranges centered on its own
+  // well-performing lr — with log10(max/min) in {1, 2, 3, 4}. Range pools
+  // are trained live once and cached like the shared pools.
+  PoolHub& hub = PoolHub::instance();
+  const data::BenchmarkId id = data::BenchmarkId::kCifar10Like;
+  const data::FederatedDataset& ds = hub.dataset(id);
+  const std::unique_ptr<nn::Model> arch = nn::make_default_model(ds);
+  constexpr std::size_t kRangePoolConfigs = 32;
+
+  Table table({"lr_range_log10_span", "setting", "err_q25", "err_median",
+               "err_q75"});
+  for (int span = 1; span <= 4; ++span) {
+    const double lo = std::pow(10.0, -2.0 - span / 2.0);
+    const double hi = std::pow(10.0, -2.0 + span / 2.0);
+    // Deviation from Appendix B (documented in DESIGN.md): the non-lr HPs
+    // are pinned to good defaults so the nested server-lr range is the only
+    // variable — at our scale the other HPs otherwise dominate the outcome
+    // and wash out the range effect the figure is about.
+    hpo::SearchSpace space;
+    space.add_log_uniform("server_lr", lo, hi)
+        .add_fixed("beta1", 0.2)
+        .add_fixed("beta2", 0.4)
+        .add_fixed("server_lr_decay", 0.9999)
+        .add_fixed("client_lr", 0.05)
+        .add_fixed("client_momentum", 0.2)
+        .add_fixed("client_weight_decay", 5e-5)
+        .add_fixed("batch_size", 32.0)
+        .add_fixed("local_epochs", 1.0);
+
+    std::ostringstream path;
+    path << hub.cache_dir() << "/fig13_span" << span << ".pool";
+    std::optional<core::ConfigPool> pool = core::ConfigPool::load(path.str());
+    if (!pool.has_value()) {
+      std::cerr << "[fedtune] building Fig.13 range pool (span=" << span
+                << ")...\n";
+      core::PoolBuildOptions build;
+      build.num_configs = kRangePoolConfigs;
+      build.config_seed = 5150 + static_cast<std::uint64_t>(span);
+      build.checkpoints = {3, 9, 27, 81};
+      build.store_params = false;
+      pool = core::ConfigPool::build(ds, *arch, space, build);
+      pool->save(path.str());
+    }
+
+    for (const bool noisy : {false, true}) {
+      core::NoiseModel noise;
+      if (noisy) {
+        noise.eval_clients = 1;  // single-client subsample
+        noise.epsilon = 10.0;
+        noise.weighting = fl::Weighting::kUniform;
+      }
+      const stats::QuartileSummary q = bootstrap_random_search(
+          pool->configs(), pool->view(), noise, opts);
+      table.add_row({std::to_string(span), noisy ? "noisy" : "noiseless",
+                     Table::format(100.0 * q.q25),
+                     Table::format(100.0 * q.median),
+                     Table::format(100.0 * q.q75)});
+    }
+  }
+  return table;
+}
+
+Table ablation_server_optimizers(std::uint64_t seed) {
+  // Live (non-pool) random search with each server optimizer on the
+  // FEMNIST-like dataset, noiseless full evaluation.
+  PoolHub& hub = PoolHub::instance();
+  const data::FederatedDataset& ds = hub.dataset(data::BenchmarkId::kFemnistLike);
+  const std::unique_ptr<nn::Model> arch = nn::make_default_model(ds);
+  constexpr std::size_t kConfigs = 6;
+  constexpr std::size_t kRounds = 27;
+
+  Table table({"server_optimizer", "best_full_error", "rounds_used"});
+  for (fl::ServerOptKind kind :
+       {fl::ServerOptKind::kFedAvg, fl::ServerOptKind::kFedAdam,
+        fl::ServerOptKind::kFedAdagrad, fl::ServerOptKind::kFedYogi}) {
+    Rng rng(seed);
+    hpo::RandomSearch rs(hpo::appendix_b_space(), kConfigs, kRounds,
+                         rng.split(1));
+    fl::TrainerConfig trainer_cfg;
+    trainer_cfg.server_opt = kind;
+    core::LiveTrialRunner runner(ds, *arch, trainer_cfg, rng.split(2));
+    core::DriverOptions opts;
+    opts.seed = rng.split(3).seed();
+    const core::TuneResult result = core::run_tuning(rs, runner, opts);
+    table.add_row({fl::server_opt_name(kind),
+                   Table::format(100.0 * result.best_full_error),
+                   std::to_string(result.rounds_used)});
+  }
+  return table;
+}
+
+}  // namespace fedtune::sim

@@ -1,0 +1,111 @@
+#include "sim/pool_hub.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "data/partition.hpp"
+#include "hpo/search_space.hpp"
+#include "nn/factory.hpp"
+
+namespace fedtune::sim {
+
+struct PoolHub::Entry {
+  std::unique_ptr<data::FederatedDataset> dataset;
+  std::unique_ptr<core::ConfigPool> pool;
+  std::map<double, core::PoolEvalView> iid_views;
+};
+
+PoolHub& PoolHub::instance() {
+  static PoolHub hub;
+  return hub;
+}
+
+PoolHub::PoolHub() {
+  const char* env = std::getenv("FEDTUNE_CACHE_DIR");
+  cache_dir_ = (env != nullptr && *env != '\0') ? env : "fedtune_cache";
+  std::filesystem::create_directories(cache_dir_);
+}
+
+std::vector<std::size_t> PoolHub::checkpoint_grid(data::BenchmarkId id) {
+  std::vector<std::size_t> grid;
+  const std::size_t r0 = data::min_rounds_per_config(id);
+  const std::size_t max = data::max_rounds_per_config(id);
+  for (std::size_t r = r0; r <= max; r *= 3) grid.push_back(r);
+  return grid;
+}
+
+PoolHub::Entry& PoolHub::entry(data::BenchmarkId id) {
+  auto& slot = entries_[static_cast<std::size_t>(id)];
+  if (!slot) slot = std::make_unique<Entry>();
+  return *slot;
+}
+
+const data::FederatedDataset& PoolHub::dataset(data::BenchmarkId id) {
+  Entry& e = entry(id);
+  if (!e.dataset) {
+    e.dataset = std::make_unique<data::FederatedDataset>(
+        data::make_benchmark(id));
+  }
+  return *e.dataset;
+}
+
+const core::ConfigPool& PoolHub::pool(data::BenchmarkId id) {
+  Entry& e = entry(id);
+  if (e.pool) return *e.pool;
+
+  const std::string path =
+      cache_dir_ + "/" + data::benchmark_name(id) + ".pool";
+  if (auto loaded = core::ConfigPool::load(path)) {
+    e.pool = std::make_unique<core::ConfigPool>(std::move(*loaded));
+    return *e.pool;
+  }
+
+  std::cerr << "[fedtune] building " << kPoolConfigs << "-config pool for "
+            << data::benchmark_name(id) << " (cached at " << path
+            << " afterwards)...\n";
+  const data::FederatedDataset& ds = dataset(id);
+  const std::unique_ptr<nn::Model> arch = nn::make_default_model(ds);
+  core::PoolBuildOptions opts;
+  opts.num_configs = kPoolConfigs;
+  opts.checkpoints = checkpoint_grid(id);
+  e.pool = std::make_unique<core::ConfigPool>(
+      core::ConfigPool::build(ds, *arch, hpo::appendix_b_space(), opts));
+  e.pool->save(path);
+  return *e.pool;
+}
+
+const core::PoolEvalView& PoolHub::iid_view(data::BenchmarkId id, double p) {
+  Entry& e = entry(id);
+  const auto it = e.iid_views.find(p);
+  if (it != e.iid_views.end()) return it->second;
+  if (p == 0.0) {
+    // Natural partition: the pool's own view.
+    return e.iid_views.emplace(0.0, pool(id).view()).first->second;
+  }
+
+  std::ostringstream name;
+  name << cache_dir_ << "/" << data::benchmark_name(id) << "_iid_p" << p
+       << ".view";
+  if (auto loaded = core::PoolEvalView::load(name.str())) {
+    return e.iid_views.emplace(p, std::move(*loaded)).first->second;
+  }
+
+  std::cerr << "[fedtune] evaluating " << data::benchmark_name(id)
+            << " pool on IID(p=" << p << ") repartition...\n";
+  const data::FederatedDataset& ds = dataset(id);
+  Rng rng(0x1d1d0000 + static_cast<std::uint64_t>(p * 1000.0));
+  const std::vector<data::ClientData> repartitioned =
+      data::repartition_iid(ds.eval_clients, p, rng);
+  const std::unique_ptr<nn::Model> arch = nn::make_default_model(ds);
+  // Fig. 4 only evaluates at the fidelity ceiling — skip earlier rungs.
+  core::PoolEvalView view = pool(id).evaluate_on(
+      *arch, repartitioned, {pool(id).view().checkpoints().back()});
+  view.save(name.str());
+  return e.iid_views.emplace(p, std::move(view)).first->second;
+}
+
+}  // namespace fedtune::sim

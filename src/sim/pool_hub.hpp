@@ -1,0 +1,53 @@
+// PoolHub — lazy, disk-cached access to the per-dataset configuration pools
+// every bench binary shares.
+//
+// The first binary to need a pool trains it (the only expensive step) and
+// writes it to the cache directory ($FEDTUNE_CACHE_DIR, default
+// ./fedtune_cache); subsequent binaries and runs load it in milliseconds.
+// Derived evaluation views (Fig. 4's IID-repartitioned clients) are cached
+// the same way.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/config_pool.hpp"
+#include "data/benchmarks.hpp"
+
+namespace fedtune::sim {
+
+class PoolHub {
+ public:
+  static PoolHub& instance();
+
+  // The shared 128-config pool for a benchmark dataset (builds on miss).
+  const core::ConfigPool& pool(data::BenchmarkId id);
+  const core::PoolEvalView& view(data::BenchmarkId id) {
+    return pool(id).view();
+  }
+
+  // Eval view with a fraction p of eval-client data re-dealt IID (Fig. 4).
+  const core::PoolEvalView& iid_view(data::BenchmarkId id, double p);
+
+  // The dataset itself (regenerated deterministically; cached in memory).
+  const data::FederatedDataset& dataset(data::BenchmarkId id);
+
+  // Pool checkpoint grid for a benchmark: {1, 3, 9, ..., R}.
+  static std::vector<std::size_t> checkpoint_grid(data::BenchmarkId id);
+
+  // Number of configurations in every shared pool (the paper's 128).
+  static constexpr std::size_t kPoolConfigs = 128;
+
+  const std::string& cache_dir() const { return cache_dir_; }
+
+ private:
+  PoolHub();
+
+  struct Entry;
+  Entry& entry(data::BenchmarkId id);
+
+  std::string cache_dir_;
+  std::unique_ptr<Entry> entries_[4];
+};
+
+}  // namespace fedtune::sim

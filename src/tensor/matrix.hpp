@@ -1,0 +1,90 @@
+// Dense row-major float matrix — the only tensor type the library needs.
+//
+// Shapes are (rows, cols); a "vector" is a 1×n or n×1 matrix, and most NN
+// code uses (batch, features). Element access is bounds-checked via at() and
+// unchecked via operator(); hot kernels live in tensor/ops.hpp and work on
+// raw spans.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace fedtune {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix from_rows(std::size_t rows, std::size_t cols,
+                          std::vector<float> data) {
+    FEDTUNE_CHECK(data.size() == rows * cols);
+    Matrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.data_ = std::move(data);
+    return m;
+  }
+
+  // Gaussian init with the given stddev (used for weight initialization).
+  static Matrix randn(std::size_t rows, std::size_t cols, Rng& rng,
+                      float stddev = 1.0f) {
+    Matrix m(rows, cols);
+    for (float& v : m.data_) v = static_cast<float>(rng.normal(0.0, stddev));
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  float operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  float& at(std::size_t r, std::size_t c) {
+    FEDTUNE_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float at(std::size_t r, std::size_t c) const {
+    FEDTUNE_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  std::span<float> row(std::size_t r) {
+    FEDTUNE_CHECK(r < rows_);
+    return std::span<float>(data_.data() + r * cols_, cols_);
+  }
+  std::span<const float> row(std::size_t r) const {
+    FEDTUNE_CHECK(r < rows_);
+    return std::span<const float>(data_.data() + r * cols_, cols_);
+  }
+
+  std::span<float> flat() { return data_; }
+  std::span<const float> flat() const { return data_; }
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0f);
+  }
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace fedtune

@@ -1,0 +1,270 @@
+#include "tensor/ops.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace fedtune::ops {
+
+namespace {
+
+// Inner kernel: C[m,n] (+)= A[m,k] @ B[k,n], with B laid out row-major so the
+// inner loop streams contiguously through B and C (ikj order).
+void gemm_impl(const float* a, const float* b, float* c, std::size_t m,
+               std::size_t k, std::size_t n, bool accumulate) {
+  if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_raw(const float* a, const float* b, float* c, std::size_t m,
+              std::size_t k, std::size_t n, bool accumulate) {
+  gemm_impl(a, b, c, m, k, n, accumulate);
+}
+
+void gemm_nt_raw(const float* a, const float* b, float* c, std::size_t m,
+                 std::size_t k, std::size_t n, bool accumulate) {
+  if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += acc;
+    }
+  }
+}
+
+void gemm_tn_raw(const float* a, const float* b, float* c, std::size_t k,
+                 std::size_t m, std::size_t n, bool accumulate) {
+  if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* arow = a + p * m;
+    const float* brow = b + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm(const Matrix& a, const Matrix& b, Matrix& out) {
+  FEDTUNE_CHECK(a.cols() == b.rows());
+  out.resize(a.rows(), b.cols());
+  gemm_impl(a.data(), b.data(), out.data(), a.rows(), a.cols(), b.cols(), false);
+}
+
+void gemm_acc(const Matrix& a, const Matrix& b, Matrix& out) {
+  FEDTUNE_CHECK(a.cols() == b.rows());
+  FEDTUNE_CHECK(out.rows() == a.rows() && out.cols() == b.cols());
+  gemm_impl(a.data(), b.data(), out.data(), a.rows(), a.cols(), b.cols(), true);
+}
+
+void gemm_nt(const Matrix& a, const Matrix& b, Matrix& out) {
+  // (m,k) x (n,k)^T -> (m,n): dot products of rows — contiguous in both.
+  FEDTUNE_CHECK(a.cols() == b.cols());
+  out.resize(a.rows(), b.rows());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* crow = out.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b.data() + j * k;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = acc;
+    }
+  }
+}
+
+void gemm_nt_acc(const Matrix& a, const Matrix& b, Matrix& out) {
+  FEDTUNE_CHECK(a.cols() == b.cols());
+  FEDTUNE_CHECK(out.rows() == a.rows() && out.cols() == b.rows());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* crow = out.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b.data() + j * k;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += acc;
+    }
+  }
+}
+
+void gemm_tn(const Matrix& a, const Matrix& b, Matrix& out) {
+  FEDTUNE_CHECK(a.rows() == b.rows());
+  out.resize(a.cols(), b.cols());
+  out.fill(0.0f);
+  gemm_tn_acc(a, b, out);
+}
+
+void gemm_tn_acc(const Matrix& a, const Matrix& b, Matrix& out) {
+  FEDTUNE_CHECK(a.rows() == b.rows());
+  FEDTUNE_CHECK(out.rows() == a.cols() && out.cols() == b.cols());
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* arow = a.data() + p * m;
+    const float* brow = b.data() + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = out.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void add_row_bias(Matrix& x, std::span<const float> bias) {
+  FEDTUNE_CHECK(x.cols() == bias.size());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    float* row = x.data() + r * x.cols();
+    for (std::size_t c = 0; c < x.cols(); ++c) row[c] += bias[c];
+  }
+}
+
+void col_sums_acc(const Matrix& grad, std::span<float> bias_grad) {
+  FEDTUNE_CHECK(grad.cols() == bias_grad.size());
+  for (std::size_t r = 0; r < grad.rows(); ++r) {
+    const float* row = grad.data() + r * grad.cols();
+    for (std::size_t c = 0; c < grad.cols(); ++c) bias_grad[c] += row[c];
+  }
+}
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  FEDTUNE_CHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(std::span<float> x, float alpha) {
+  for (float& v : x) v *= alpha;
+}
+
+float dot(std::span<const float> a, std::span<const float> b) {
+  FEDTUNE_CHECK(a.size() == b.size());
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+float l2_norm(std::span<const float> x) { return std::sqrt(dot(x, x)); }
+
+void relu(const Matrix& x, Matrix& y) {
+  y.resize(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y.flat()[i] = x.flat()[i] > 0.0f ? x.flat()[i] : 0.0f;
+  }
+}
+
+void relu_backward(const Matrix& y, const Matrix& grad_out, Matrix& grad_in) {
+  FEDTUNE_CHECK(y.same_shape(grad_out));
+  grad_in.resize(y.rows(), y.cols());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    grad_in.flat()[i] = y.flat()[i] > 0.0f ? grad_out.flat()[i] : 0.0f;
+  }
+}
+
+void tanh_forward(const Matrix& x, Matrix& y) {
+  y.resize(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.size(); ++i) y.flat()[i] = std::tanh(x.flat()[i]);
+}
+
+void tanh_backward(const Matrix& y, const Matrix& grad_out, Matrix& grad_in) {
+  FEDTUNE_CHECK(y.same_shape(grad_out));
+  grad_in.resize(y.rows(), y.cols());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const float t = y.flat()[i];
+    grad_in.flat()[i] = grad_out.flat()[i] * (1.0f - t * t);
+  }
+}
+
+void sigmoid(const Matrix& x, Matrix& y) {
+  y.resize(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y.flat()[i] = 1.0f / (1.0f + std::exp(-x.flat()[i]));
+  }
+}
+
+void sigmoid_backward(const Matrix& y, const Matrix& grad_out, Matrix& grad_in) {
+  FEDTUNE_CHECK(y.same_shape(grad_out));
+  grad_in.resize(y.rows(), y.cols());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const float s = y.flat()[i];
+    grad_in.flat()[i] = grad_out.flat()[i] * s * (1.0f - s);
+  }
+}
+
+void softmax_rows(const Matrix& logits, Matrix& probs) {
+  probs.resize(logits.rows(), logits.cols());
+  const std::size_t n = logits.cols();
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const float* in = logits.data() + r * n;
+    float* out = probs.data() + r * n;
+    float mx = -std::numeric_limits<float>::infinity();
+    for (std::size_t c = 0; c < n; ++c) mx = std::max(mx, in[c]);
+    float total = 0.0f;
+    for (std::size_t c = 0; c < n; ++c) {
+      out[c] = std::exp(in[c] - mx);
+      total += out[c];
+    }
+    const float inv = 1.0f / total;
+    for (std::size_t c = 0; c < n; ++c) out[c] *= inv;
+  }
+}
+
+double softmax_cross_entropy(const Matrix& logits,
+                             std::span<const std::int32_t> labels,
+                             Matrix& grad_logits) {
+  FEDTUNE_CHECK(logits.rows() == labels.size());
+  softmax_rows(logits, grad_logits);  // grad starts as probs
+  const std::size_t batch = logits.rows();
+  const std::size_t n = logits.cols();
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  double loss = 0.0;
+  for (std::size_t r = 0; r < batch; ++r) {
+    const auto label = static_cast<std::size_t>(labels[r]);
+    FEDTUNE_CHECK(label < n);
+    float* grow = grad_logits.data() + r * n;
+    loss -= std::log(std::max(grow[label], 1e-12f));
+    grow[label] -= 1.0f;
+    for (std::size_t c = 0; c < n; ++c) grow[c] *= inv_batch;
+  }
+  return loss / static_cast<double>(batch);
+}
+
+std::size_t argmax_row(const Matrix& m, std::size_t row) {
+  FEDTUNE_CHECK(row < m.rows() && m.cols() > 0);
+  const float* r = m.data() + row * m.cols();
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < m.cols(); ++c) {
+    if (r[c] > r[best]) best = c;
+  }
+  return best;
+}
+
+std::size_t count_errors(const Matrix& logits,
+                         std::span<const std::int32_t> labels) {
+  FEDTUNE_CHECK(logits.rows() == labels.size());
+  std::size_t errors = 0;
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    if (argmax_row(logits, r) != static_cast<std::size_t>(labels[r])) ++errors;
+  }
+  return errors;
+}
+
+}  // namespace fedtune::ops

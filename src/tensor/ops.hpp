@@ -1,0 +1,75 @@
+// Compute kernels over Matrix / raw float spans.
+//
+// Conventions: out-parameters come last; all shapes are validated with
+// FEDTUNE_CHECK (these kernels are called per minibatch, not per element, so
+// the checks are cheap relative to the math they guard).
+#pragma once
+
+#include <span>
+
+#include "tensor/matrix.hpp"
+
+namespace fedtune::ops {
+
+// out = a @ b          (m,k) x (k,n) -> (m,n)
+void gemm(const Matrix& a, const Matrix& b, Matrix& out);
+// out = a @ b^T        (m,k) x (n,k) -> (m,n)
+void gemm_nt(const Matrix& a, const Matrix& b, Matrix& out);
+// out = a^T @ b        (k,m) x (k,n) -> (m,n)
+void gemm_tn(const Matrix& a, const Matrix& b, Matrix& out);
+
+// Accumulating variants: out += ...
+void gemm_acc(const Matrix& a, const Matrix& b, Matrix& out);
+void gemm_nt_acc(const Matrix& a, const Matrix& b, Matrix& out);
+void gemm_tn_acc(const Matrix& a, const Matrix& b, Matrix& out);
+
+// Raw-pointer kernels for operands living inside a flat parameter store
+// (weights are spans of a ParamStore, not Matrix objects).
+// c[m,n] (+)= a[m,k] @ b[k,n]
+void gemm_raw(const float* a, const float* b, float* c, std::size_t m,
+              std::size_t k, std::size_t n, bool accumulate);
+// c[m,n] (+)= a[m,k] @ b[n,k]^T
+void gemm_nt_raw(const float* a, const float* b, float* c, std::size_t m,
+                 std::size_t k, std::size_t n, bool accumulate);
+// c[m,n] (+)= a[k,m]^T @ b[k,n]
+void gemm_tn_raw(const float* a, const float* b, float* c, std::size_t k,
+                 std::size_t m, std::size_t n, bool accumulate);
+
+// Adds a row-vector bias (1,n) to every row of x (m,n).
+void add_row_bias(Matrix& x, std::span<const float> bias);
+// bias_grad += column sums of grad (m,n) -> (n).
+void col_sums_acc(const Matrix& grad, std::span<float> bias_grad);
+
+// y += alpha * x (sizes must match).
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+// x *= alpha.
+void scale(std::span<float> x, float alpha);
+float dot(std::span<const float> a, std::span<const float> b);
+float l2_norm(std::span<const float> x);
+
+// Elementwise activations, forward and backward. Backward computes
+// grad_in = grad_out * f'(x) given the *activation output* y (for relu/tanh/
+// sigmoid the derivative is expressible in y).
+void relu(const Matrix& x, Matrix& y);
+void relu_backward(const Matrix& y, const Matrix& grad_out, Matrix& grad_in);
+void tanh_forward(const Matrix& x, Matrix& y);
+void tanh_backward(const Matrix& y, const Matrix& grad_out, Matrix& grad_in);
+void sigmoid(const Matrix& x, Matrix& y);
+void sigmoid_backward(const Matrix& y, const Matrix& grad_out, Matrix& grad_in);
+
+// Row-wise softmax (numerically stabilized).
+void softmax_rows(const Matrix& logits, Matrix& probs);
+
+// Mean cross-entropy loss over the batch given integer labels; also emits
+// dL/dlogits (= (probs - onehot)/batch). Returns the loss.
+double softmax_cross_entropy(const Matrix& logits,
+                             std::span<const std::int32_t> labels,
+                             Matrix& grad_logits);
+
+// Number of rows whose argmax != label.
+std::size_t count_errors(const Matrix& logits,
+                         std::span<const std::int32_t> labels);
+
+std::size_t argmax_row(const Matrix& m, std::size_t row);
+
+}  // namespace fedtune::ops

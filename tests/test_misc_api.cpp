@@ -1,0 +1,90 @@
+// Small API surfaces not covered elsewhere: exact top-k selector, pool
+// statistics, weight helpers, and Trial defaults.
+#include <gtest/gtest.h>
+
+#include "data/client_data.hpp"
+#include "hpo/tuner.hpp"
+
+namespace fedtune {
+namespace {
+
+TEST(ExactTopKSelector, OrdersByValueDescending) {
+  const hpo::TopKSelector sel = hpo::exact_top_k_selector();
+  const std::vector<double> acc = {0.2, 0.9, 0.5, 0.7};
+  const auto top = sel(acc, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1u);
+  EXPECT_EQ(top[1], 3u);
+  EXPECT_EQ(top[2], 2u);
+}
+
+TEST(ExactTopKSelector, FullKIsPermutation) {
+  const hpo::TopKSelector sel = hpo::exact_top_k_selector();
+  const std::vector<double> acc = {0.3, 0.1, 0.2};
+  const auto top = sel(acc, 3);
+  std::set<std::size_t> s(top.begin(), top.end());
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(ExactTopKSelector, KTooLargeThrows) {
+  const hpo::TopKSelector sel = hpo::exact_top_k_selector();
+  const std::vector<double> acc = {0.3};
+  EXPECT_THROW(sel(acc, 2), std::invalid_argument);
+}
+
+TEST(TrialDefaults, FreshTrialHasNoParentOrPoolIndex) {
+  const hpo::Trial t;
+  EXPECT_EQ(t.parent_id, -1);
+  EXPECT_EQ(t.config_index, std::numeric_limits<std::size_t>::max());
+}
+
+data::ClientData client_with(std::size_t n) {
+  data::ClientData c;
+  c.features = Matrix(n, 2);
+  c.labels.assign(n, 0);
+  return c;
+}
+
+TEST(PoolStats, ComputesMinMaxMeanTotal) {
+  std::vector<data::ClientData> clients;
+  clients.push_back(client_with(10));
+  clients.push_back(client_with(30));
+  clients.push_back(client_with(20));
+  const data::PoolStats s = data::pool_stats(clients);
+  EXPECT_EQ(s.num_clients, 3u);
+  EXPECT_EQ(s.total_examples, 60u);
+  EXPECT_EQ(s.min_examples, 10u);
+  EXPECT_EQ(s.max_examples, 30u);
+  EXPECT_DOUBLE_EQ(s.mean_examples, 20.0);
+}
+
+TEST(PoolStats, EmptyPool) {
+  const data::PoolStats s = data::pool_stats(std::vector<data::ClientData>{});
+  EXPECT_EQ(s.num_clients, 0u);
+  EXPECT_EQ(s.total_examples, 0u);
+}
+
+TEST(Weights, ExampleCountAndUniform) {
+  std::vector<data::ClientData> clients;
+  clients.push_back(client_with(5));
+  clients.push_back(client_with(15));
+  const auto w = data::example_count_weights(clients);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w[0], 5.0);
+  EXPECT_DOUBLE_EQ(w[1], 15.0);
+  const auto u = data::uniform_weights(3);
+  EXPECT_EQ(u, (std::vector<double>{1.0, 1.0, 1.0}));
+}
+
+TEST(ClientData, SequenceAccessorAndCounts) {
+  data::ClientData c;
+  c.seq_len = 3;
+  c.tokens = {1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(c.num_examples(), 2u);
+  const auto seq = c.sequence(1);
+  EXPECT_EQ(seq[0], 4);
+  EXPECT_EQ(seq[2], 6);
+}
+
+}  // namespace
+}  // namespace fedtune

@@ -1,0 +1,207 @@
+// Model-level tests: gradient checks of every backward pass, overfitting
+// sanity, clone independence, and chunked-evaluation consistency.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "nn/gradcheck.hpp"
+#include "nn/mlp.hpp"
+#include "nn/text_models.hpp"
+#include "test_util.hpp"
+
+namespace fedtune::nn {
+namespace {
+
+std::vector<std::size_t> iota_idx(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  return idx;
+}
+
+data::ClientData small_classification_client(Rng& rng, std::size_t n = 12,
+                                              std::size_t dim = 5,
+                                              std::size_t classes = 3) {
+  data::ClientData c;
+  c.features = Matrix::randn(n, dim, rng);
+  c.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    c.labels[i] = static_cast<std::int32_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(classes) - 1));
+  }
+  return c;
+}
+
+data::ClientData small_token_client(Rng& rng, std::size_t n = 6,
+                                    std::size_t len = 5,
+                                    std::size_t vocab = 6) {
+  data::ClientData c;
+  c.seq_len = len;
+  c.tokens.resize(n * len);
+  for (auto& t : c.tokens) {
+    t = static_cast<std::int32_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(vocab) - 1));
+  }
+  return c;
+}
+
+TEST(MlpClassifier, GradientCheck) {
+  Rng rng(1);
+  MlpClassifier model(5, {6, 4}, 3);
+  model.init(rng);
+  const data::ClientData client = small_classification_client(rng);
+  const auto idx = iota_idx(client.num_examples());
+  const GradCheckResult r = gradient_check(model, client, idx, rng, 40);
+  EXPECT_LT(r.max_rel_error, 5e-2) << "mean: " << r.mean_rel_error;
+}
+
+TEST(MlpClassifier, GradientCheckNoHiddenLayer) {
+  Rng rng(2);
+  MlpClassifier model(4, {}, 3);  // logistic regression
+  model.init(rng);
+  const data::ClientData client = small_classification_client(rng, 8, 4, 3);
+  const auto idx = iota_idx(client.num_examples());
+  const GradCheckResult r = gradient_check(model, client, idx, rng, 0);
+  EXPECT_LT(r.max_rel_error, 5e-2);
+}
+
+TEST(TextMlp, GradientCheck) {
+  Rng rng(3);
+  TextMlp model(6, 2, 4, 5);
+  model.init(rng);
+  const data::ClientData client = small_token_client(rng);
+  const auto idx = iota_idx(client.num_examples());
+  const GradCheckResult r = gradient_check(model, client, idx, rng, 40);
+  EXPECT_LT(r.max_rel_error, 5e-2);
+}
+
+TEST(LstmLm, GradientCheck) {
+  Rng rng(4);
+  LstmLm model(6, 4, 5);
+  model.init(rng);
+  const data::ClientData client = small_token_client(rng, 4, 5, 6);
+  const auto idx = iota_idx(client.num_examples());
+  const GradCheckResult r = gradient_check(model, client, idx, rng, 60);
+  // float32 storage makes the worst-case finite-difference ratio noisy on
+  // near-zero gradients; the mean is the reliable signal through BPTT.
+  EXPECT_LT(r.max_rel_error, 0.15) << "mean: " << r.mean_rel_error;
+  EXPECT_LT(r.mean_rel_error, 2e-2);
+}
+
+TEST(MlpClassifier, OverfitsTinyDataset) {
+  Rng rng(5);
+  MlpClassifier model(4, {16}, 3);
+  model.init(rng);
+  // Well-separated classes.
+  data::ClientData client;
+  client.features = Matrix(12, 4);
+  client.labels.resize(12);
+  for (std::size_t i = 0; i < 12; ++i) {
+    const std::int32_t y = static_cast<std::int32_t>(i % 3);
+    client.labels[i] = y;
+    client.features(i, static_cast<std::size_t>(y)) = 3.0f;
+  }
+  const auto idx = iota_idx(12);
+  double last_loss = 0.0;
+  for (int step = 0; step < 300; ++step) {
+    model.zero_grad();
+    last_loss = model.forward_backward(client, idx);
+    auto params = model.params();
+    const auto grads = model.grads();
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      params[i] -= 0.3f * grads[i];
+    }
+  }
+  EXPECT_LT(last_loss, 0.1);
+  EXPECT_EQ(model.errors(client).first, 0u);
+}
+
+TEST(LstmLm, LearnsDeterministicSequence) {
+  Rng rng(6);
+  LstmLm model(4, 6, 8);
+  model.init(rng);
+  // One repeating pattern 0,1,2,3,0,1,2,3 — fully predictable.
+  data::ClientData client;
+  client.seq_len = 8;
+  for (int s = 0; s < 4; ++s) {
+    for (int t = 0; t < 8; ++t) {
+      client.tokens.push_back(static_cast<std::int32_t>((s + t) % 4));
+    }
+  }
+  const auto idx = iota_idx(4);
+  for (int step = 0; step < 400; ++step) {
+    model.zero_grad();
+    model.forward_backward(client, idx);
+    auto params = model.params();
+    const auto grads = model.grads();
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      params[i] -= 0.5f * grads[i];
+    }
+  }
+  const auto [wrong, total] = model.errors(client);
+  EXPECT_EQ(total, 4u * 7u);
+  EXPECT_LT(static_cast<double>(wrong) / static_cast<double>(total), 0.05);
+}
+
+TEST(Model, CloneArchitectureIsIndependent) {
+  Rng rng(7);
+  MlpClassifier model(4, {5}, 3);
+  model.init(rng);
+  auto clone = model.clone_architecture();
+  EXPECT_EQ(clone->num_params(), model.num_params());
+  clone->init(rng);
+  clone->params()[0] = 123.0f;
+  EXPECT_NE(model.params()[0], 123.0f);
+}
+
+TEST(Model, ErrorRateEmptyClientIsOne) {
+  MlpClassifier model(4, {}, 2);
+  data::ClientData empty;
+  empty.features = Matrix(0, 4);
+  EXPECT_DOUBLE_EQ(model.error_rate(empty), 1.0);
+}
+
+TEST(TextMlp, ChunkedEvalMatchesSmallBatches) {
+  Rng rng(8);
+  TextMlp model(6, 2, 4, 5);
+  model.init(rng);
+  // > 256 sequences forces the chunked path in errors().
+  const data::ClientData big = small_token_client(rng, 600, 5, 6);
+  const auto [wrong, total] = model.errors(big);
+  EXPECT_EQ(total, 600u * 3u);  // (5 - 2) predictions per sequence
+
+  // Reference: accumulate per-sequence errors one at a time.
+  std::size_t wrong_ref = 0;
+  for (std::size_t i = 0; i < 600; ++i) {
+    data::ClientData one;
+    one.seq_len = 5;
+    const auto seq = big.sequence(i);
+    one.tokens.assign(seq.begin(), seq.end());
+    wrong_ref += model.errors(one).first;
+  }
+  EXPECT_EQ(wrong, wrong_ref);
+}
+
+TEST(TextMlp, RejectsTooShortSequences) {
+  Rng rng(9);
+  TextMlp model(6, 3, 4, 5);
+  model.init(rng);
+  const data::ClientData client = small_token_client(rng, 2, 3, 6);
+  const std::vector<std::size_t> idx = {0};
+  EXPECT_THROW(model.forward_backward(client, idx), std::invalid_argument);
+}
+
+TEST(Gradcheck, RestoresParameters) {
+  Rng rng(10);
+  MlpClassifier model(4, {4}, 2);
+  model.init(rng);
+  const std::vector<float> before(model.params().begin(), model.params().end());
+  const data::ClientData client = small_classification_client(rng, 6, 4, 2);
+  const auto idx = iota_idx(6);
+  gradient_check(model, client, idx, rng, 10);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_FLOAT_EQ(model.params()[i], before[i]);
+  }
+}
+
+}  // namespace
+}  // namespace fedtune::nn

@@ -1,0 +1,142 @@
+#include "nn/layers.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/param_store.hpp"
+#include "tensor/ops.hpp"
+
+namespace fedtune::nn {
+namespace {
+
+TEST(ParamStore, AllocateAndViews) {
+  ParamStore store;
+  const std::size_t a = store.allocate(3);
+  const std::size_t b = store.allocate(2);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 3u);
+  EXPECT_EQ(store.size(), 5u);
+  store.values(a, 3)[1] = 2.0f;
+  EXPECT_FLOAT_EQ(store.values()[1], 2.0f);
+  store.grads(b, 2)[0] = 1.0f;
+  store.zero_grad();
+  EXPECT_FLOAT_EQ(store.grads()[3], 0.0f);
+  EXPECT_THROW(store.values(4, 2), std::invalid_argument);
+}
+
+TEST(Linear, ForwardMatchesManual) {
+  ParamStore store;
+  Linear lin(store, 2, 3);
+  // W is (2,3) row-major at offset 0, bias (3) after it.
+  auto vals = store.values();
+  // W = [[1,2,3],[4,5,6]], b = [0.5, 0.5, 0.5]
+  for (std::size_t i = 0; i < 6; ++i) vals[i] = static_cast<float>(i + 1);
+  for (std::size_t i = 6; i < 9; ++i) vals[i] = 0.5f;
+
+  Matrix x = Matrix::from_rows(1, 2, {1.0f, 2.0f});
+  Matrix y;
+  lin.forward(x, y);
+  EXPECT_FLOAT_EQ(y(0, 0), 1 * 1 + 2 * 4 + 0.5f);
+  EXPECT_FLOAT_EQ(y(0, 1), 1 * 2 + 2 * 5 + 0.5f);
+  EXPECT_FLOAT_EQ(y(0, 2), 1 * 3 + 2 * 6 + 0.5f);
+}
+
+TEST(Linear, BackwardAccumulatesGradients) {
+  ParamStore store;
+  Linear lin(store, 2, 2);
+  Rng rng(1);
+  lin.init(rng);
+  Matrix x = Matrix::from_rows(2, 2, {1, 0, 0, 1});  // identity batch
+  Matrix gy = Matrix::from_rows(2, 2, {1, 2, 3, 4});
+  Matrix gx;
+  lin.backward(x, gy, &gx);
+  // dW = x^T gy = gy here; db = col sums.
+  const auto g = store.grads();
+  EXPECT_FLOAT_EQ(g[0], 1.0f);
+  EXPECT_FLOAT_EQ(g[1], 2.0f);
+  EXPECT_FLOAT_EQ(g[2], 3.0f);
+  EXPECT_FLOAT_EQ(g[3], 4.0f);
+  EXPECT_FLOAT_EQ(g[4], 4.0f);  // db[0] = 1 + 3
+  EXPECT_FLOAT_EQ(g[5], 6.0f);  // db[1] = 2 + 4
+
+  // Calling backward again doubles the parameter grads (accumulation).
+  lin.backward(x, gy, nullptr);
+  EXPECT_FLOAT_EQ(store.grads()[0], 2.0f);
+}
+
+TEST(Linear, BackwardGradInput) {
+  ParamStore store;
+  Linear lin(store, 2, 2);
+  auto vals = store.values();
+  // W = [[1,2],[3,4]], b = 0.
+  vals[0] = 1; vals[1] = 2; vals[2] = 3; vals[3] = 4;
+  Matrix x = Matrix::from_rows(1, 2, {1, 1});
+  Matrix gy = Matrix::from_rows(1, 2, {1, 1});
+  Matrix gx;
+  lin.backward(x, gy, &gx);
+  // gx = gy @ W^T = [1+2, 3+4].
+  EXPECT_FLOAT_EQ(gx(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(gx(0, 1), 7.0f);
+}
+
+TEST(Linear, InitScalesWithFanIn) {
+  ParamStore store;
+  Linear lin(store, 1000, 4);
+  Rng rng(2);
+  lin.init(rng);
+  double sq = 0.0;
+  const auto vals = store.values(0, 4000);
+  for (float v : vals) sq += v * v;
+  const double stddev = std::sqrt(sq / 4000.0);
+  EXPECT_NEAR(stddev, std::sqrt(2.0 / 1000.0), 0.005);
+}
+
+TEST(Embedding, ForwardGathersRows) {
+  ParamStore store;
+  Embedding emb(store, 4, 2);
+  auto vals = store.values();
+  for (std::size_t i = 0; i < 8; ++i) vals[i] = static_cast<float>(i);
+  const std::vector<std::int32_t> ids = {2, 0};
+  Matrix out(2, 2);
+  emb.forward(ids, out);
+  EXPECT_FLOAT_EQ(out(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(out(0, 1), 5.0f);
+  EXPECT_FLOAT_EQ(out(1, 0), 0.0f);
+}
+
+TEST(Embedding, ForwardWithColumnOffset) {
+  ParamStore store;
+  Embedding emb(store, 3, 2);
+  auto vals = store.values();
+  for (std::size_t i = 0; i < 6; ++i) vals[i] = static_cast<float>(i + 1);
+  const std::vector<std::int32_t> ids = {1};
+  Matrix out(1, 5, -1.0f);
+  emb.forward(ids, out, 2);
+  EXPECT_FLOAT_EQ(out(0, 0), -1.0f);   // untouched
+  EXPECT_FLOAT_EQ(out(0, 2), 3.0f);
+  EXPECT_FLOAT_EQ(out(0, 3), 4.0f);
+  EXPECT_FLOAT_EQ(out(0, 4), -1.0f);   // untouched
+}
+
+TEST(Embedding, BackwardAccumulatesByRow) {
+  ParamStore store;
+  Embedding emb(store, 3, 2);
+  const std::vector<std::int32_t> ids = {1, 1, 2};
+  Matrix grad = Matrix::from_rows(3, 2, {1, 2, 3, 4, 5, 6});
+  emb.backward(ids, grad);
+  const auto g = store.grads();
+  EXPECT_FLOAT_EQ(g[0], 0.0f);          // token 0 untouched
+  EXPECT_FLOAT_EQ(g[2], 1.0f + 3.0f);   // token 1 accumulated twice
+  EXPECT_FLOAT_EQ(g[3], 2.0f + 4.0f);
+  EXPECT_FLOAT_EQ(g[4], 5.0f);          // token 2
+}
+
+TEST(Embedding, RejectsOutOfVocabId) {
+  ParamStore store;
+  Embedding emb(store, 3, 2);
+  const std::vector<std::int32_t> ids = {7};
+  Matrix out(1, 2);
+  EXPECT_THROW(emb.forward(ids, out), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedtune::nn

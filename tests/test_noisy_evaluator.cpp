@@ -1,0 +1,178 @@
+#include "core/noisy_evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace fedtune::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<double> demo_errors() { return {0.1, 0.2, 0.3, 0.4, 0.5}; }
+std::vector<double> demo_weights() { return {10.0, 20.0, 30.0, 20.0, 20.0}; }
+
+TEST(NoiseModel, Predicates) {
+  NoiseModel noise;
+  EXPECT_TRUE(noise.is_full_eval());
+  EXPECT_FALSE(noise.is_private());
+  EXPECT_EQ(noise.effective_weighting(), fl::Weighting::kByExampleCount);
+  noise.eval_clients = 3;
+  noise.epsilon = 1.0;
+  EXPECT_FALSE(noise.is_full_eval());
+  EXPECT_TRUE(noise.is_private());
+  // DP forces uniform weighting.
+  EXPECT_EQ(noise.effective_weighting(), fl::Weighting::kUniform);
+}
+
+TEST(NoisyEvaluator, FullEvalNoNoiseIsWeightedMean) {
+  NoiseModel noise;  // defaults: full eval, no DP, weighted
+  NoisyEvaluator eval(noise, demo_weights(), 16, Rng(1));
+  const auto errors = demo_errors();
+  const double expected =
+      (0.1 * 10 + 0.2 * 20 + 0.3 * 30 + 0.4 * 20 + 0.5 * 20) / 100.0;
+  EXPECT_NEAR(eval.evaluate(errors), expected, 1e-12);
+  EXPECT_NEAR(eval.full_error(errors), expected, 1e-12);
+}
+
+TEST(NoisyEvaluator, UniformWeightingIsPlainMean) {
+  NoiseModel noise;
+  noise.weighting = fl::Weighting::kUniform;
+  NoisyEvaluator eval(noise, demo_weights(), 16, Rng(2));
+  EXPECT_NEAR(eval.evaluate(demo_errors()), 0.3, 1e-12);
+}
+
+TEST(NoisyEvaluator, SubsamplingUsesRequestedCount) {
+  NoiseModel noise;
+  noise.eval_clients = 2;
+  NoisyEvaluator eval(noise, demo_weights(), 16, Rng(3));
+  eval.evaluate(demo_errors());
+  EXPECT_EQ(eval.last_sample().size(), 2u);
+  for (std::size_t k : eval.last_sample()) EXPECT_LT(k, 5u);
+}
+
+TEST(NoisyEvaluator, SubsampledValueMatchesSampledClients) {
+  NoiseModel noise;
+  noise.eval_clients = 2;
+  noise.weighting = fl::Weighting::kUniform;
+  NoisyEvaluator eval(noise, demo_weights(), 16, Rng(4));
+  const auto errors = demo_errors();
+  const double v = eval.evaluate(errors);
+  double manual = 0.0;
+  for (std::size_t k : eval.last_sample()) manual += errors[k];
+  manual /= 2.0;
+  EXPECT_NEAR(v, manual, 1e-12);
+}
+
+TEST(NoisyEvaluator, DeterministicPerSeed) {
+  NoiseModel noise;
+  noise.eval_clients = 3;
+  noise.epsilon = 10.0;
+  NoisyEvaluator a(noise, demo_weights(), 16, Rng(5));
+  NoisyEvaluator b(noise, demo_weights(), 16, Rng(5));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.evaluate(demo_errors()), b.evaluate(demo_errors()));
+  }
+}
+
+TEST(NoisyEvaluator, DpAddsNoiseAndForcesUniform) {
+  NoiseModel noise;
+  noise.epsilon = 1.0;
+  NoisyEvaluator eval(noise, demo_weights(), 4, Rng(6));
+  // Full eval of 5 clients, uniform: clean value would be 0.3.
+  bool any_noise = false;
+  for (int i = 0; i < 4; ++i) {
+    if (std::abs(eval.evaluate(demo_errors()) - 0.3) > 1e-9) any_noise = true;
+  }
+  EXPECT_TRUE(any_noise);
+}
+
+TEST(NoisyEvaluator, DpNoiseMagnitudeTracksFormula) {
+  // Mean |noise| of Lap(b) is b = M / (eps * |S|).
+  NoiseModel noise;
+  noise.eval_clients = 5;
+  noise.epsilon = 2.0;
+  const std::size_t m = 1000;
+  NoisyEvaluator eval(noise, demo_weights(), m, Rng(7));
+  double total_abs = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    total_abs += std::abs(eval.evaluate(demo_errors()) - 0.3);
+  }
+  const double expected_b = static_cast<double>(m) / (2.0 * 5.0);
+  EXPECT_NEAR(total_abs / static_cast<double>(m), expected_b,
+              0.15 * expected_b);
+}
+
+TEST(NoisyEvaluator, AccountantChargesPerEval) {
+  NoiseModel noise;
+  noise.epsilon = 8.0;
+  NoisyEvaluator eval(noise, demo_weights(), 16, Rng(8));
+  eval.evaluate(demo_errors());
+  eval.evaluate(demo_errors());
+  EXPECT_NEAR(eval.accountant().spent(), 1.0, 1e-12);  // 2 * 8/16
+}
+
+TEST(NoisyEvaluator, AccountantThrowsBeyondPlannedEvals) {
+  NoiseModel noise;
+  noise.epsilon = 1.0;
+  NoisyEvaluator eval(noise, demo_weights(), 2, Rng(9));
+  eval.evaluate(demo_errors());
+  eval.evaluate(demo_errors());
+  EXPECT_THROW(eval.evaluate(demo_errors()), std::invalid_argument);
+}
+
+TEST(NoisyEvaluator, BiasPrefersAccurateClients) {
+  // Client 0 has the lowest error (highest accuracy): with b = 3 it should
+  // dominate single-client samples.
+  NoiseModel noise;
+  noise.eval_clients = 1;
+  noise.bias_b = 3.0;
+  std::vector<double> errors = {0.05, 0.9, 0.9, 0.9, 0.9};
+  NoisyEvaluator eval(noise, demo_weights(), 100000, Rng(10));
+  int hits = 0;
+  for (int i = 0; i < 300; ++i) {
+    eval.evaluate(errors);
+    if (eval.last_sample().front() == 0) ++hits;
+  }
+  EXPECT_GT(hits, 250);
+}
+
+TEST(NoisyEvaluator, BiasLowersReportedError) {
+  // Accuracy-biased sampling is optimistic: reported error below truth.
+  NoiseModel noise;
+  noise.eval_clients = 2;
+  noise.bias_b = 3.0;
+  noise.weighting = fl::Weighting::kUniform;
+  std::vector<double> errors = {0.0, 0.2, 0.8, 0.9, 1.0};
+  NoisyEvaluator eval(noise, demo_weights(), 100000, Rng(11));
+  double mean = 0.0;
+  for (int i = 0; i < 200; ++i) mean += eval.evaluate(errors);
+  mean /= 200.0;
+  EXPECT_LT(mean, 0.3);  // true uniform mean is 0.58
+}
+
+TEST(NoisyEvaluator, RejectsInvalidSetup) {
+  NoiseModel noise;
+  noise.eval_clients = 10;  // more than the 5 clients available
+  EXPECT_THROW(NoisyEvaluator(noise, demo_weights(), 16, Rng(12)),
+               std::invalid_argument);
+  NoiseModel zero;
+  zero.eval_clients = 0;
+  EXPECT_THROW(NoisyEvaluator(zero, demo_weights(), 16, Rng(13)),
+               std::invalid_argument);
+  EXPECT_THROW(NoisyEvaluator(NoiseModel{}, {}, 16, Rng(14)),
+               std::invalid_argument);
+  EXPECT_THROW(NoisyEvaluator(NoiseModel{}, demo_weights(), 0, Rng(15)),
+               std::invalid_argument);
+}
+
+TEST(NoisyEvaluator, SizeMismatchThrows) {
+  NoisyEvaluator eval(NoiseModel{}, demo_weights(), 16, Rng(16));
+  const std::vector<double> wrong_size = {0.1, 0.2};
+  EXPECT_THROW(eval.evaluate(wrong_size), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedtune::core

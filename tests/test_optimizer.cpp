@@ -1,0 +1,141 @@
+#include "opt/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace fedtune::opt {
+namespace {
+
+// Minimize f(w) = 0.5 * ||w||^2 (gradient = w).
+std::vector<float> quadratic_descent(Optimizer& opt, std::size_t steps,
+                                     float w0 = 1.0f) {
+  std::vector<float> w = {w0, -w0};
+  std::vector<float> g(2);
+  for (std::size_t s = 0; s < steps; ++s) {
+    g[0] = w[0];
+    g[1] = w[1];
+    opt.step(w, g);
+  }
+  return w;
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  Sgd sgd({0.1, 0.0, 0.0});
+  const auto w = quadratic_descent(sgd, 100);
+  EXPECT_NEAR(w[0], 0.0f, 1e-4f);
+  EXPECT_NEAR(w[1], 0.0f, 1e-4f);
+}
+
+TEST(Sgd, SingleStepMatchesFormula) {
+  Sgd sgd({0.5, 0.0, 0.0});
+  std::vector<float> w = {2.0f};
+  const std::vector<float> g = {1.0f};
+  sgd.step(w, g);
+  EXPECT_FLOAT_EQ(w[0], 1.5f);
+}
+
+TEST(Sgd, MomentumAcceleratesOnConstantGradient) {
+  // With constant gradient, momentum accumulates: displacement grows.
+  Sgd plain({0.1, 0.0, 0.0});
+  Sgd heavy({0.1, 0.9, 0.0});
+  std::vector<float> wp = {0.0f}, wh = {0.0f};
+  const std::vector<float> g = {1.0f};
+  for (int i = 0; i < 10; ++i) {
+    plain.step(wp, g);
+    heavy.step(wh, g);
+  }
+  EXPECT_LT(wh[0], wp[0]);  // both negative; heavy-ball moved farther
+}
+
+TEST(Sgd, WeightDecayShrinksWeights) {
+  Sgd sgd({0.1, 0.0, 0.5});
+  std::vector<float> w = {1.0f};
+  const std::vector<float> g = {0.0f};  // decay only
+  sgd.step(w, g);
+  EXPECT_FLOAT_EQ(w[0], 1.0f - 0.1f * 0.5f);
+}
+
+TEST(Sgd, ResetClearsMomentum) {
+  Sgd sgd({0.1, 0.9, 0.0});
+  std::vector<float> w = {0.0f};
+  const std::vector<float> g = {1.0f};
+  sgd.step(w, g);
+  sgd.step(w, g);
+  const float w_with_momentum = w[0];
+  sgd.reset();
+  Sgd fresh({0.1, 0.9, 0.0});
+  std::vector<float> w2 = {w_with_momentum};
+  std::vector<float> w3 = {w_with_momentum};
+  sgd.step(w2, g);
+  fresh.step(w3, g);
+  EXPECT_FLOAT_EQ(w2[0], w3[0]);
+}
+
+TEST(Sgd, SizeMismatchThrows) {
+  Sgd sgd({0.1, 0.0, 0.0});
+  std::vector<float> w = {1.0f, 2.0f};
+  const std::vector<float> g = {1.0f};
+  EXPECT_THROW(sgd.step(w, g), std::invalid_argument);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Adam adam({0.3, 0.9, 0.999, 1e-8, 1.0});
+  const auto w = quadratic_descent(adam, 300);
+  EXPECT_NEAR(w[0], 0.0f, 1e-2f);
+}
+
+TEST(Adam, FirstStepHasUnitScaleRegardlessOfGradientMagnitude) {
+  // Bias-corrected Adam's first step is ~lr * sign(g).
+  for (float scale : {0.01f, 1.0f, 100.0f}) {
+    Adam adam({0.1, 0.9, 0.999, 1e-12, 1.0});
+    std::vector<float> w = {0.0f};
+    const std::vector<float> g = {scale};
+    adam.step(w, g);
+    EXPECT_NEAR(w[0], -0.1f, 1e-4f) << "scale " << scale;
+  }
+}
+
+TEST(Adam, LrDecayIsApplied) {
+  Adam adam({0.1, 0.0, 0.0, 1e-12, 0.5});
+  std::vector<float> w = {0.0f};
+  const std::vector<float> g = {1.0f};
+  adam.step(w, g);
+  EXPECT_NEAR(adam.current_lr(), 0.05, 1e-12);
+  adam.step(w, g);
+  EXPECT_NEAR(adam.current_lr(), 0.025, 1e-12);
+}
+
+TEST(Adam, SaveLoadStateRoundTrip) {
+  Adam a({0.1, 0.9, 0.99, 1e-8, 0.999});
+  std::vector<float> w = {1.0f, -1.0f};
+  const std::vector<float> g = {0.3f, 0.7f};
+  a.step(w, g);
+  a.step(w, g);
+  const Adam::State snapshot = a.save_state();
+  std::vector<float> w_cont = w;
+  a.step(w_cont, g);
+
+  Adam b({0.1, 0.9, 0.99, 1e-8, 0.999});
+  // Prime b's internal buffers, then load the snapshot.
+  std::vector<float> w_tmp = {0.0f, 0.0f};
+  b.step(w_tmp, g);
+  b.load_state(snapshot);
+  std::vector<float> w_b = w;
+  b.step(w_b, g);
+  EXPECT_FLOAT_EQ(w_b[0], w_cont[0]);
+  EXPECT_FLOAT_EQ(w_b[1], w_cont[1]);
+}
+
+TEST(Adam, ResetRestoresInitialLr) {
+  Adam adam({0.2, 0.9, 0.999, 1e-8, 0.9});
+  std::vector<float> w = {0.0f};
+  const std::vector<float> g = {1.0f};
+  adam.step(w, g);
+  adam.reset();
+  EXPECT_DOUBLE_EQ(adam.current_lr(), 0.2);
+}
+
+}  // namespace
+}  // namespace fedtune::opt

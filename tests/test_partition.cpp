@@ -1,0 +1,173 @@
+#include "data/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "test_util.hpp"
+
+namespace fedtune::data {
+namespace {
+
+std::vector<std::int32_t> balanced_labels(std::size_t n, std::size_t classes) {
+  std::vector<std::int32_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    labels[i] = static_cast<std::int32_t>(i % classes);
+  }
+  return labels;
+}
+
+TEST(DirichletPartition, CoversEveryExampleExactlyOnce) {
+  Rng rng(1);
+  const auto labels = balanced_labels(1000, 10);
+  const auto parts = dirichlet_label_partition(labels, 10, 37, 0.5, rng);
+  ASSERT_EQ(parts.size(), 37u);
+  std::set<std::size_t> seen;
+  std::size_t total = 0;
+  for (const auto& p : parts) {
+    total += p.size();
+    seen.insert(p.begin(), p.end());
+  }
+  EXPECT_EQ(total, 1000u);
+  EXPECT_EQ(seen.size(), 1000u);  // no duplicates
+}
+
+TEST(DirichletPartition, BalancedClientSizes) {
+  Rng rng(2);
+  const auto labels = balanced_labels(100, 4);
+  const auto parts = dirichlet_label_partition(labels, 4, 8, 1.0, rng);
+  // 100 / 8 = 12.5: sizes must be 12 or 13.
+  for (const auto& p : parts) {
+    EXPECT_GE(p.size(), 12u);
+    EXPECT_LE(p.size(), 13u);
+  }
+}
+
+// Label entropy of a client's examples under different alphas.
+double label_entropy(const std::vector<std::size_t>& part,
+                     const std::vector<std::int32_t>& labels,
+                     std::size_t classes) {
+  std::vector<double> counts(classes, 0.0);
+  for (std::size_t i : part) counts[static_cast<std::size_t>(labels[i])] += 1.0;
+  double h = 0.0;
+  for (double c : counts) {
+    if (c > 0) {
+      const double p = c / static_cast<double>(part.size());
+      h -= p * std::log(p);
+    }
+  }
+  return h;
+}
+
+TEST(DirichletPartition, SmallAlphaGivesSkewedClients) {
+  Rng rng(3);
+  const auto labels = balanced_labels(4000, 10);
+  const auto skewed = dirichlet_label_partition(labels, 10, 40, 0.05, rng);
+  const auto uniform = dirichlet_label_partition(labels, 10, 40, 100.0, rng);
+  double h_skewed = 0.0, h_uniform = 0.0;
+  for (const auto& p : skewed) h_skewed += label_entropy(p, labels, 10);
+  for (const auto& p : uniform) h_uniform += label_entropy(p, labels, 10);
+  EXPECT_LT(h_skewed / 40.0, 0.5 * h_uniform / 40.0);
+}
+
+TEST(DirichletPartition, RejectsBadArgs) {
+  Rng rng(4);
+  const auto labels = balanced_labels(10, 2);
+  EXPECT_THROW(dirichlet_label_partition(labels, 2, 0, 0.5, rng),
+               std::invalid_argument);
+  EXPECT_THROW(dirichlet_label_partition(labels, 2, 20, 0.5, rng),
+               std::invalid_argument);
+}
+
+TEST(RepartitionIid, PZeroIsNoOp) {
+  const auto ds = testutil::small_image_dataset();
+  Rng rng(5);
+  const auto out = repartition_iid(ds.eval_clients, 0.0, rng);
+  ASSERT_EQ(out.size(), ds.eval_clients.size());
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    ASSERT_EQ(out[k].num_examples(), ds.eval_clients[k].num_examples());
+    for (std::size_t i = 0; i < out[k].labels.size(); ++i) {
+      EXPECT_EQ(out[k].labels[i], ds.eval_clients[k].labels[i]);
+    }
+  }
+}
+
+TEST(RepartitionIid, PreservesClientSizesAndGlobalLabelCounts) {
+  const auto ds = testutil::small_image_dataset(3, /*alpha=*/0.1);
+  Rng rng(6);
+  const auto out = repartition_iid(ds.eval_clients, 1.0, rng);
+  std::vector<std::size_t> before(ds.num_classes, 0), after(ds.num_classes, 0);
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    EXPECT_EQ(out[k].num_examples(), ds.eval_clients[k].num_examples());
+    for (std::int32_t y : ds.eval_clients[k].labels) {
+      ++before[static_cast<std::size_t>(y)];
+    }
+    for (std::int32_t y : out[k].labels) {
+      ++after[static_cast<std::size_t>(y)];
+    }
+  }
+  EXPECT_EQ(before, after);  // examples only moved, never created/destroyed
+}
+
+// Mean across clients of the max label fraction — 1.0 means single-class
+// clients, 1/classes means perfectly mixed.
+double mean_max_label_fraction(std::span<const ClientData> clients,
+                               std::size_t classes) {
+  double total = 0.0;
+  for (const auto& c : clients) {
+    std::vector<double> counts(classes, 0.0);
+    for (std::int32_t y : c.labels) counts[static_cast<std::size_t>(y)] += 1.0;
+    total += *std::max_element(counts.begin(), counts.end()) /
+             static_cast<double>(c.num_examples());
+  }
+  return total / static_cast<double>(clients.size());
+}
+
+TEST(RepartitionIid, POneHomogenizesLabelDistributions) {
+  const auto ds = testutil::small_image_dataset(7, /*alpha=*/0.05);
+  Rng rng(7);
+  const double before = mean_max_label_fraction(ds.eval_clients, ds.num_classes);
+  const auto iid = repartition_iid(ds.eval_clients, 1.0, rng);
+  const double after = mean_max_label_fraction(iid, ds.num_classes);
+  EXPECT_GT(before, 0.7);            // alpha = 0.05: near-single-class clients
+  EXPECT_LT(after, before - 0.2);    // pooling mixes them substantially
+}
+
+TEST(RepartitionIid, IntermediatePInterpolates) {
+  const auto ds = testutil::small_image_dataset(8, /*alpha=*/0.05);
+  Rng rng(8);
+  const double p0 = mean_max_label_fraction(ds.eval_clients, ds.num_classes);
+  const double p50 = mean_max_label_fraction(
+      repartition_iid(ds.eval_clients, 0.5, rng), ds.num_classes);
+  const double p100 = mean_max_label_fraction(
+      repartition_iid(ds.eval_clients, 1.0, rng), ds.num_classes);
+  EXPECT_GT(p0, p50);
+  EXPECT_GT(p50, p100);
+}
+
+TEST(RepartitionIid, WorksOnTokenClients) {
+  const auto ds = testutil::small_text_dataset();
+  Rng rng(9);
+  const auto out = repartition_iid(ds.eval_clients, 1.0, rng);
+  ASSERT_EQ(out.size(), ds.eval_clients.size());
+  std::size_t before_tokens = 0, after_tokens = 0;
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    EXPECT_EQ(out[k].seq_len, ds.eval_clients[k].seq_len);
+    before_tokens += ds.eval_clients[k].tokens.size();
+    after_tokens += out[k].tokens.size();
+  }
+  EXPECT_EQ(before_tokens, after_tokens);
+}
+
+TEST(RepartitionIid, RejectsBadP) {
+  const auto ds = testutil::small_image_dataset();
+  Rng rng(10);
+  EXPECT_THROW(repartition_iid(ds.eval_clients, -0.1, rng),
+               std::invalid_argument);
+  EXPECT_THROW(repartition_iid(ds.eval_clients, 1.5, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedtune::data

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "privacy/accountant.hpp"
+#include "privacy/laplace.hpp"
+#include "privacy/topk.hpp"
+
+namespace fedtune::privacy {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Laplace, ZeroScaleIsExact) {
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(laplace_sample(0.0, rng), 0.0);
+}
+
+TEST(Laplace, MomentsMatchDistribution) {
+  // Laplace(0, b): mean 0, variance 2 b^2.
+  Rng rng(2);
+  const double b = 0.7;
+  const int n = 40000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = laplace_sample(b, rng);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 2.0 * b * b, 0.1);
+}
+
+TEST(Laplace, MedianAbsoluteDeviation) {
+  // P(|X| <= b ln 2) = 0.5 for Laplace(0, b).
+  Rng rng(3);
+  const double b = 1.3;
+  int inside = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (std::abs(laplace_sample(b, rng)) <= b * std::log(2.0)) ++inside;
+  }
+  EXPECT_NEAR(inside / static_cast<double>(n), 0.5, 0.02);
+}
+
+TEST(Laplace, ScaleFormulaMatchesPaper) {
+  // Lap(M / (eps * |S|)): sensitivity 1/|S|, M evals, total budget eps.
+  const double scale = laplace_scale_per_eval(1.0 / 50.0, 10.0, 16);
+  EXPECT_DOUBLE_EQ(scale, 16.0 / (10.0 * 50.0));
+}
+
+TEST(Laplace, InfiniteEpsilonMeansNoNoise) {
+  Rng rng(4);
+  EXPECT_DOUBLE_EQ(laplace_scale_per_eval(0.1, kInf, 5), 0.0);
+  EXPECT_DOUBLE_EQ(privatize(0.42, 0.1, kInf, 5, rng), 0.42);
+}
+
+TEST(Laplace, RejectsBadArgs) {
+  Rng rng(5);
+  EXPECT_THROW(laplace_scale_per_eval(0.1, 0.0, 5), std::invalid_argument);
+  EXPECT_THROW(laplace_scale_per_eval(0.1, -1.0, 5), std::invalid_argument);
+  EXPECT_THROW(laplace_scale_per_eval(0.1, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(laplace_sample(-1.0, rng), std::invalid_argument);
+}
+
+TEST(Laplace, NoiseScalesInverselyWithClients) {
+  // More clients -> smaller sensitivity -> less noise at fixed eps.
+  Rng rng(6);
+  auto mad = [&](std::size_t clients) {
+    double total = 0.0;
+    for (int i = 0; i < 5000; ++i) {
+      total += std::abs(privatize(0.5, 1.0 / clients, 1.0, 16, rng) - 0.5);
+    }
+    return total / 5000;
+  };
+  EXPECT_GT(mad(1), 5.0 * mad(100));
+}
+
+TEST(Accountant, TracksSpend) {
+  BasicCompositionAccountant acct(1.0);
+  acct.charge(0.25);
+  acct.charge(0.25);
+  EXPECT_DOUBLE_EQ(acct.spent(), 0.5);
+  EXPECT_DOUBLE_EQ(acct.remaining(), 0.5);
+}
+
+TEST(Accountant, ThrowsOnOverspend) {
+  BasicCompositionAccountant acct(1.0);
+  acct.charge(0.9);
+  EXPECT_THROW(acct.charge(0.2), std::invalid_argument);
+}
+
+TEST(Accountant, InfiniteBudgetNeverThrows) {
+  BasicCompositionAccountant acct(kInf);
+  for (int i = 0; i < 100; ++i) acct.charge(1e9);
+  EXPECT_DOUBLE_EQ(acct.spent(), 0.0);
+}
+
+TEST(Accountant, PerEvalBudgetSplit) {
+  BasicCompositionAccountant acct(8.0);
+  EXPECT_DOUBLE_EQ(acct.per_eval_budget(16), 0.5);
+  EXPECT_THROW(acct.per_eval_budget(0), std::invalid_argument);
+}
+
+TEST(Accountant, FullSplitExactlyExhausts) {
+  BasicCompositionAccountant acct(2.0);
+  const std::size_t m = 10;
+  for (std::size_t i = 0; i < m; ++i) acct.charge(acct.per_eval_budget(m));
+  EXPECT_NEAR(acct.remaining(), 0.0, 1e-12);
+}
+
+TEST(OneShotTopK, ExactWhenEpsilonInfinite) {
+  Rng rng(7);
+  const std::vector<double> values = {0.1, 0.9, 0.5, 0.7};
+  OneShotTopKParams params;
+  params.epsilon_total = kInf;
+  params.total_rounds = 3;
+  params.num_clients = 10;
+  const auto top = one_shot_top_k(values, 2, params, rng);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 1u);
+  EXPECT_EQ(top[1], 3u);
+}
+
+TEST(OneShotTopK, NoiseScaleFormula) {
+  OneShotTopKParams params;
+  params.epsilon_total = 2.0;
+  params.total_rounds = 5;
+  params.num_clients = 10;
+  // 2 * T * k / (eps * |S|) = 2*5*3 / (2*10) = 1.5
+  EXPECT_DOUBLE_EQ(one_shot_noise_scale(3, params), 1.5);
+}
+
+TEST(OneShotTopK, ReturnsDistinctValidIndices) {
+  Rng rng(8);
+  std::vector<double> values(20);
+  std::iota(values.begin(), values.end(), 0.0);
+  OneShotTopKParams params;
+  params.epsilon_total = 0.5;  // heavy noise
+  params.total_rounds = 4;
+  params.num_clients = 3;
+  for (int t = 0; t < 50; ++t) {
+    const auto top = one_shot_top_k(values, 5, params, rng);
+    std::set<std::size_t> distinct(top.begin(), top.end());
+    EXPECT_EQ(distinct.size(), 5u);
+    for (std::size_t i : top) EXPECT_LT(i, 20u);
+  }
+}
+
+TEST(OneShotTopK, HighBudgetRecoversTruth) {
+  Rng rng(9);
+  const std::vector<double> values = {0.2, 0.8, 0.4, 0.6, 0.1};
+  OneShotTopKParams params;
+  params.epsilon_total = 1e6;
+  params.total_rounds = 1;
+  params.num_clients = 100;
+  int correct = 0;
+  for (int t = 0; t < 100; ++t) {
+    const auto top = one_shot_top_k(values, 1, params, rng);
+    if (top.front() == 1) ++correct;
+  }
+  EXPECT_EQ(correct, 100);
+}
+
+TEST(OneShotTopK, LowBudgetScramblesSelection) {
+  Rng rng(10);
+  const std::vector<double> values = {0.2, 0.8, 0.4, 0.6, 0.1};
+  OneShotTopKParams params;
+  params.epsilon_total = 0.01;
+  params.total_rounds = 10;
+  params.num_clients = 1;
+  int correct = 0;
+  for (int t = 0; t < 200; ++t) {
+    if (one_shot_top_k(values, 1, params, rng).front() == 1) ++correct;
+  }
+  // Noise scale = 2*10*1/(0.01*1) = 2000 >> value gaps: near-uniform pick.
+  EXPECT_LT(correct, 100);
+  EXPECT_GT(correct, 5);
+}
+
+TEST(OneShotTopK, RejectsBadK) {
+  Rng rng(11);
+  const std::vector<double> values = {0.1, 0.2};
+  OneShotTopKParams params;
+  EXPECT_THROW(one_shot_top_k(values, 3, params, rng), std::invalid_argument);
+  EXPECT_THROW(one_shot_top_k({}, 0, params, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedtune::privacy

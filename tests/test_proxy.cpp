@@ -1,0 +1,130 @@
+#include "core/proxy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/factory.hpp"
+#include "test_util.hpp"
+
+namespace fedtune::core {
+namespace {
+
+// Builds two pool views over a synthetic error tensor (no training):
+// config c's error on every client is base[c] + per-view offset.
+PoolEvalView synthetic_view(const std::vector<double>& config_errors,
+                            std::size_t num_clients, double offset = 0.0) {
+  PoolEvalView view({5, 15}, std::vector<double>(num_clients, 1.0),
+                    config_errors.size());
+  for (std::size_t c = 0; c < config_errors.size(); ++c) {
+    for (std::size_t ck = 0; ck < 2; ++ck) {
+      auto e = view.errors(c, ck);
+      for (std::size_t k = 0; k < num_clients; ++k) {
+        e[k] = static_cast<float>(
+            std::clamp(config_errors[c] + offset, 0.0, 1.0));
+      }
+    }
+  }
+  return view;
+}
+
+TEST(OneShotProxyRs, IdenticalPoolsSelectOracle) {
+  const std::vector<double> errors = {0.8, 0.3, 0.6, 0.9, 0.5};
+  const PoolEvalView proxy = synthetic_view(errors, 4);
+  const PoolEvalView client = synthetic_view(errors, 7);
+  Rng rng(1);
+  // Sampling many configs guarantees the best (index 1) is drawn.
+  const ProxyTuneResult r = one_shot_proxy_rs(proxy, client, 64, rng);
+  EXPECT_EQ(r.config_index, 1u);
+  EXPECT_NEAR(r.proxy_full_error, 0.3, 1e-6);
+  EXPECT_NEAR(r.client_full_error, 0.3, 1e-6);
+}
+
+TEST(OneShotProxyRs, SelectionUsesProxyNotClient) {
+  // Proxy ranks config 2 best, but on the client config 0 is best: the
+  // one-shot method must follow the proxy.
+  const PoolEvalView proxy = synthetic_view({0.9, 0.8, 0.1}, 4);
+  const PoolEvalView client = synthetic_view({0.2, 0.5, 0.7}, 4);
+  Rng rng(2);
+  const ProxyTuneResult r = one_shot_proxy_rs(proxy, client, 64, rng);
+  EXPECT_EQ(r.config_index, 2u);
+  EXPECT_NEAR(r.client_full_error, 0.7, 1e-6);
+}
+
+TEST(OneShotProxyRs, MismatchedPoolSizesThrow) {
+  const PoolEvalView proxy = synthetic_view({0.5, 0.4}, 3);
+  const PoolEvalView client = synthetic_view({0.5, 0.4, 0.3}, 3);
+  Rng rng(3);
+  EXPECT_THROW(one_shot_proxy_rs(proxy, client, 4, rng),
+               std::invalid_argument);
+}
+
+TEST(OneShotProxyRs, BudgetAccounting) {
+  const PoolEvalView proxy = synthetic_view({0.5, 0.4}, 3);
+  const PoolEvalView client = synthetic_view({0.5, 0.4}, 3);
+  Rng rng(4);
+  const ProxyTuneResult r = one_shot_proxy_rs(proxy, client, 16, rng);
+  // 16 proxy trainings + 1 client training, 15 rounds each.
+  EXPECT_EQ(r.rounds_used, 17u * 15u);
+}
+
+TEST(OneShotProxyRsCurve, MonotoneOnProxyAndCorrectLength) {
+  const std::vector<double> errors = {0.8, 0.3, 0.6, 0.9, 0.5, 0.2, 0.7};
+  const PoolEvalView proxy = synthetic_view(errors, 4);
+  const PoolEvalView client = synthetic_view(errors, 4);
+  Rng rng(5);
+  const auto curve = one_shot_proxy_rs_curve(proxy, client, 10, 15, rng);
+  ASSERT_EQ(curve.size(), 10u);
+  // With identical pools the client error of the incumbent is non-increasing.
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].full_error, curve[i - 1].full_error + 1e-9);
+    EXPECT_GT(curve[i].rounds, curve[i - 1].rounds);
+  }
+  // First point reserves budget for one proxy config + the client training.
+  EXPECT_EQ(curve.front().rounds, 2u * 15u);
+}
+
+TEST(OneShotProxyRs, ImmuneToClientNoise) {
+  // The proxy decision never touches client evaluations, so adding client-
+  // side noise cannot change the selected configuration. (Structural test:
+  // selection depends only on the proxy view and the rng.)
+  const PoolEvalView proxy = synthetic_view({0.9, 0.2, 0.6}, 4);
+  const PoolEvalView client_a = synthetic_view({0.3, 0.4, 0.5}, 4);
+  const PoolEvalView client_b = synthetic_view({0.3, 0.4, 0.5}, 4, 0.2);
+  Rng rng_a(6), rng_b(6);
+  const ProxyTuneResult a = one_shot_proxy_rs(proxy, client_a, 8, rng_a);
+  const ProxyTuneResult b = one_shot_proxy_rs(proxy, client_b, 8, rng_b);
+  EXPECT_EQ(a.config_index, b.config_index);
+}
+
+TEST(OneShotProxyRs, EndToEndOnRealPools) {
+  // Two small image datasets from the same generator family: HPs should
+  // transfer, making proxy selection much better than the pool median.
+  const auto ds_proxy = testutil::small_image_dataset(21);
+  const auto ds_client = testutil::small_image_dataset(22);
+  const auto arch_p = nn::make_default_model(ds_proxy);
+  const auto arch_c = nn::make_default_model(ds_client);
+  PoolBuildOptions opts;
+  opts.num_configs = 10;
+  opts.checkpoints = {3, 9, 27};
+  opts.store_params = false;
+  opts.trainer.clients_per_round = 5;
+  opts.num_threads = 2;
+  const ConfigPool proxy_pool =
+      ConfigPool::build(ds_proxy, *arch_p, hpo::appendix_b_space(), opts);
+  const ConfigPool client_pool =
+      ConfigPool::build(ds_client, *arch_c, hpo::appendix_b_space(), opts);
+
+  Rng rng(7);
+  const ProxyTuneResult r =
+      one_shot_proxy_rs(proxy_pool.view(), client_pool.view(), 10, rng);
+  std::vector<double> client_errors;
+  for (std::size_t c = 0; c < 10; ++c) {
+    client_errors.push_back(client_pool.view().full_error(
+        c, 2, fl::Weighting::kByExampleCount));
+  }
+  std::sort(client_errors.begin(), client_errors.end());
+  // The proxy-chosen config should land in the better half on the client.
+  EXPECT_LE(r.client_full_error, client_errors[5] + 1e-9);
+}
+
+}  // namespace
+}  // namespace fedtune::core

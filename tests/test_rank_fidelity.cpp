@@ -1,0 +1,102 @@
+#include "core/rank_fidelity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fedtune::core {
+namespace {
+
+// A view whose clients agree perfectly: client error == config error.
+PoolEvalView homogeneous_view(const std::vector<double>& config_errors,
+                              std::size_t num_clients) {
+  PoolEvalView view({9}, std::vector<double>(num_clients, 1.0),
+                    config_errors.size());
+  for (std::size_t c = 0; c < config_errors.size(); ++c) {
+    auto e = view.errors(c, 0);
+    for (std::size_t k = 0; k < num_clients; ++k) {
+      e[k] = static_cast<float>(config_errors[c]);
+    }
+  }
+  return view;
+}
+
+// Heterogeneous: client k's error for config c is base[c] + strong
+// client-specific deviation (alternating sign), keeping the mean at base[c].
+PoolEvalView heterogeneous_view(const std::vector<double>& config_errors,
+                                std::size_t num_clients) {
+  PoolEvalView view({9}, std::vector<double>(num_clients, 1.0),
+                    config_errors.size());
+  for (std::size_t c = 0; c < config_errors.size(); ++c) {
+    auto e = view.errors(c, 0);
+    for (std::size_t k = 0; k < num_clients; ++k) {
+      const double dev = (k % 2 == 0) ? 0.35 : -0.35;
+      e[k] = static_cast<float>(std::clamp(config_errors[c] + dev, 0.0, 1.0));
+    }
+  }
+  return view;
+}
+
+const std::vector<double> kErrors = {0.2, 0.35, 0.5, 0.65, 0.8, 0.3,
+                                     0.45, 0.6, 0.75, 0.9};
+
+TEST(RankFidelity, PerfectUnderFullCleanEval) {
+  const PoolEvalView view = homogeneous_view(kErrors, 12);
+  NoiseModel noise;  // full eval, no DP
+  Rng rng(1);
+  const RankFidelity rf = measure_rank_fidelity(view, noise, 5, rng);
+  EXPECT_NEAR(rf.spearman, 1.0, 1e-9);
+  EXPECT_NEAR(rf.kendall, 1.0, 1e-9);
+  EXPECT_NEAR(rf.top1_hit_rate, 1.0, 1e-9);
+}
+
+TEST(RankFidelity, HomogeneousClientsSurviveSubsampling) {
+  // When all clients agree, even one client ranks perfectly.
+  const PoolEvalView view = homogeneous_view(kErrors, 12);
+  NoiseModel noise;
+  noise.eval_clients = 1;
+  Rng rng(2);
+  const RankFidelity rf = measure_rank_fidelity(view, noise, 5, rng);
+  EXPECT_NEAR(rf.spearman, 1.0, 1e-9);
+}
+
+TEST(RankFidelity, HeterogeneityPlusSubsamplingDegrades) {
+  const PoolEvalView view = heterogeneous_view(kErrors, 12);
+  NoiseModel one_client;
+  one_client.eval_clients = 1;
+  Rng rng1(3), rng2(3);
+  const RankFidelity noisy =
+      measure_rank_fidelity(view, one_client, 30, rng1);
+  const RankFidelity clean =
+      measure_rank_fidelity(view, NoiseModel{}, 30, rng2);
+  EXPECT_LT(noisy.spearman, clean.spearman - 0.1);
+  EXPECT_LT(noisy.top1_hit_rate, 1.0);
+}
+
+TEST(RankFidelity, DpNoiseDegradesEvenFullEval) {
+  const PoolEvalView view = homogeneous_view(kErrors, 12);
+  NoiseModel dp;
+  dp.epsilon = 0.5;  // heavy: scale = K/(eps*|S|) = 10/(0.5*12) = 1.67
+  Rng rng(4);
+  const RankFidelity rf = measure_rank_fidelity(view, dp, 30, rng);
+  EXPECT_LT(rf.spearman, 0.6);
+}
+
+TEST(RankFidelity, MoreClientsImproveFidelity) {
+  const PoolEvalView view = heterogeneous_view(kErrors, 40);
+  NoiseModel few, many;
+  few.eval_clients = 1;
+  many.eval_clients = 30;
+  Rng rng1(5), rng2(5);
+  const RankFidelity rf_few = measure_rank_fidelity(view, few, 30, rng1);
+  const RankFidelity rf_many = measure_rank_fidelity(view, many, 30, rng2);
+  EXPECT_GT(rf_many.spearman, rf_few.spearman);
+}
+
+TEST(RankFidelity, RejectsZeroTrials) {
+  const PoolEvalView view = homogeneous_view(kErrors, 4);
+  Rng rng(6);
+  EXPECT_THROW(measure_rank_fidelity(view, NoiseModel{}, 0, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedtune::core

@@ -1,0 +1,191 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace fedtune {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SplitIsDeterministicAndIndependent) {
+  Rng parent(7);
+  Rng c1 = parent.split(1);
+  Rng c2 = parent.split(2);
+  Rng c1_again = parent.split(1);
+  EXPECT_DOUBLE_EQ(c1.uniform(), c1_again.uniform());
+  // Children of different salts should not track each other.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (c1.uniform() == c2.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SplitDoesNotAdvanceParent) {
+  Rng a(9), b(9);
+  (void)a.split(3);
+  EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(4);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(0, 3);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all values reachable
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(5);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(1.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, DirichletSumsToOne) {
+  Rng rng(6);
+  for (double alpha : {0.1, 1.0, 10.0}) {
+    const std::vector<double> d = rng.dirichlet(alpha, 5);
+    ASSERT_EQ(d.size(), 5u);
+    double total = 0.0;
+    for (double v : d) {
+      EXPECT_GE(v, 0.0);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(Rng, DirichletSmallAlphaIsSkewed) {
+  // Smaller concentration => the largest component dominates more, on
+  // average (the label-skew mechanism of Hsu et al.).
+  Rng rng(7);
+  auto mean_max = [&](double alpha) {
+    double total = 0.0;
+    for (int t = 0; t < 200; ++t) {
+      const std::vector<double> d = rng.dirichlet(alpha, 10);
+      total += *std::max_element(d.begin(), d.end());
+    }
+    return total / 200.0;
+  };
+  const double skewed = mean_max(0.05);
+  const double balanced = mean_max(10.0);
+  EXPECT_GT(skewed, 0.6);
+  EXPECT_LT(balanced, 0.3);
+  EXPECT_GT(skewed, balanced + 0.3);
+}
+
+TEST(Rng, DirichletLargeAlphaIsBalanced) {
+  Rng rng(8);
+  const std::vector<double> d = rng.dirichlet(100.0, 4);
+  for (double v : d) EXPECT_NEAR(v, 0.25, 0.1);
+}
+
+TEST(Rng, DirichletRejectsBadArgs) {
+  Rng rng(9);
+  EXPECT_THROW(rng.dirichlet(0.0, 3), std::invalid_argument);
+  EXPECT_THROW(rng.dirichlet(1.0, 0), std::invalid_argument);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(10);
+  const std::vector<double> w = {0.0, 1.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 4000; ++i) ++counts[rng.categorical(w)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.5);
+}
+
+TEST(Rng, CategoricalRejectsBadWeights) {
+  Rng rng(11);
+  EXPECT_THROW(rng.categorical({}), std::invalid_argument);
+  EXPECT_THROW(rng.categorical({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(rng.categorical({1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(12);
+  const std::vector<std::size_t> p = rng.permutation(50);
+  std::set<std::size_t> s(p.begin(), p.end());
+  EXPECT_EQ(s.size(), 50u);
+  EXPECT_EQ(*s.begin(), 0u);
+  EXPECT_EQ(*s.rbegin(), 49u);
+}
+
+class SampleWithoutReplacement
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(SampleWithoutReplacement, DistinctAndInRange) {
+  const auto [n, k] = GetParam();
+  Rng rng(13);
+  const std::vector<std::size_t> s = rng.sample_without_replacement(n, k);
+  EXPECT_EQ(s.size(), k);
+  std::set<std::size_t> distinct(s.begin(), s.end());
+  EXPECT_EQ(distinct.size(), k);
+  for (std::size_t v : s) EXPECT_LT(v, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SampleWithoutReplacement,
+    ::testing::Values(std::make_pair(1u, 1u), std::make_pair(10u, 1u),
+                      std::make_pair(10u, 5u), std::make_pair(10u, 10u),
+                      std::make_pair(1000u, 7u), std::make_pair(100u, 99u)));
+
+TEST(Rng, SampleWithoutReplacementRejectsOversample) {
+  Rng rng(14);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, SampleWithoutReplacementIsUniform) {
+  // Each index should appear with probability k/n.
+  Rng rng(15);
+  const std::size_t n = 10, k = 3, trials = 6000;
+  std::vector<int> counts(n, 0);
+  for (std::size_t t = 0; t < trials; ++t) {
+    for (std::size_t v : rng.sample_without_replacement(n, k)) ++counts[v];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / trials, 0.3, 0.05);
+  }
+}
+
+}  // namespace
+}  // namespace fedtune

@@ -1,0 +1,160 @@
+#include "hpo/search_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fedtune::hpo {
+namespace {
+
+SearchSpace demo_space() {
+  SearchSpace s;
+  s.add_uniform("u", 2.0, 4.0)
+      .add_log_uniform("lr", 1e-4, 1e-1)
+      .add_choice("batch", {32.0, 64.0, 128.0})
+      .add_fixed("wd", 5e-5);
+  return s;
+}
+
+TEST(SearchSpace, SampleWithinBounds) {
+  const SearchSpace s = demo_space();
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const Config c = s.sample(rng);
+    EXPECT_GE(c.at("u"), 2.0);
+    EXPECT_LT(c.at("u"), 4.0);
+    EXPECT_GE(c.at("lr"), 1e-4);
+    EXPECT_LE(c.at("lr"), 1e-1);
+    const double b = c.at("batch");
+    EXPECT_TRUE(b == 32.0 || b == 64.0 || b == 128.0);
+    EXPECT_DOUBLE_EQ(c.at("wd"), 5e-5);
+  }
+}
+
+TEST(SearchSpace, LogUniformMedianNearGeometricMean) {
+  SearchSpace s;
+  s.add_log_uniform("x", 1e-6, 1.0);
+  Rng rng(2);
+  std::vector<double> logs;
+  for (int i = 0; i < 4000; ++i) {
+    logs.push_back(std::log10(s.sample(rng).at("x")));
+  }
+  std::sort(logs.begin(), logs.end());
+  EXPECT_NEAR(logs[2000], -3.0, 0.15);  // median of log10 ~ center
+}
+
+TEST(SearchSpace, NumDimsSkipsFixed) {
+  EXPECT_EQ(demo_space().num_dims(), 3u);
+}
+
+TEST(SearchSpace, EncodeDecodeRoundTrip) {
+  const SearchSpace s = demo_space();
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const Config c = s.sample(rng);
+    const Config back = s.decode(s.encode(c));
+    EXPECT_NEAR(back.at("u"), c.at("u"), 1e-9);
+    EXPECT_NEAR(std::log10(back.at("lr")), std::log10(c.at("lr")), 1e-9);
+    EXPECT_DOUBLE_EQ(back.at("batch"), c.at("batch"));
+    EXPECT_DOUBLE_EQ(back.at("wd"), 5e-5);
+  }
+}
+
+TEST(SearchSpace, EncodeIsUnitRangeForContinuous) {
+  const SearchSpace s = demo_space();
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const auto e = s.encode(s.sample(rng));
+    EXPECT_GE(e[0], 0.0);
+    EXPECT_LE(e[0], 1.0);
+    EXPECT_GE(e[1], 0.0);
+    EXPECT_LE(e[1], 1.0);
+  }
+}
+
+TEST(SearchSpace, DecodeClampsOutOfRange) {
+  const SearchSpace s = demo_space();
+  const Config c = s.decode({1.7, -0.3, 99.0});
+  EXPECT_DOUBLE_EQ(c.at("u"), 4.0);
+  EXPECT_DOUBLE_EQ(c.at("lr"), 1e-4);
+  EXPECT_DOUBLE_EQ(c.at("batch"), 128.0);
+}
+
+TEST(SearchSpace, ChoiceEncodesNearestValue) {
+  const SearchSpace s = demo_space();
+  Config c = {{"u", 3.0}, {"lr", 1e-2}, {"batch", 60.0}, {"wd", 5e-5}};
+  const auto e = s.encode(c);
+  EXPECT_DOUBLE_EQ(e[2], 1.0);  // 60 is nearest to 64 (index 1)
+}
+
+TEST(SearchSpace, EncodeMissingParamThrows) {
+  const SearchSpace s = demo_space();
+  const Config c = {{"u", 3.0}};
+  EXPECT_THROW(s.encode(c), std::invalid_argument);
+}
+
+TEST(SearchSpace, RejectsInvalidBounds) {
+  SearchSpace s;
+  EXPECT_THROW(s.add_uniform("a", 2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(s.add_log_uniform("b", 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(s.add_log_uniform("c", -1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(s.add_choice("d", {}), std::invalid_argument);
+}
+
+TEST(SearchSpace, DimSpecOrder) {
+  const SearchSpace s = demo_space();
+  EXPECT_EQ(s.dim_spec(0).name, "u");
+  EXPECT_EQ(s.dim_spec(1).name, "lr");
+  EXPECT_EQ(s.dim_spec(2).name, "batch");
+  EXPECT_THROW(s.dim_spec(3), std::invalid_argument);
+}
+
+TEST(SearchSpace, AppendixBMatchesPaper) {
+  const SearchSpace s = appendix_b_space();
+  Rng rng(5);
+  const Config c = s.sample(rng);
+  EXPECT_GE(c.at("server_lr"), 1e-6);
+  EXPECT_LE(c.at("server_lr"), 1e-1);
+  EXPECT_GE(c.at("beta1"), 0.0);
+  EXPECT_LE(c.at("beta1"), 0.9);
+  EXPECT_GE(c.at("beta2"), 0.0);
+  EXPECT_LE(c.at("beta2"), 0.999);
+  EXPECT_DOUBLE_EQ(c.at("server_lr_decay"), 0.9999);
+  EXPECT_GE(c.at("client_lr"), 1e-6);
+  EXPECT_LE(c.at("client_lr"), 1.0);
+  EXPECT_GE(c.at("client_momentum"), 0.0);
+  EXPECT_LE(c.at("client_momentum"), 0.9);
+  EXPECT_DOUBLE_EQ(c.at("client_weight_decay"), 5e-5);
+  EXPECT_DOUBLE_EQ(c.at("local_epochs"), 1.0);
+  const double b = c.at("batch_size");
+  EXPECT_TRUE(b == 32.0 || b == 64.0 || b == 128.0);
+}
+
+TEST(SearchSpace, AppendixBNestedRanges) {
+  const SearchSpace narrow = appendix_b_space(1e-4, 1e-3);
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    const double lr = narrow.sample(rng).at("server_lr");
+    EXPECT_GE(lr, 1e-4);
+    EXPECT_LE(lr, 1e-3);
+  }
+}
+
+TEST(SearchSpace, ProjectSnapsOntoSpace) {
+  const SearchSpace s = demo_space();
+  Config c = {{"u", 3.3}, {"lr", 3e-3}, {"batch", 50.0}, {"wd", 1.0}};
+  const Config p = s.project(c);
+  EXPECT_NEAR(p.at("u"), 3.3, 1e-9);
+  EXPECT_DOUBLE_EQ(p.at("batch"), 64.0);   // snapped to nearest choice
+  EXPECT_DOUBLE_EQ(p.at("wd"), 5e-5);      // fixed param restored
+}
+
+TEST(SearchSpace, ToStringContainsParams) {
+  const Config c = {{"alpha", 0.5}, {"beta", 2.0}};
+  const std::string str = to_string(c);
+  EXPECT_NE(str.find("alpha=0.5"), std::string::npos);
+  EXPECT_NE(str.find("beta=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fedtune::hpo

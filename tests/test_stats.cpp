@@ -1,0 +1,132 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fedtune::stats {
+namespace {
+
+TEST(Stats, Mean) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, VarianceAndStddev) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Stats, WeightedMean) {
+  const std::vector<double> xs = {1.0, 10.0};
+  const std::vector<double> ws = {9.0, 1.0};
+  EXPECT_NEAR(weighted_mean(xs, ws), 1.9, 1e-12);
+}
+
+TEST(Stats, WeightedMeanUniformEqualsMean) {
+  const std::vector<double> xs = {3.0, 5.0, 8.0};
+  const std::vector<double> ws = {1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(weighted_mean(xs, ws), mean(xs));
+}
+
+TEST(Stats, WeightedMeanRejectsBadWeights) {
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_THROW(weighted_mean(xs, std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(weighted_mean(xs, std::vector<double>{1.0, -1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(weighted_mean(xs, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};  // sorted: 1 2 3 4
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 1.75);
+}
+
+TEST(Stats, QuantileSingleElement) {
+  const std::vector<double> xs = {7.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.3), 7.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs = {3.0, -1.0, 5.0};
+  EXPECT_DOUBLE_EQ(min(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max(xs), 5.0);
+}
+
+TEST(Stats, FractionalRanksWithTies) {
+  const std::vector<double> xs = {10.0, 20.0, 20.0, 30.0};
+  const std::vector<double> r = fractional_ranks(xs);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const std::vector<double> ys = {2.0, 4.0, 6.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> zs = {6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(xs, zs), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonZeroVarianceIsZero) {
+  const std::vector<double> xs = {1.0, 1.0, 1.0};
+  const std::vector<double> ys = {2.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Stats, SpearmanMonotonicNonlinear) {
+  // y = x^3 is monotone in x: Spearman = 1 even though the relation is
+  // nonlinear.
+  const std::vector<double> xs = {-2.0, -1.0, 0.0, 1.0, 2.0};
+  const std::vector<double> ys = {-8.0, -1.0, 0.0, 1.0, 8.0};
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Stats, KendallKnownValue) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys = {1.0, 3.0, 2.0, 4.0};
+  // 5 concordant, 1 discordant of 6 pairs: tau = 4/6.
+  EXPECT_NEAR(kendall_tau(xs, ys), 4.0 / 6.0, 1e-12);
+}
+
+TEST(Stats, KendallReversed) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const std::vector<double> ys = {3.0, 2.0, 1.0};
+  EXPECT_NEAR(kendall_tau(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Stats, KendallWithTies) {
+  const std::vector<double> xs = {1.0, 1.0, 2.0};
+  const std::vector<double> ys = {1.0, 2.0, 3.0};
+  // tau-b handles the tie in x; result should be positive but < 1.
+  const double tau = kendall_tau(xs, ys);
+  EXPECT_GT(tau, 0.0);
+  EXPECT_LT(tau, 1.0);
+}
+
+TEST(Stats, QuartilesOrdering) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  const QuartileSummary q = quartiles(xs);
+  EXPECT_LE(q.q25, q.median);
+  EXPECT_LE(q.median, q.q75);
+  EXPECT_DOUBLE_EQ(q.median, 3.0);
+}
+
+TEST(Stats, EmptyInputsThrow) {
+  const std::vector<double> empty;
+  EXPECT_THROW(mean(empty), std::invalid_argument);
+  EXPECT_THROW(quantile(empty, 0.5), std::invalid_argument);
+  EXPECT_THROW(min(empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fedtune::stats

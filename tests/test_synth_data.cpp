@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/benchmarks.hpp"
+#include "data/synth_image.hpp"
+#include "data/synth_text.hpp"
+
+namespace fedtune::data {
+namespace {
+
+TEST(SynthImage, ShapesAndRanges) {
+  SynthImageConfig cfg;
+  cfg.num_classes = 5;
+  cfg.input_dim = 7;
+  cfg.num_train_clients = 12;
+  cfg.num_eval_clients = 6;
+  cfg.mean_examples = 20.0;
+  cfg.seed = 1;
+  const FederatedDataset ds = make_synth_image(cfg);
+  EXPECT_EQ(ds.task, TaskKind::kClassification);
+  EXPECT_EQ(ds.train_clients.size(), 12u);
+  EXPECT_EQ(ds.eval_clients.size(), 6u);
+  EXPECT_EQ(ds.input_dim, 7u);
+  for (const ClientData& c : ds.train_clients) {
+    EXPECT_GT(c.num_examples(), 0u);
+    EXPECT_EQ(c.features.cols(), 7u);
+    EXPECT_EQ(c.features.rows(), c.labels.size());
+    for (std::int32_t y : c.labels) {
+      EXPECT_GE(y, 0);
+      EXPECT_LT(y, 5);
+    }
+  }
+}
+
+TEST(SynthImage, DeterministicPerSeed) {
+  SynthImageConfig cfg;
+  cfg.seed = 42;
+  cfg.num_train_clients = 5;
+  cfg.num_eval_clients = 3;
+  cfg.mean_examples = 10.0;
+  const FederatedDataset a = make_synth_image(cfg);
+  const FederatedDataset b = make_synth_image(cfg);
+  ASSERT_EQ(a.train_clients.size(), b.train_clients.size());
+  for (std::size_t k = 0; k < a.train_clients.size(); ++k) {
+    ASSERT_EQ(a.train_clients[k].num_examples(),
+              b.train_clients[k].num_examples());
+    for (std::size_t i = 0; i < a.train_clients[k].features.size(); ++i) {
+      EXPECT_FLOAT_EQ(a.train_clients[k].features.flat()[i],
+                      b.train_clients[k].features.flat()[i]);
+    }
+  }
+  cfg.seed = 43;
+  const FederatedDataset c = make_synth_image(cfg);
+  EXPECT_NE(a.train_clients[0].features(0, 0),
+            c.train_clients[0].features(0, 0));
+}
+
+TEST(SynthImage, LabelSkewFollowsAlpha) {
+  SynthImageConfig cfg;
+  cfg.num_classes = 10;
+  cfg.num_train_clients = 40;
+  cfg.num_eval_clients = 2;
+  cfg.mean_examples = 50.0;
+  cfg.seed = 7;
+  auto max_label_fraction = [](const FederatedDataset& ds) {
+    double total = 0.0;
+    for (const ClientData& c : ds.train_clients) {
+      std::vector<double> counts(10, 0.0);
+      for (std::int32_t y : c.labels) counts[static_cast<std::size_t>(y)] += 1;
+      total += *std::max_element(counts.begin(), counts.end()) /
+               static_cast<double>(c.num_examples());
+    }
+    return total / static_cast<double>(ds.train_clients.size());
+  };
+  cfg.dirichlet_alpha = 0.1;
+  const double skewed = max_label_fraction(make_synth_image(cfg));
+  cfg.dirichlet_alpha = 100.0;
+  const double balanced = max_label_fraction(make_synth_image(cfg));
+  EXPECT_GT(skewed, 0.55);
+  EXPECT_LT(balanced, 0.3);
+}
+
+TEST(SynthImage, ExampleCountClamping) {
+  SynthImageConfig cfg;
+  cfg.num_train_clients = 30;
+  cfg.num_eval_clients = 2;
+  cfg.mean_examples = 20.0;
+  cfg.example_lognorm_sigma = 2.0;  // heavy spread
+  cfg.min_examples = 5;
+  cfg.max_examples = 40;
+  cfg.seed = 9;
+  const FederatedDataset ds = make_synth_image(cfg);
+  for (const ClientData& c : ds.train_clients) {
+    EXPECT_GE(c.num_examples(), 5u);
+    EXPECT_LE(c.num_examples(), 40u);
+  }
+}
+
+TEST(SynthText, ShapesAndRanges) {
+  SynthTextConfig cfg;
+  cfg.vocab = 9;
+  cfg.seq_len = 7;
+  cfg.num_train_clients = 10;
+  cfg.num_eval_clients = 4;
+  cfg.mean_examples = 5.0;
+  cfg.seed = 2;
+  const FederatedDataset ds = make_synth_text(cfg);
+  EXPECT_EQ(ds.task, TaskKind::kNextToken);
+  EXPECT_EQ(ds.vocab_size(), 9u);
+  for (const ClientData& c : ds.train_clients) {
+    EXPECT_EQ(c.seq_len, 7u);
+    EXPECT_EQ(c.tokens.size() % 7u, 0u);
+    for (std::int32_t t : c.tokens) {
+      EXPECT_GE(t, 0);
+      EXPECT_LT(t, 9);
+    }
+  }
+}
+
+TEST(SynthText, DegenerateClientsAreNearConstant) {
+  SynthTextConfig cfg;
+  cfg.vocab = 10;
+  cfg.seq_len = 10;
+  cfg.num_train_clients = 40;
+  cfg.num_eval_clients = 2;
+  cfg.mean_examples = 8.0;
+  cfg.degenerate_fraction = 1.0;  // every client degenerate
+  cfg.seed = 3;
+  const FederatedDataset ds = make_synth_text(cfg);
+  // In a 0.95-self-loop chain most transitions repeat the previous token.
+  std::size_t repeats = 0, transitions = 0;
+  for (const ClientData& c : ds.train_clients) {
+    for (std::size_t i = 0; i < c.num_examples(); ++i) {
+      const auto seq = c.sequence(i);
+      for (std::size_t t = 1; t < seq.size(); ++t) {
+        ++transitions;
+        if (seq[t] == seq[t - 1]) ++repeats;
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(repeats) / static_cast<double>(transitions),
+            0.8);
+}
+
+TEST(SynthText, ClientConcentrationControlsHeterogeneity) {
+  // Bigram distribution distance between two clients should shrink as
+  // client_concentration grows.
+  auto mean_client_tv = [](double concentration) {
+    SynthTextConfig cfg;
+    cfg.vocab = 6;
+    cfg.seq_len = 20;
+    cfg.num_train_clients = 10;
+    cfg.num_eval_clients = 2;
+    cfg.mean_examples = 60.0;
+    cfg.example_lognorm_sigma = 0.01;
+    cfg.client_concentration = concentration;
+    cfg.seed = 4;
+    const FederatedDataset ds = make_synth_text(cfg);
+    // Empirical next-token marginal per client.
+    std::vector<std::vector<double>> marginals;
+    for (const ClientData& c : ds.train_clients) {
+      std::vector<double> m(6, 1e-9);
+      for (std::int32_t t : c.tokens) m[static_cast<std::size_t>(t)] += 1.0;
+      double total = 0.0;
+      for (double v : m) total += v;
+      for (double& v : m) v /= total;
+      marginals.push_back(std::move(m));
+    }
+    double tv = 0.0;
+    int pairs = 0;
+    for (std::size_t i = 0; i < marginals.size(); ++i) {
+      for (std::size_t j = i + 1; j < marginals.size(); ++j) {
+        double d = 0.0;
+        for (std::size_t v = 0; v < 6; ++v) {
+          d += std::abs(marginals[i][v] - marginals[j][v]);
+        }
+        tv += 0.5 * d;
+        ++pairs;
+      }
+    }
+    return tv / pairs;
+  };
+  EXPECT_GT(mean_client_tv(0.5), mean_client_tv(200.0) + 0.05);
+}
+
+TEST(Benchmarks, NamesRoundTrip) {
+  for (BenchmarkId id : all_benchmarks()) {
+    EXPECT_EQ(benchmark_from_name(benchmark_name(id)), id);
+  }
+  EXPECT_THROW(benchmark_from_name("nope"), std::invalid_argument);
+}
+
+TEST(Benchmarks, SubsampleGridsEndAtFullPool) {
+  // Full-pool raw counts match Table 1 (image exact, text scaled 10x).
+  EXPECT_EQ(subsample_grid(BenchmarkId::kCifar10Like).back(), 100u);
+  EXPECT_EQ(subsample_grid(BenchmarkId::kFemnistLike).back(), 360u);
+  EXPECT_EQ(subsample_grid(BenchmarkId::kStackOverflowLike).back(), 368u);
+  EXPECT_EQ(subsample_grid(BenchmarkId::kRedditLike).back(), 1000u);
+}
+
+TEST(Benchmarks, RungGeometryMatchesPaper) {
+  // R / r0 = 3^4 everywhere -> 5 SHA brackets at eta = 3.
+  for (BenchmarkId id : all_benchmarks()) {
+    EXPECT_EQ(max_rounds_per_config(id),
+              min_rounds_per_config(id) * 81);
+  }
+}
+
+TEST(Benchmarks, CifarLikeClientCountsMatchTable1) {
+  const FederatedDataset ds = make_benchmark(BenchmarkId::kCifar10Like);
+  EXPECT_EQ(ds.train_clients.size(), 400u);
+  EXPECT_EQ(ds.eval_clients.size(), 100u);
+  const PoolStats stats = pool_stats(ds.train_clients);
+  EXPECT_NEAR(stats.mean_examples, 100.0, 10.0);
+}
+
+}  // namespace
+}  // namespace fedtune::data

@@ -1,0 +1,245 @@
+// End-to-end TuningDriver tests over both live and pool-backed runners.
+#include "core/tuning_driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/config_pool.hpp"
+#include "core/pool_runner.hpp"
+#include "hpo/hyperband.hpp"
+#include "hpo/random_search.hpp"
+#include "nn/factory.hpp"
+#include "test_util.hpp"
+
+namespace fedtune::core {
+namespace {
+
+struct DriverFixture : public ::testing::Test {
+  void SetUp() override {
+    dataset = testutil::small_image_dataset();
+    arch = nn::make_default_model(dataset);
+    PoolBuildOptions opts;
+    opts.num_configs = 8;
+    opts.checkpoints = {1, 3, 9};
+    opts.trainer.clients_per_round = 5;
+    opts.num_threads = 2;
+    pool = std::make_unique<ConfigPool>(
+        ConfigPool::build(dataset, *arch, hpo::appendix_b_space(), opts));
+  }
+
+  hpo::RandomSearch pool_rs(std::size_t k, std::uint64_t seed) {
+    hpo::RandomSearch rs(hpo::appendix_b_space(), k, 9, Rng(seed));
+    rs.set_candidate_pool({pool->configs()});
+    return rs;
+  }
+
+  data::FederatedDataset dataset;
+  std::unique_ptr<nn::Model> arch;
+  std::unique_ptr<ConfigPool> pool;
+};
+
+TEST_F(DriverFixture, PoolRunnerRoundTrip) {
+  PoolTrialRunner runner(pool->view());
+  hpo::Trial t;
+  t.config_index = 3;
+  t.target_rounds = 9;
+  const std::vector<double> errors = runner.run(t);
+  const auto expected = pool->view().errors(3, 2);
+  ASSERT_EQ(errors.size(), expected.size());
+  for (std::size_t k = 0; k < errors.size(); ++k) {
+    EXPECT_FLOAT_EQ(static_cast<float>(errors[k]), expected[k]);
+  }
+  EXPECT_EQ(runner.rounds_consumed(t), 9u);
+  t.parent_id = 0;  // resumed from the previous rung (3 rounds)
+  EXPECT_EQ(runner.rounds_consumed(t), 6u);
+}
+
+TEST_F(DriverFixture, PoolRunnerRejectsMissingIndex) {
+  PoolTrialRunner runner(pool->view());
+  hpo::Trial t;  // config_index unset
+  t.target_rounds = 9;
+  EXPECT_THROW(runner.run(t), std::invalid_argument);
+}
+
+TEST_F(DriverFixture, NoiselessSelectionIsOracle) {
+  // With full clean evaluation the driver must select the config with the
+  // lowest full weighted error among those sampled.
+  auto rs = pool_rs(12, 1);
+  PoolTrialRunner runner(pool->view());
+  DriverOptions opts;
+  opts.seed = 3;
+  const TuneResult result = run_tuning(rs, runner, opts);
+  ASSERT_TRUE(result.best.has_value());
+  double oracle = 1.0;
+  for (const TrialRecord& r : result.records) {
+    oracle = std::min(oracle, r.full_error);
+  }
+  EXPECT_NEAR(result.best_full_error, oracle, 1e-12);
+}
+
+TEST_F(DriverFixture, RoundsAccountingForRandomSearch) {
+  auto rs = pool_rs(5, 2);
+  PoolTrialRunner runner(pool->view());
+  DriverOptions opts;
+  const TuneResult result = run_tuning(rs, runner, opts);
+  EXPECT_EQ(result.rounds_used, 5u * 9u);
+  EXPECT_EQ(result.records.size(), 5u);
+}
+
+TEST_F(DriverFixture, BudgetCapStopsEarly) {
+  auto rs = pool_rs(10, 3);
+  PoolTrialRunner runner(pool->view());
+  DriverOptions opts;
+  opts.budget_rounds = 30;  // 3 configs of 9 rounds, the 4th crosses the cap
+  const TuneResult result = run_tuning(rs, runner, opts);
+  EXPECT_LE(result.records.size(), 4u);
+  EXPECT_GE(result.rounds_used, 30u);
+}
+
+TEST_F(DriverFixture, IncumbentCurveIsMonotoneUnderCleanEval) {
+  auto rs = pool_rs(12, 4);
+  PoolTrialRunner runner(pool->view());
+  DriverOptions opts;
+  const TuneResult result = run_tuning(rs, runner, opts);
+  for (std::size_t i = 1; i < result.incumbent_curve.size(); ++i) {
+    EXPECT_LE(result.incumbent_curve[i].full_error,
+              result.incumbent_curve[i - 1].full_error + 1e-12);
+    EXPECT_GE(result.incumbent_curve[i].rounds,
+              result.incumbent_curve[i - 1].rounds);
+  }
+}
+
+TEST_F(DriverFixture, NoisySelectionCanRegret) {
+  // With single-client evaluation the selection should sometimes be
+  // suboptimal; the noisy objective must differ from the full error.
+  auto rs = pool_rs(12, 5);
+  PoolTrialRunner runner(pool->view());
+  DriverOptions opts;
+  opts.noise.eval_clients = 1;
+  opts.seed = 6;
+  const TuneResult result = run_tuning(rs, runner, opts);
+  bool differs = false;
+  for (const TrialRecord& r : result.records) {
+    if (std::abs(r.noisy_objective - r.full_error) > 1e-9) differs = true;
+  }
+  EXPECT_TRUE(differs);
+  EXPECT_GE(result.best_full_error,
+            pool->view().best_full_error(fl::Weighting::kByExampleCount) -
+                1e-12);
+}
+
+TEST_F(DriverFixture, DpPerEvaluationNoisesObjectives) {
+  auto rs = pool_rs(8, 7);
+  PoolTrialRunner runner(pool->view());
+  DriverOptions opts;
+  opts.noise.epsilon = 10.0;
+  opts.dp_style = DpStyle::kPerEvaluation;
+  opts.seed = 8;
+  const TuneResult result = run_tuning(rs, runner, opts);
+  // Laplace noise can push the reported objective outside [0, 1].
+  bool noisy = false;
+  for (const TrialRecord& r : result.records) {
+    if (std::abs(r.noisy_objective - r.full_error) > 1e-6) noisy = true;
+  }
+  EXPECT_TRUE(noisy);
+}
+
+TEST_F(DriverFixture, HyperbandOnPoolCompletesWithinSchedule) {
+  hpo::Hyperband hb(hpo::appendix_b_space(), {3, 1, 9}, Rng(9));
+  hb.set_candidate_pool({pool->configs()});
+  PoolTrialRunner runner(pool->view());
+  DriverOptions opts;
+  opts.seed = 10;
+  const TuneResult result = run_tuning(hb, runner, opts);
+  EXPECT_EQ(result.records.size(), hb.planned_evaluations());
+  ASSERT_TRUE(result.best.has_value());
+  // Winner must be a full-fidelity trial.
+  EXPECT_EQ(result.best->target_rounds, 9u);
+}
+
+TEST_F(DriverFixture, HyperbandOneShotDpSelectorInstalled) {
+  hpo::Hyperband hb(hpo::appendix_b_space(), {3, 1, 9}, Rng(11));
+  hb.set_candidate_pool({pool->configs()});
+  PoolTrialRunner runner(pool->view());
+  DriverOptions opts;
+  opts.noise.eval_clients = 2;
+  opts.noise.epsilon = 100.0;
+  opts.dp_style = DpStyle::kOneShotTopK;
+  opts.seed = 12;
+  const TuneResult result = run_tuning(hb, runner, opts);
+  // One-shot style leaves the evaluations themselves clean (subsampled only):
+  // every reported objective must be a plausible error rate in [0, 1].
+  for (const TrialRecord& r : result.records) {
+    EXPECT_GE(r.noisy_objective, 0.0);
+    EXPECT_LE(r.noisy_objective, 1.0);
+  }
+  ASSERT_TRUE(result.best.has_value());
+}
+
+TEST_F(DriverFixture, LiveRunnerMatchesPoolErrorsAtCheckpoint) {
+  // The live runner trained with the same seed/config as the pool build must
+  // reproduce the pool's stored per-client errors.
+  LiveTrialRunner runner(dataset, *arch, PoolBuildOptions{}.trainer,
+                         Rng(99 /* != pool train seed base */));
+  // Rebuild a one-config pool sharing the train seed derivation.
+  PoolBuildOptions opts;
+  opts.num_configs = 2;
+  opts.checkpoints = {1, 3};
+  opts.num_threads = 1;
+  const ConfigPool small =
+      ConfigPool::build(dataset, *arch, hpo::appendix_b_space(), opts);
+  // Live runner with trial.id = 0 uses rng.split(0) — seed the runner with
+  // the pool's train seed so the derivation chain matches.
+  LiveTrialRunner matched(dataset, *arch, opts.trainer, Rng(opts.train_seed));
+  hpo::Trial t;
+  t.id = 1;  // pool config index 1 trains with train_rng.split(1)
+  t.config = small.configs()[1];
+  t.config_index = 1;
+  t.target_rounds = 3;
+  const std::vector<double> live = matched.run(t);
+  const auto cached = small.view().errors(1, 1);
+  for (std::size_t k = 0; k < live.size(); ++k) {
+    ASSERT_NEAR(live[k], static_cast<double>(cached[k]), 1e-6);
+  }
+}
+
+TEST_F(DriverFixture, LiveRunnerShaResume) {
+  // A resumed child trial must consume only the fidelity delta and produce
+  // the same params as training straight through.
+  LiveTrialRunner runner(dataset, *arch, fl::TrainerConfig{}, Rng(13));
+  hpo::Trial parent;
+  parent.id = 0;
+  parent.config = pool->configs()[0];
+  parent.target_rounds = 3;
+  runner.run(parent);
+  hpo::Trial child;
+  child.id = 1;
+  child.config = parent.config;
+  child.parent_id = 0;
+  child.target_rounds = 9;
+  const std::vector<double> resumed = runner.run(child);
+  EXPECT_EQ(runner.rounds_consumed(child), 6u);
+
+  LiveTrialRunner fresh(dataset, *arch, fl::TrainerConfig{}, Rng(13));
+  hpo::Trial straight;
+  straight.id = 0;  // same rng split as `parent`
+  straight.config = parent.config;
+  straight.target_rounds = 9;
+  const std::vector<double> direct = fresh.run(straight);
+  for (std::size_t k = 0; k < resumed.size(); ++k) {
+    ASSERT_NEAR(resumed[k], direct[k], 1e-9);
+  }
+}
+
+TEST(DpSelector, MatchesOneShotMechanism) {
+  Rng rng(14);
+  const hpo::TopKSelector selector =
+      make_dp_top_k_selector(1e9, 4, 100, &rng);
+  const std::vector<double> acc = {0.1, 0.9, 0.5};
+  const auto top = selector(acc, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 1u);  // huge budget => exact
+  EXPECT_EQ(top[1], 2u);
+}
+
+}  // namespace
+}  // namespace fedtune::core
