@@ -1,9 +1,25 @@
-// Microbenchmarks of the substrate kernels (google-benchmark): gemm, LSTM
-// BPTT, Laplace sampling, client sampling, federated rounds, and tuner
-// ask/tell overhead. These bound the cost model behind the experiment
-// harness sizing in DESIGN.md.
+// Microbenchmarks of the substrate kernels (google-benchmark): gemm (blocked
+// vs retained naive reference), LSTM BPTT, Laplace sampling, client sampling,
+// federated rounds, config-pool builds, and tuner ask/tell overhead. These
+// bound the cost model behind the experiment harness sizing in DESIGN.md.
+//
+// Two modes:
+//   bench_micro_substrate [google-benchmark flags]
+//       runs the registered microbenchmarks.
+//   bench_micro_substrate --substrate_json=PATH
+//       runs the focused substrate report — before/after GEMM GFLOP/s and
+//       config-pool build wall-clock at 1 vs N threads — and writes it as
+//       machine-readable JSON (consumed by scripts/bench_report.sh).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "core/config_pool.hpp"
 #include "core/hp_mapping.hpp"
 #include "data/synth_image.hpp"
 #include "fl/trainer.hpp"
@@ -20,6 +36,8 @@ namespace {
 
 using namespace fedtune;
 
+// ------------------------------------------------------- microbenchmarks --
+
 void BM_Gemm(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   Rng rng(1);
@@ -33,7 +51,52 @@ void BM_Gemm(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(2 * n * n * n));
 }
-BENCHMARK(BM_Gemm)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_Gemm)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const Matrix a = Matrix::randn(n, n, rng);
+  const Matrix b = Matrix::randn(n, n, rng);
+  Matrix out;
+  for (auto _ : state) {
+    ops::gemm_naive(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmNaive)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmNT(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const Matrix a = Matrix::randn(n, n, rng);
+  const Matrix b = Matrix::randn(n, n, rng);
+  Matrix out;
+  for (auto _ : state) {
+    ops::gemm_nt(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmNT)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmTN(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const Matrix a = Matrix::randn(n, n, rng);
+  const Matrix b = Matrix::randn(n, n, rng);
+  Matrix out(n, n);
+  for (auto _ : state) {
+    ops::gemm_tn(a, b, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_GemmTN)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_MlpForwardBackward(benchmark::State& state) {
   Rng rng(2);
@@ -129,4 +192,122 @@ void BM_RandomSearchAskTell(benchmark::State& state) {
 }
 BENCHMARK(BM_RandomSearchAskTell);
 
+// -------------------------------------------------------- substrate report --
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// Best-of-3 GFLOP/s of `fn` on an n x n x n multiply, auto-scaling the
+// iteration count to a measurable duration.
+template <typename Fn>
+double gemm_gflops(std::size_t n, Fn&& fn) {
+  const double flops = 2.0 * static_cast<double>(n) * n * n;
+  std::size_t iters = 1;
+  for (;;) {
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < iters; ++i) fn();
+    const double s = seconds_since(t0);
+    if (s >= 0.05) break;
+    iters *= 4;
+  }
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < iters; ++i) fn();
+    const double s = seconds_since(t0);
+    best = std::max(best, flops * static_cast<double>(iters) / s / 1e9);
+  }
+  return best;
+}
+
+double pool_build_seconds(const data::FederatedDataset& ds,
+                          const nn::Model& arch, std::size_t num_threads) {
+  core::PoolBuildOptions opts;
+  opts.num_configs = 8;
+  opts.checkpoints = {1, 3, 9};
+  opts.trainer.clients_per_round = 8;
+  opts.store_params = false;
+  opts.num_threads = num_threads;
+  const auto t0 = Clock::now();
+  benchmark::DoNotOptimize(
+      core::ConfigPool::build(ds, arch, hpo::appendix_b_space(), opts));
+  return seconds_since(t0);
+}
+
+int write_substrate_report(const std::string& path) {
+  // Scale test capped at the hardware: more workers than cores only
+  // measures oversubscription, which would make the JSON non-comparable
+  // across machines.
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::size_t scale_threads = std::max<std::size_t>(
+      2, std::min<std::size_t>(8, hw));
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open " << path << " for writing\n";
+    return 1;
+  }
+  out << "{\n  \"threads_available\": " << hw << ",\n  \"gemm\": [\n";
+  Rng rng(1);
+  const std::size_t sizes[] = {64, 128, 256};
+  bool first = true;
+  for (std::size_t n : sizes) {
+    const Matrix a = Matrix::randn(n, n, rng);
+    const Matrix b = Matrix::randn(n, n, rng);
+    Matrix c;
+    const double naive = gemm_gflops(n, [&] {
+      ops::gemm_naive(a, b, c);
+      benchmark::DoNotOptimize(c.data());
+    });
+    const double blocked = gemm_gflops(n, [&] {
+      ops::gemm(a, b, c);
+      benchmark::DoNotOptimize(c.data());
+    });
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"size\": " << n << ", \"naive_gflops\": " << naive
+        << ", \"blocked_gflops\": " << blocked
+        << ", \"speedup\": " << blocked / naive << "}";
+    std::cerr << "gemm n=" << n << ": naive " << naive << " GFLOP/s, blocked "
+              << blocked << " GFLOP/s (" << blocked / naive << "x)\n";
+  }
+  out << "\n  ],\n";
+
+  data::SynthImageConfig cfg;
+  cfg.num_train_clients = 30;
+  cfg.num_eval_clients = 10;
+  cfg.mean_examples = 40.0;
+  cfg.input_dim = 16;
+  cfg.seed = 4;
+  const data::FederatedDataset ds = data::make_synth_image(cfg);
+  const auto arch = nn::make_default_model(ds);
+  const double t1 = pool_build_seconds(ds, *arch, 1);
+  const double tn = pool_build_seconds(ds, *arch, scale_threads);
+  out << "  \"pool_build\": {\"configs\": 8, \"threads_1_seconds\": " << t1
+      << ", \"threads_n\": " << scale_threads
+      << ", \"threads_n_seconds\": " << tn << ", \"speedup\": " << t1 / tn
+      << "}\n}\n";
+  std::cerr << "pool build: 1 thread " << t1 << "s, " << scale_threads
+            << " threads " << tn << "s (" << t1 / tn << "x)\n";
+  return 0;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    constexpr const char* kFlag = "--substrate_json=";
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      return write_substrate_report(argv[i] + std::strlen(kFlag));
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Runs the substrate microbenchmark in report mode and emits a
+# machine-readable BENCH_substrate.json (GEMM GFLOP/s naive vs blocked,
+# config-pool build wall-clock at 1 vs N threads, thread count) for tracking
+# the perf trajectory across PRs.
+#
+# Usage: scripts/bench_report.sh [build_dir] [output.json]
+set -euo pipefail
+
+build_dir="${1:-build}"
+out="${2:-BENCH_substrate.json}"
+bin="$build_dir/bench_micro_substrate"
+
+if [[ ! -x "$bin" ]]; then
+  echo "error: $bin not found or not executable." >&2
+  echo "build it first: cmake -B $build_dir -S . && cmake --build $build_dir -j" >&2
+  exit 1
+fi
+
+"$bin" --substrate_json="$out"
+echo "wrote $out"
+cat "$out"

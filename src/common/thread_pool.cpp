@@ -1,9 +1,27 @@
 #include "common/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
+#include <memory>
 
 namespace fedtune {
+
+namespace {
+
+// Depth of parallel_for nesting on this thread (across all pools). Non-zero
+// means a parallel_for issued here must run inline — the hardware is already
+// owned by an enclosing loop.
+thread_local int tl_region_depth = 0;
+
+struct RegionGuard {
+  RegionGuard() { ++tl_region_depth; }
+  ~RegionGuard() { --tl_region_depth; }
+};
+
+}  // namespace
+
+bool ThreadPool::in_parallel_region() { return tl_region_depth > 0; }
 
 ThreadPool::ThreadPool(std::size_t n_threads) {
   if (n_threads == 0) {
@@ -38,55 +56,108 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
+void ThreadPool::run_batch(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
   if (n == 0) return;
-  if (n == 1 || workers_.size() == 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t n_chunks = (n + grain - 1) / grain;
+
+  // Inline execution: nested region, single-chunk batches, or a pool too
+  // small to help. No RegionGuard here — an inlined loop does not occupy
+  // the pool, so parallelism nested below it is still allowed.
+  if (in_parallel_region() || n_chunks == 1 || workers_.size() <= 1) {
+    body(0, 0, n);
     return;
   }
 
-  struct State {
-    std::atomic<std::size_t> next{0};
-    std::atomic<std::size_t> done{0};
+  struct BatchState {
+    std::atomic<std::size_t> next_chunk{0};
+    std::atomic<std::size_t> chunks_done{0};
+    std::atomic<std::size_t> next_slot{0};
+    std::size_t n = 0, grain = 0, n_chunks = 0;
+    const std::function<void(std::size_t, std::size_t, std::size_t)>* body =
+        nullptr;
     std::exception_ptr error;
     std::mutex error_mutex;
     std::mutex done_mutex;
     std::condition_variable done_cv;
   };
-  auto state = std::make_shared<State>();
-  const std::size_t n_tasks = std::min(n, workers_.size());
+  auto state = std::make_shared<BatchState>();
+  state->n = n;
+  state->grain = grain;
+  state->n_chunks = n_chunks;
+  state->body = &body;
 
-  auto run_chunk = [state, n, &fn] {
+  auto participate = [state] {
+    const std::size_t slot = state->next_slot.fetch_add(1);
+    RegionGuard guard;
     for (;;) {
-      const std::size_t i = state->next.fetch_add(1);
-      if (i >= n) break;
+      const std::size_t chunk = state->next_chunk.fetch_add(1);
+      if (chunk >= state->n_chunks) break;
+      const std::size_t begin = chunk * state->grain;
+      const std::size_t end = std::min(state->n, begin + state->grain);
       try {
-        fn(i);
+        (*state->body)(slot, begin, end);
       } catch (...) {
         std::lock_guard<std::mutex> lock(state->error_mutex);
         if (!state->error) state->error = std::current_exception();
       }
-      if (state->done.fetch_add(1) + 1 == n) {
+      if (state->chunks_done.fetch_add(1) + 1 == state->n_chunks) {
         std::lock_guard<std::mutex> lock(state->done_mutex);
         state->done_cv.notify_all();
       }
     }
   };
 
+  // The calling thread participates too, so enqueue helpers for the rest.
+  const std::size_t n_helpers =
+      std::min(n_chunks, workers_.size() + 1) - 1;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    // The calling thread participates too, so enqueue n_tasks - 1 helpers.
-    for (std::size_t t = 0; t + 1 < n_tasks; ++t) tasks_.push(run_chunk);
+    for (std::size_t t = 0; t < n_helpers; ++t) tasks_.push(participate);
   }
   cv_.notify_all();
-  run_chunk();
+  participate();
 
+  // `body` lives on this stack frame: wait until every chunk has finished
+  // before returning (helpers that arrive late see the counter exhausted).
   {
     std::unique_lock<std::mutex> lock(state->done_mutex);
-    state->done_cv.wait(lock, [&] { return state->done.load() >= n; });
+    state->done_cv.wait(
+        lock, [&] { return state->chunks_done.load() >= state->n_chunks; });
   }
   if (state->error) std::rethrow_exception(state->error);
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  // grain 1: coarse work items (one HP config, one client) where dynamic
+  // per-item claiming gives the best load balance.
+  run_batch(n, 1, [&fn](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void ThreadPool::parallel_for_chunked(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t grain) {
+  if (grain == 0) {
+    // ~4 chunks per participant: coarse enough to amortize claim overhead,
+    // fine enough to balance uneven chunk costs.
+    grain = std::max<std::size_t>(1, n / (4 * max_slots()));
+  }
+  run_batch(n, grain,
+            [&fn](std::size_t, std::size_t begin, std::size_t end) {
+              fn(begin, end);
+            });
+}
+
+void ThreadPool::parallel_for_slots(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  run_batch(n, 1, [&fn](std::size_t slot, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) fn(slot, i);
+  });
 }
 
 ThreadPool& ThreadPool::global() {

@@ -28,14 +28,21 @@ PoolEvalView::PoolEvalView(std::vector<std::size_t> checkpoints,
   FEDTUNE_CHECK(num_configs_ > 0);
   errors_.assign(num_configs_ * checkpoints_.size() * client_weights_.size(),
                  1.0f);
+  // Aggregation denominators and the rounds->index lookup are fixed at
+  // construction; full_error/checkpoint_index are called per simulated trial,
+  // so neither should rescan per call.
+  weight_sum_ = 0.0;
+  for (double w : client_weights_) weight_sum_ += w;
+  for (std::size_t i = 0; i < checkpoints_.size(); ++i) {
+    checkpoint_lookup_.emplace(checkpoints_[i], i);
+  }
 }
 
 std::size_t PoolEvalView::checkpoint_index(std::size_t rounds) const {
-  for (std::size_t i = 0; i < checkpoints_.size(); ++i) {
-    if (checkpoints_[i] == rounds) return i;
-  }
-  FEDTUNE_CHECK_MSG(false, "no checkpoint at " << rounds << " rounds");
-  return 0;
+  const auto it = checkpoint_lookup_.find(rounds);
+  FEDTUNE_CHECK_MSG(it != checkpoint_lookup_.end(),
+                    "no checkpoint at " << rounds << " rounds");
+  return it->second;
 }
 
 std::span<float> PoolEvalView::errors(std::size_t config,
@@ -63,15 +70,15 @@ std::vector<double> PoolEvalView::errors_f64(std::size_t config,
 double PoolEvalView::full_error(std::size_t config, std::size_t checkpoint,
                                 fl::Weighting weighting) const {
   const auto e = errors(config, checkpoint);
-  double num = 0.0, den = 0.0;
-  for (std::size_t k = 0; k < e.size(); ++k) {
-    const double w = (weighting == fl::Weighting::kUniform)
-                         ? 1.0
-                         : client_weights_[k];
-    num += w * static_cast<double>(e[k]);
-    den += w;
+  double num = 0.0;
+  if (weighting == fl::Weighting::kUniform) {
+    for (std::size_t k = 0; k < e.size(); ++k) num += static_cast<double>(e[k]);
+    return num / static_cast<double>(e.size());
   }
-  return num / den;
+  for (std::size_t k = 0; k < e.size(); ++k) {
+    num += client_weights_[k] * static_cast<double>(e[k]);
+  }
+  return num / weight_sum_;
 }
 
 double PoolEvalView::min_client_error(std::size_t config,
@@ -143,16 +150,31 @@ ConfigPool ConfigPool::build(const data::FederatedDataset& dataset,
         opts.num_configs * opts.checkpoints.size() * pool.param_count_, 0.0f);
   }
 
+  // Config-level parallelism is the outer loop. With num_threads == 0
+  // (auto) the client-level loops inside (run_round, all_client_errors)
+  // also request parallelism: it materializes only when the config level
+  // leaves the pool idle (a single-config build), and degrades inline when
+  // the config level occupies it — configs in [2, threads) therefore run at
+  // config-level width, never oversubscribed. Any explicit num_threads is a
+  // hard cap: the client level stays serial so total concurrency can never
+  // exceed the requested count, even when the config loop runs inline.
   const Rng train_rng(opts.train_seed);
-  ThreadPool workers(opts.num_threads);
+  std::unique_ptr<ThreadPool> local_pool;
+  if (opts.num_threads != 0) {
+    local_pool = std::make_unique<ThreadPool>(opts.num_threads);
+  }
+  ThreadPool& workers = local_pool ? *local_pool : ThreadPool::global();
+  fl::TrainerConfig trainer_cfg = opts.trainer;
+  const std::size_t inner_threads = opts.num_threads == 0 ? 0 : 1;
+  if (opts.num_threads != 0) trainer_cfg.client_threads = 1;
   workers.parallel_for(opts.num_configs, [&](std::size_t c) {
     const fl::FedHyperParams hps = to_fed_hyperparams(pool.configs_[c]);
-    fl::FedTrainer trainer(dataset, architecture, hps, opts.trainer,
+    fl::FedTrainer trainer(dataset, architecture, hps, trainer_cfg,
                            train_rng.split(c));
     for (std::size_t ck = 0; ck < opts.checkpoints.size(); ++ck) {
       trainer.run_rounds(opts.checkpoints[ck] - trainer.rounds_done());
-      const std::vector<double> errs =
-          fl::all_client_errors(trainer.model(), dataset.eval_clients);
+      const std::vector<double> errs = fl::all_client_errors(
+          trainer.model(), dataset.eval_clients, inner_threads);
       auto dst = pool.view_.errors(c, ck);
       for (std::size_t k = 0; k < errs.size(); ++k) {
         dst[k] = static_cast<float>(errs[k]);
@@ -198,15 +220,28 @@ PoolEvalView ConfigPool::evaluate_on(const nn::Model& architecture,
   std::vector<data::ClientData> client_copy(clients.begin(), clients.end());
   PoolEvalView out(checkpoint_subset, data::example_count_weights(clients),
                    configs_.size());
-  ThreadPool workers(num_threads);
-  workers.parallel_for(configs_.size(), [&](std::size_t c) {
-    std::unique_ptr<nn::Model> model = architecture.clone_architecture();
+  std::unique_ptr<ThreadPool> local_pool;
+  if (num_threads != 0) local_pool = std::make_unique<ThreadPool>(num_threads);
+  ThreadPool& workers = local_pool ? *local_pool : ThreadPool::global();
+  // One model replica per worker slot, reused across the configs that slot
+  // processes. Same concurrency contract as build(): auto (0) lets the
+  // per-client loop fan out when the config level leaves the pool idle; an
+  // explicit num_threads caps total concurrency, so the client level stays
+  // serial.
+  const std::size_t inner_threads = num_threads == 0 ? 0 : 1;
+  nn::ReplicaSet replicas;
+  replicas.reset(architecture, workers.max_slots(), /*copy_params=*/false);
+  workers.parallel_for_slots(configs_.size(), [&](std::size_t slot,
+                                                  std::size_t c) {
+    nn::Model& model = replicas.at(slot);
     for (std::size_t ck = 0; ck < src_idx.size(); ++ck) {
       const auto p = params(c, src_idx[ck]);
-      std::copy(p.begin(), p.end(), model->params().begin());
+      std::copy(p.begin(), p.end(), model.params().begin());
+      const std::vector<double> errs =
+          fl::all_client_errors(model, client_copy, inner_threads);
       auto dst = out.errors(c, ck);
-      for (std::size_t k = 0; k < client_copy.size(); ++k) {
-        dst[k] = static_cast<float>(model->error_rate(client_copy[k]));
+      for (std::size_t k = 0; k < errs.size(); ++k) {
+        dst[k] = static_cast<float>(errs[k]);
       }
     }
   });

@@ -16,6 +16,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/noise_model.hpp"
@@ -66,6 +67,10 @@ class PoolEvalView {
   std::vector<double> client_weights_;
   std::size_t num_configs_ = 0;
   std::vector<float> errors_;  // [config][checkpoint][client]
+  // Derived at construction (not serialized): aggregation denominator and
+  // rounds -> checkpoint index lookup.
+  double weight_sum_ = 0.0;
+  std::unordered_map<std::size_t, std::size_t> checkpoint_lookup_;
 };
 
 struct PoolBuildOptions {
@@ -78,7 +83,11 @@ struct PoolBuildOptions {
   // Cumulative-round checkpoints (the SHA rung grid). Must be increasing.
   std::vector<std::size_t> checkpoints = {1, 3, 9, 27, 81};
   bool store_params = true;
-  std::size_t num_threads = 0;  // 0 = hardware concurrency
+  // 0 = auto: shared global pool at the config level, client-level loops
+  // fan out only when the config level leaves it idle. Any explicit value
+  // is a hard concurrency cap: a dedicated pool of that many workers runs
+  // the config level and client-level loops stay serial (1 = fully serial).
+  std::size_t num_threads = 0;
 };
 
 class ConfigPool {

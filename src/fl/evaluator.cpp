@@ -1,28 +1,50 @@
 #include "fl/evaluator.hpp"
 
+#include <memory>
 #include <numeric>
 
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
 
 namespace fedtune::fl {
 
 std::vector<double> client_errors(const nn::Model& model,
                                   std::span<const data::ClientData> clients,
-                                  std::span<const std::size_t> which) {
-  std::vector<double> errors;
-  errors.reserve(which.size());
-  for (std::size_t k : which) {
-    FEDTUNE_CHECK(k < clients.size());
-    errors.push_back(model.error_rate(clients[k]));
+                                  std::span<const std::size_t> which,
+                                  std::size_t num_threads) {
+  std::vector<double> errors(which.size());
+  for (std::size_t k : which) FEDTUNE_CHECK(k < clients.size());
+
+  const bool serial = num_threads == 1 || which.size() < 2 ||
+                      ThreadPool::in_parallel_region();
+  if (serial) {
+    for (std::size_t i = 0; i < which.size(); ++i) {
+      errors[i] = model.error_rate(clients[which[i]]);
+    }
+    return errors;
   }
+
+  // Model scratch buffers are mutated during evaluation, so each worker slot
+  // evaluates on its own replica. Each client's error is a pure function of
+  // (params, client), so the schedule cannot affect results. The replica set
+  // is per-call on purpose: `model` can be a different architecture on every
+  // call, so replicas cannot be cached across calls — and the serial early
+  // returns above mean clones are only ever paid on genuinely parallel runs.
+  ThreadPool& pool = ThreadPool::global();
+  nn::ReplicaSet replicas;
+  replicas.reset(model, pool.max_slots(), /*copy_params=*/true);
+  pool.parallel_for_slots(which.size(), [&](std::size_t slot, std::size_t i) {
+    errors[i] = replicas.at(slot).error_rate(clients[which[i]]);
+  });
   return errors;
 }
 
-std::vector<double> all_client_errors(
-    const nn::Model& model, std::span<const data::ClientData> clients) {
+std::vector<double> all_client_errors(const nn::Model& model,
+                                      std::span<const data::ClientData> clients,
+                                      std::size_t num_threads) {
   std::vector<std::size_t> which(clients.size());
   std::iota(which.begin(), which.end(), std::size_t{0});
-  return client_errors(model, clients, which);
+  return client_errors(model, clients, which, num_threads);
 }
 
 double aggregate_error(std::span<const double> errors,

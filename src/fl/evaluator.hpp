@@ -18,13 +18,20 @@ enum class Weighting { kUniform, kByExampleCount };
 
 // Error rate of `model` on each of the selected clients (client order
 // matches `which`). Clients with zero examples report error 1.0.
+//
+// num_threads: 1 = serial (default), any other value = parallelize over
+// clients on the shared global pool using per-worker model replicas. The
+// parallel path degrades to serial inside an enclosing parallel region and
+// produces identical results either way.
 std::vector<double> client_errors(const nn::Model& model,
                                   std::span<const data::ClientData> clients,
-                                  std::span<const std::size_t> which);
+                                  std::span<const std::size_t> which,
+                                  std::size_t num_threads = 1);
 
 // Error rate on every client in the pool.
 std::vector<double> all_client_errors(const nn::Model& model,
-                                      std::span<const data::ClientData> clients);
+                                      std::span<const data::ClientData> clients,
+                                      std::size_t num_threads = 1);
 
 // Aggregates per-client errors with the chosen weighting (Eq. 2). `which`
 // selects which clients the errors correspond to (for example-count weights).

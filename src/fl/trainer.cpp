@@ -3,10 +3,17 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
 #include "opt/optimizer.hpp"
 #include "sampling/client_sampler.hpp"
 
 namespace fedtune::fl {
+
+namespace {
+// Salt base for per-round RNG streams; offset keeps the round streams away
+// from the 0xfeed model-init stream.
+constexpr std::uint64_t kRoundSalt = 0x726f756e64ULL;  // "round"
+}  // namespace
 
 FedTrainer::FedTrainer(const data::FederatedDataset& dataset,
                        const nn::Model& architecture, const FedHyperParams& hps,
@@ -25,7 +32,9 @@ FedTrainer::FedTrainer(const data::FederatedDataset& dataset,
   delta_accum_.assign(global_params_.size(), 0.0f);
 }
 
-void FedTrainer::train_client_locally(const data::ClientData& client) {
+void FedTrainer::train_client_locally(nn::Model& model,
+                                      const data::ClientData& client,
+                                      Rng& rng) const {
   const std::size_t n = client.num_examples();
   opt::SgdConfig sgd_cfg;
   sgd_cfg.lr = hps_.client_lr;
@@ -35,13 +44,13 @@ void FedTrainer::train_client_locally(const data::ClientData& client) {
 
   const std::size_t batch = std::min(hps_.batch_size, n);
   for (std::size_t epoch = 0; epoch < hps_.local_epochs; ++epoch) {
-    std::vector<std::size_t> order = rng_.permutation(n);
+    std::vector<std::size_t> order = rng.permutation(n);
     for (std::size_t start = 0; start < n; start += batch) {
       const std::size_t end = std::min(n, start + batch);
       std::span<const std::size_t> idx(order.data() + start, end - start);
-      model_->zero_grad();
-      model_->forward_backward(client, idx);
-      sgd.step(model_->params(), model_->grads());
+      model.zero_grad();
+      model.forward_backward(client, idx);
+      sgd.step(model.params(), model.grads());
     }
   }
 }
@@ -51,22 +60,56 @@ void FedTrainer::run_round() {
   const std::vector<std::size_t> sampled = sampling::sample_uniform(
       clients.size(), cfg_.clients_per_round, rng_);
 
+  // Independent stream per (round, client id): the work a client does is a
+  // pure function of (global params, its stream), so the parallel schedule
+  // cannot affect results.
+  const Rng round_rng = rng_.split(kRoundSalt + rounds_);
+  const std::size_t n_params = global_params_.size();
+  local_params_.resize(sampled.size() * n_params);
+
+  auto train_one = [&](nn::Model& model, std::size_t idx) {
+    const data::ClientData& client = clients[sampled[idx]];
+    if (client.num_examples() == 0) return;
+    std::copy(global_params_.begin(), global_params_.end(),
+              model.params().begin());
+    Rng client_rng = round_rng.split(sampled[idx]);
+    train_client_locally(model, client, client_rng);
+    const auto local = model.params();
+    std::copy(local.begin(), local.end(),
+              local_params_.begin() +
+                  static_cast<std::ptrdiff_t>(idx * n_params));
+  };
+
+  const bool serial = cfg_.client_threads == 1 || sampled.size() < 2 ||
+                      ThreadPool::in_parallel_region();
+  if (serial) {
+    for (std::size_t idx = 0; idx < sampled.size(); ++idx) {
+      train_one(*model_, idx);
+    }
+  } else {
+    ThreadPool& pool = ThreadPool::global();
+    replicas_.reset(*model_, pool.max_slots(), /*copy_params=*/false);
+    pool.parallel_for_slots(sampled.size(), [&](std::size_t slot,
+                                                std::size_t idx) {
+      train_one(replicas_.at(slot), idx);
+    });
+  }
+
+  // Reduce in sampled order — fixed float summation order keeps parallel
+  // and serial rounds bitwise identical.
   std::fill(delta_accum_.begin(), delta_accum_.end(), 0.0f);
   double weight_total = 0.0;
-  for (std::size_t k : sampled) {
-    const data::ClientData& client = clients[k];
+  for (std::size_t idx = 0; idx < sampled.size(); ++idx) {
+    const data::ClientData& client = clients[sampled[idx]];
     if (client.num_examples() == 0) continue;
     const double w = cfg_.weighted_aggregation
                          ? static_cast<double>(client.num_examples())
                          : 1.0;
-    // Start from the global model.
-    std::copy(global_params_.begin(), global_params_.end(),
-              model_->params().begin());
-    train_client_locally(client);
-    // delta_accum += w * (local - global)
-    const auto local = model_->params();
     const auto wf = static_cast<float>(w);
-    for (std::size_t i = 0; i < global_params_.size(); ++i) {
+    const float* local =
+        local_params_.data() + static_cast<std::ptrdiff_t>(idx * n_params);
+    // delta_accum += w * (local - global)
+    for (std::size_t i = 0; i < n_params; ++i) {
       delta_accum_[i] += wf * (local[i] - global_params_[i]);
     }
     weight_total += w;

@@ -5,9 +5,16 @@
 // size) from the current global model on each, aggregate the weighted
 // parameter deltas, and apply ServerOPT (FedAdam by default).
 //
-// The trainer owns the global parameter vector and a scratch model used for
-// local training, so each FedTrainer instance is independent and
-// thread-compatible (one per HP configuration / thread).
+// Clients within a round train in parallel on the shared thread pool.
+// Determinism contract: every (round, client) pair gets an independent RNG
+// stream derived by splitting — round_rng = rng.split(round_salt + round),
+// client_rng = round_rng.split(client_id) — and the delta reduction runs
+// serially in sampled order, so parallel and serial rounds produce bitwise
+// identical parameters regardless of thread count or schedule.
+//
+// The trainer owns the global parameter vector, a scratch model, and lazily
+// cloned per-worker model replicas, so each FedTrainer instance is
+// independent and thread-compatible (one per HP configuration / thread).
 #pragma once
 
 #include <memory>
@@ -24,6 +31,11 @@ struct TrainerConfig {
   std::size_t clients_per_round = 10;  // paper: 10 on all datasets
   bool weighted_aggregation = true;    // p_k = client example count vs 1
   ServerOptKind server_opt = ServerOptKind::kFedAdam;
+  // Client-level parallelism inside run_round: 1 forces serial execution;
+  // any other value uses the shared global pool (which degrades to inline
+  // when the trainer itself runs inside a parallel region). Results are
+  // bitwise identical either way.
+  std::size_t client_threads = 0;
 };
 
 // Snapshot sufficient to resume training deterministically (Successive
@@ -57,7 +69,10 @@ class FedTrainer {
   void restore(const Checkpoint& ckpt);
 
  private:
-  void train_client_locally(const data::ClientData& client);
+  // Local SGD on one client starting from the parameters already loaded in
+  // `model`; `rng` is that client's private stream for this round.
+  void train_client_locally(nn::Model& model, const data::ClientData& client,
+                            Rng& rng) const;
 
   const data::FederatedDataset* dataset_;
   FedHyperParams hps_;
@@ -68,6 +83,10 @@ class FedTrainer {
   std::vector<float> global_params_;
   std::vector<float> delta_accum_;
   std::size_t rounds_ = 0;
+
+  // Scratch reused across rounds.
+  nn::ReplicaSet replicas_;          // per-worker-slot model replicas
+  std::vector<float> local_params_;  // [sampled idx][param]
 };
 
 }  // namespace fedtune::fl

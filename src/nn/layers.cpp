@@ -23,10 +23,18 @@ void Linear::init(Rng& rng) {
 
 void Linear::forward(const Matrix& x, Matrix& y) const {
   FEDTUNE_CHECK(x.cols() == in_);
-  y.resize(x.rows(), out_);
+  y.ensure_shape(x.rows(), out_);
   ops::gemm_raw(x.data(), store_->value_ptr(w_.offset), y.data(), x.rows(),
                 in_, out_, /*accumulate=*/false);
   ops::add_row_bias(y, store_->values(b_.offset, b_.size));
+}
+
+void Linear::forward_relu(const Matrix& x, Matrix& y) const {
+  FEDTUNE_CHECK(x.cols() == in_);
+  y.ensure_shape(x.rows(), out_);
+  ops::gemm_raw(x.data(), store_->value_ptr(w_.offset), y.data(), x.rows(),
+                in_, out_, /*accumulate=*/false);
+  ops::add_row_bias_relu(y, store_->values(b_.offset, b_.size));
 }
 
 void Linear::backward(const Matrix& x, const Matrix& grad_y, Matrix* grad_x) {
@@ -39,7 +47,7 @@ void Linear::backward(const Matrix& x, const Matrix& grad_y, Matrix* grad_x) {
   ops::col_sums_acc(grad_y, store_->grads(b_.offset, b_.size));
   if (grad_x != nullptr) {
     // grad_x = grad_y @ W^T : (batch,out) x (in,out)^T -> (batch,in)
-    grad_x->resize(grad_y.rows(), in_);
+    grad_x->ensure_shape(grad_y.rows(), in_);
     ops::gemm_nt_raw(grad_y.data(), store_->value_ptr(w_.offset),
                      grad_x->data(), grad_y.rows(), out_, in_,
                      /*accumulate=*/false);

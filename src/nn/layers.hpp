@@ -26,6 +26,9 @@ class Linear {
   // y = x @ W + b. x: (batch, in) -> y: (batch, out).
   void forward(const Matrix& x, Matrix& y) const;
 
+  // Fused y = relu(x @ W + b): bias add and activation in one pass over y.
+  void forward_relu(const Matrix& x, Matrix& y) const;
+
   // Given cached input x and upstream grad_y, accumulates dW, db and writes
   // grad_x (unless grad_x == nullptr, e.g. first layer).
   void backward(const Matrix& x, const Matrix& grad_y, Matrix* grad_x);

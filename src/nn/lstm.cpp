@@ -36,9 +36,11 @@ void Lstm::forward(const std::vector<Matrix>& x_seq, Cache& cache) const {
   const std::size_t H = hidden_;
 
   cache.x = &x_seq;
+  // Every element below is fully overwritten per step, so reshape without
+  // the zero-fill (and without reallocating when shapes repeat).
   auto resize_all = [&](std::vector<Matrix>& v) {
     v.resize(T);
-    for (Matrix& m : v) m.resize(batch, H);
+    for (Matrix& m : v) m.ensure_shape(batch, H);
   };
   resize_all(cache.i);
   resize_all(cache.f);
@@ -48,7 +50,8 @@ void Lstm::forward(const std::vector<Matrix>& x_seq, Cache& cache) const {
   resize_all(cache.tanh_c);
   resize_all(cache.h);
 
-  Matrix z(batch, 4 * H);
+  Matrix& z = cache.z;
+  z.ensure_shape(batch, 4 * H);
   for (std::size_t t = 0; t < T; ++t) {
     FEDTUNE_CHECK(x_seq[t].rows() == batch && x_seq[t].cols() == input_);
     // z = x_t @ Wx + h_{t-1} @ Wh + b
@@ -89,7 +92,7 @@ void Lstm::forward(const std::vector<Matrix>& x_seq, Cache& cache) const {
   }
 }
 
-void Lstm::backward(const Cache& cache, const std::vector<Matrix>& grad_h_seq,
+void Lstm::backward(Cache& cache, const std::vector<Matrix>& grad_h_seq,
                     std::vector<Matrix>* grad_x_seq) {
   FEDTUNE_CHECK(cache.x != nullptr);
   const std::vector<Matrix>& x_seq = *cache.x;
@@ -100,15 +103,17 @@ void Lstm::backward(const Cache& cache, const std::vector<Matrix>& grad_h_seq,
 
   if (grad_x_seq != nullptr) {
     grad_x_seq->resize(T);
-    for (Matrix& m : *grad_x_seq) m.resize(batch, input_);
+    for (Matrix& m : *grad_x_seq) m.ensure_shape(batch, input_);
   }
 
-  Matrix dh(batch, H);        // dL/dh_t accumulated (external + recurrent)
-  Matrix dc(batch, H);        // dL/dc_t carried backwards
-  Matrix dz(batch, 4 * H);    // gate pre-activation grads
-  Matrix dh_rec(batch, H);    // recurrent contribution flowing to t-1
-  dc.fill(0.0f);
-  dh_rec.fill(0.0f);
+  Matrix& dh = cache.dh;          // dL/dh_t accumulated (external + recurrent)
+  Matrix& dc = cache.dc;          // dL/dc_t carried backwards
+  Matrix& dz = cache.dz;          // gate pre-activation grads
+  Matrix& dh_rec = cache.dh_rec;  // recurrent contribution flowing to t-1
+  dh.ensure_shape(batch, H);
+  dz.ensure_shape(batch, 4 * H);
+  dc.resize(batch, H);      // carried accumulators start at zero
+  dh_rec.resize(batch, H);
 
   for (std::size_t t = T; t-- > 0;) {
     // dh = external grad + recurrent grad from step t+1.

@@ -27,6 +27,9 @@ class Lstm {
     std::vector<Matrix> i, f, g, o, c, tanh_c, h;
     // Inputs are kept by pointer into the caller's sequence.
     const std::vector<Matrix>* x = nullptr;
+    // Scratch reused across batches (pre-activations, BPTT carriers); owning
+    // them here keeps forward/backward allocation-free in steady state.
+    Matrix z, dh, dc, dz, dh_rec;
   };
 
   // x_seq: T matrices of shape (batch, input). Initial h/c are zero.
@@ -34,8 +37,9 @@ class Lstm {
 
   // grad_h_seq[t] = dL/dh_t (external contribution, e.g. from the output
   // head). Accumulates parameter gradients; if grad_x_seq != nullptr, writes
-  // dL/dx_t for each step (resized as needed).
-  void backward(const Cache& cache, const std::vector<Matrix>& grad_h_seq,
+  // dL/dx_t for each step (resized as needed). Non-const cache: the BPTT
+  // scratch buffers live in it.
+  void backward(Cache& cache, const std::vector<Matrix>& grad_h_seq,
                 std::vector<Matrix>* grad_x_seq);
 
  private:

@@ -31,12 +31,10 @@ std::unique_ptr<Model> MlpClassifier::clone_architecture() const {
 void MlpClassifier::forward_cached(const Matrix& x) const {
   const Matrix* cur = &x;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
-    Matrix pre;
-    layers_[i].forward(*cur, pre);
     if (i + 1 < layers_.size()) {
-      ops::relu(pre, acts_[i]);
+      layers_[i].forward_relu(*cur, acts_[i]);  // fused bias + ReLU
     } else {
-      acts_[i] = std::move(pre);  // logits: no activation
+      layers_[i].forward(*cur, acts_[i]);  // logits: no activation
     }
     cur = &acts_[i];
   }
@@ -47,20 +45,20 @@ double MlpClassifier::forward_backward(const data::ClientData& client,
   FEDTUNE_CHECK(!idx.empty());
   FEDTUNE_CHECK(client.features.cols() == input_dim_);
 
-  // Gather the minibatch.
+  // Gather the minibatch (scratch buffers reused across batches).
   const std::size_t batch = idx.size();
-  batch_x_.resize(batch, input_dim_);
-  std::vector<std::int32_t> labels(batch);
+  batch_x_.ensure_shape(batch, input_dim_);
+  labels_.resize(batch);
   for (std::size_t r = 0; r < batch; ++r) {
     FEDTUNE_CHECK(idx[r] < client.num_examples());
     const auto src = client.features.row(idx[r]);
     std::copy(src.begin(), src.end(), batch_x_.row(r).begin());
-    labels[r] = client.labels[idx[r]];
+    labels_[r] = client.labels[idx[r]];
   }
 
   forward_cached(batch_x_);
   const double loss =
-      ops::softmax_cross_entropy(acts_.back(), labels, grad_logits_);
+      ops::softmax_cross_entropy(acts_.back(), labels_, grad_logits_);
 
   // Backward through the stack. grad_cur holds dL/d(output of layer i);
   // the two scratch buffers alternate so a gemm never reads and writes the

@@ -45,6 +45,7 @@ class MlpClassifier final : public Model {
   mutable Matrix batch_x_;
   mutable Matrix grad_logits_;
   mutable Matrix grad_tmp_a_, grad_tmp_b_;
+  mutable std::vector<std::int32_t> labels_;
 };
 
 }  // namespace fedtune::nn

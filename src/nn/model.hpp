@@ -6,10 +6,12 @@
 // federated evaluation (Eq. 2 of the paper).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <memory>
 #include <span>
 #include <utility>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "data/client_data.hpp"
@@ -54,5 +56,48 @@ class Model {
 // Factory: builds a fresh, unseeded model for a task. Implementations live
 // with the dataset definitions (data/benchmarks.hpp) and in user code.
 using ModelFactory = std::unique_ptr<Model> (*)();
+
+// One lazily cloned model replica per worker slot, for parallel loops whose
+// bodies mutate model scratch (ThreadPool::parallel_for_slots). Distinct
+// slots are touched by distinct threads, so at() needs no locking. reset()
+// re-targets the prototype but keeps already-cloned replicas (reuse across
+// rounds); replicas are only cloned when their slot first executes.
+class ReplicaSet {
+ public:
+  // copy_params: initialize each replica with the prototype's current
+  // parameters (for evaluation); otherwise callers load params per task.
+  // Already-cloned replicas are refreshed here so a reused set never
+  // evaluates on a previous reset's weights.
+  void reset(const Model& prototype, std::size_t slots, bool copy_params) {
+    prototype_ = &prototype;
+    copy_params_ = copy_params;
+    if (replicas_.size() < slots) replicas_.resize(slots);
+    if (copy_params_) {
+      const auto src = prototype.params();
+      for (auto& replica : replicas_) {
+        if (replica) {
+          std::copy(src.begin(), src.end(), replica->params().begin());
+        }
+      }
+    }
+  }
+
+  Model& at(std::size_t slot) {
+    auto& replica = replicas_.at(slot);
+    if (!replica) {
+      replica = prototype_->clone_architecture();
+      if (copy_params_) {
+        const auto src = prototype_->params();
+        std::copy(src.begin(), src.end(), replica->params().begin());
+      }
+    }
+    return *replica;
+  }
+
+ private:
+  const Model* prototype_ = nullptr;
+  bool copy_params_ = false;
+  std::vector<std::unique_ptr<Model>> replicas_;
+};
 
 }  // namespace fedtune::nn

@@ -52,7 +52,7 @@ std::size_t TextMlp::gather(const data::ClientData& client,
 
 void TextMlp::forward_cached() const {
   const std::size_t total = labels_.size();
-  embedded_.resize(total, context_ * embed_dim_);
+  embedded_.ensure_shape(total, context_ * embed_dim_);
   for (std::size_t j = 0; j < context_; ++j) {
     embed_.forward(slot_ids_[j], embedded_, j * embed_dim_);
   }
@@ -124,33 +124,33 @@ double LstmLm::forward_backward(const data::ClientData& client,
 
   // Embed inputs per step; collect labels t-major to match h_all below.
   x_seq_.resize(T);
-  std::vector<std::int32_t> step_ids(batch);
-  std::vector<std::int32_t> labels(batch * T);
+  step_ids_.resize(batch);
+  labels_.resize(batch * T);
   for (std::size_t t = 0; t < T; ++t) {
-    x_seq_[t].resize(batch, embed_dim_);
+    x_seq_[t].ensure_shape(batch, embed_dim_);
     for (std::size_t r = 0; r < batch; ++r) {
       const auto seq = client.sequence(idx[r]);
-      step_ids[r] = seq[t];
-      labels[t * batch + r] = seq[t + 1];
+      step_ids_[r] = seq[t];
+      labels_[t * batch + r] = seq[t + 1];
     }
-    embed_.forward(step_ids, x_seq_[t]);
+    embed_.forward(step_ids_, x_seq_[t]);
   }
 
   lstm_.forward(x_seq_, cache_);
 
   // Stack hidden states (t-major) and run one big output projection.
-  h_all_.resize(batch * T, hidden_dim_);
+  h_all_.ensure_shape(batch * T, hidden_dim_);
   for (std::size_t t = 0; t < T; ++t) {
     std::copy(cache_.h[t].flat().begin(), cache_.h[t].flat().end(),
               h_all_.data() + t * batch * hidden_dim_);
   }
   out_layer_.forward(h_all_, logits_);
-  const double loss = ops::softmax_cross_entropy(logits_, labels, grad_logits_);
+  const double loss = ops::softmax_cross_entropy(logits_, labels_, grad_logits_);
 
   out_layer_.backward(h_all_, grad_logits_, &grad_h_all_);
   grad_h_seq_.resize(T);
   for (std::size_t t = 0; t < T; ++t) {
-    grad_h_seq_[t].resize(batch, hidden_dim_);
+    grad_h_seq_[t].ensure_shape(batch, hidden_dim_);
     std::copy(grad_h_all_.data() + t * batch * hidden_dim_,
               grad_h_all_.data() + (t + 1) * batch * hidden_dim_,
               grad_h_seq_[t].data());
@@ -159,9 +159,9 @@ double LstmLm::forward_backward(const data::ClientData& client,
 
   for (std::size_t t = 0; t < T; ++t) {
     for (std::size_t r = 0; r < batch; ++r) {
-      step_ids[r] = client.sequence(idx[r])[t];
+      step_ids_[r] = client.sequence(idx[r])[t];
     }
-    embed_.backward(step_ids, grad_x_seq_[t]);
+    embed_.backward(step_ids_, grad_x_seq_[t]);
   }
   return loss;
 }
@@ -183,7 +183,7 @@ std::pair<std::size_t, std::size_t> LstmLm::errors(
     labels.assign(batch * T, 0);
     x_seq_.resize(T);
     for (std::size_t t = 0; t < T; ++t) {
-      x_seq_[t].resize(batch, embed_dim_);
+      x_seq_[t].ensure_shape(batch, embed_dim_);
       for (std::size_t r = 0; r < batch; ++r) {
         const auto seq = client.sequence(start + r);
         step_ids[r] = seq[t];
@@ -192,7 +192,7 @@ std::pair<std::size_t, std::size_t> LstmLm::errors(
       embed_.forward(step_ids, x_seq_[t]);
     }
     lstm_.forward(x_seq_, cache_);
-    h_all_.resize(batch * T, hidden_dim_);
+    h_all_.ensure_shape(batch * T, hidden_dim_);
     for (std::size_t t = 0; t < T; ++t) {
       std::copy(cache_.h[t].flat().begin(), cache_.h[t].flat().end(),
                 h_all_.data() + t * batch * hidden_dim_);

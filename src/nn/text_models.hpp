@@ -91,6 +91,7 @@ class LstmLm final : public Model {
   mutable Lstm::Cache cache_;
   mutable Matrix h_all_, logits_, grad_logits_, grad_h_all_;
   mutable std::vector<Matrix> grad_h_seq_, grad_x_seq_;
+  mutable std::vector<std::int32_t> step_ids_, labels_;
 };
 
 }  // namespace fedtune::nn

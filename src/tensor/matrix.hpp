@@ -77,6 +77,15 @@ class Matrix {
     data_.assign(rows * cols, 0.0f);
   }
 
+  // Reshapes without initializing contents (they are unspecified afterwards).
+  // For hot-path scratch buffers that are fully overwritten by the caller:
+  // unlike resize(), a same-size reshape does no work at all.
+  void ensure_shape(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    if (data_.size() != rows * cols) data_.resize(rows * cols);
+  }
+
   bool same_shape(const Matrix& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_;
   }

@@ -3,15 +3,277 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <vector>
 
 namespace fedtune::ops {
 
 namespace {
 
-// Inner kernel: C[m,n] (+)= A[m,k] @ B[k,n], with B laid out row-major so the
-// inner loop streams contiguously through B and C (ikj order).
+// ---------------------------------------------------------------------------
+// Blocked GEMM kernels.
+//
+// All three layout variants funnel into one register-blocked, cache-tiled
+// kernel that computes C += A @ B with A (m,k) and B (k,n) row-major. The
+// transposed variants (nt/tn) first pack the transposed operand into a
+// thread-local scratch panel so the hot loop always streams contiguously.
+//
+// The micro-kernel computes a kMr x kNr block of C held entirely in
+// registers: each loaded B vector is reused kMr times, which is what buys
+// the throughput over the naive row-streaming loop (the retained
+// *_naive_raw kernels below).
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kMr = 6;    // C rows per register block
+constexpr std::size_t kNr = 16;   // C cols per register block
+constexpr std::size_t kKc = 256;  // k-tile: keeps the B panel slice in cache
+
+// Per-thread packing scratch, reused across calls so steady-state training
+// does no allocation here: tl_pack holds the transposed operand of the
+// nt/tn variants, tl_panels holds the kNr-wide B column panels of the main
+// kernel (see pack_b_panels).
+thread_local std::vector<float> tl_pack;
+thread_local std::vector<float> tl_panels;
+
+// C[Rows, kNr] block at rows i, cols j (of C) += A rows i..i+Rows over
+// k-slice [p0, p1). B is addressed via (ldb, jb): for unpacked row-major B
+// pass jb = j; for a packed panel pass the panel pointer with ldb = kNr,
+// jb = 0 — then every B access is a contiguous stream. Rows is a compile-
+// time constant so the r-loops fully unroll and acc stays in registers;
+// instantiated at kMr (main blocks) and 4 (the >= 4-row remainder).
+template <std::size_t Rows>
+inline void micro_kernel(const float* __restrict a, std::size_t lda,
+                         const float* __restrict b, std::size_t ldb,
+                         std::size_t jb, float* __restrict c, std::size_t ldc,
+                         std::size_t i, std::size_t j, std::size_t p0,
+                         std::size_t p1) {
+  static_assert(Rows >= 1 && Rows <= kMr);
+  float acc[Rows][kNr] = {};
+  const float* __restrict arow[Rows];
+  for (std::size_t r = 0; r < Rows; ++r) arow[r] = a + (i + r) * lda;
+  for (std::size_t p = p0; p < p1; ++p) {
+    const float* __restrict brow = b + p * ldb + jb;
+    float av[Rows];
+    for (std::size_t r = 0; r < Rows; ++r) av[r] = arow[r][p];
+    for (std::size_t r = 0; r < Rows; ++r) {
+#pragma omp simd
+      for (std::size_t t = 0; t < kNr; ++t) acc[r][t] += av[r] * brow[t];
+    }
+  }
+  for (std::size_t r = 0; r < Rows; ++r) {
+    float* __restrict crow = c + (i + r) * ldc + j;
+#pragma omp simd
+    for (std::size_t t = 0; t < kNr; ++t) crow[t] += acc[r][t];
+  }
+}
+
+// Repacks the full-width column panels of B (k,n) into panel-major layout:
+// panel q (columns [q*kNr, q*kNr + kNr)) occupies k*kNr contiguous floats,
+// row p at offset q*k*kNr + p*kNr. The micro-kernel then streams B
+// sequentially instead of striding ldb floats per k step (which aliases in
+// L1 for power-of-two n). Tail columns (n % kNr) are left to edge_rows.
+void pack_b_panels(const float* __restrict b, std::size_t ldb, std::size_t k,
+                   std::size_t n_main, float* __restrict dst) {
+  for (std::size_t q = 0; q < n_main / kNr; ++q) {
+    float* __restrict panel = dst + q * k * kNr;
+    const float* __restrict src = b + q * kNr;
+    for (std::size_t p = 0; p < k; ++p) {
+#pragma omp simd
+      for (std::size_t t = 0; t < kNr; ++t) {
+        panel[p * kNr + t] = src[p * ldb + t];
+      }
+    }
+  }
+}
+
+// Row-streaming fallback for edge rows / narrow column tails: C row i,
+// columns [j0, j1), += A row i over k-slice [p0, p1).
+inline void edge_rows(const float* __restrict a, std::size_t lda,
+                      const float* __restrict b, std::size_t ldb,
+                      float* __restrict c, std::size_t ldc, std::size_t i0,
+                      std::size_t i1, std::size_t j0, std::size_t j1,
+                      std::size_t p0, std::size_t p1) {
+  for (std::size_t i = i0; i < i1; ++i) {
+    const float* __restrict arow = a + i * lda;
+    float* __restrict crow = c + i * ldc;
+    for (std::size_t p = p0; p < p1; ++p) {
+      const float av = arow[p];
+      const float* __restrict brow = b + p * ldb;
+#pragma omp simd
+      for (std::size_t j = j0; j < j1; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// C (m,n) += A (m,k) @ B (k,n), all row-major with explicit leading dims.
+void gemm_tiled(const float* __restrict a, std::size_t lda,
+                const float* __restrict b, std::size_t ldb, float* __restrict c,
+                std::size_t ldc, std::size_t m, std::size_t k, std::size_t n) {
+  const std::size_t m_main = m - m % kMr;
+  const std::size_t n_main = n - n % kNr;
+
+  // Packing B pays once A has enough rows to reuse each panel.
+  const bool packed = m >= 4 * kMr && n_main > 0;
+  const float* bp = b;
+  if (packed) {
+    if (tl_panels.size() < k * n_main) tl_panels.resize(k * n_main);
+    pack_b_panels(b, ldb, k, n_main, tl_panels.data());
+    bp = tl_panels.data();
+  }
+
+  // Rows [0, m_main) in 6-row blocks, then a 4-row block if >= 4 rows
+  // remain; only the final 0-3 rows (and the n % kNr column tail) take the
+  // row-streaming edge path.
+  const std::size_t m_tail4 = (m - m_main >= 4) ? m_main + 4 : m_main;
+  for (std::size_t p0 = 0; p0 < k; p0 += kKc) {
+    const std::size_t p1 = std::min(k, p0 + kKc);
+    for (std::size_t i = 0; i < m_tail4; i += (i < m_main ? kMr : 4)) {
+      const bool full = i < m_main;
+      for (std::size_t j = 0; j < n_main; j += kNr) {
+        const float* bj = packed ? bp + (j / kNr) * k * kNr : b;
+        const std::size_t ldbj = packed ? kNr : ldb;
+        const std::size_t jb = packed ? 0 : j;
+        if (full) {
+          micro_kernel<kMr>(a, lda, bj, ldbj, jb, c, ldc, i, j, p0, p1);
+        } else {
+          micro_kernel<4>(a, lda, bj, ldbj, jb, c, ldc, i, j, p0, p1);
+        }
+      }
+      if (n_main < n) {
+        edge_rows(a, lda, b, ldb, c, ldc, i, i + (full ? kMr : 4), n_main, n,
+                  p0, p1);
+      }
+    }
+    if (m_tail4 < m) {
+      edge_rows(a, lda, b, ldb, c, ldc, m_tail4, m, 0, n, p0, p1);
+    }
+  }
+}
+
+// Packs the transpose of src (rows x cols, leading dim = cols) into dst so
+// dst is (cols x rows) row-major. Blocked to keep both sides cache-friendly.
+void pack_transposed(const float* __restrict src, std::size_t rows,
+                     std::size_t cols, float* __restrict dst) {
+  constexpr std::size_t kB = 32;
+  for (std::size_t r0 = 0; r0 < rows; r0 += kB) {
+    const std::size_t r1 = std::min(rows, r0 + kB);
+    for (std::size_t c0 = 0; c0 < cols; c0 += kB) {
+      const std::size_t c1 = std::min(cols, c0 + kB);
+      for (std::size_t r = r0; r < r1; ++r) {
+        const float* __restrict s = src + r * cols;
+        for (std::size_t c = c0; c < c1; ++c) dst[c * rows + r] = s[c];
+      }
+    }
+  }
+}
+
 void gemm_impl(const float* a, const float* b, float* c, std::size_t m,
                std::size_t k, std::size_t n, bool accumulate) {
+  if (m == 0 || n == 0) return;
+  if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
+  if (k == 0) return;
+  gemm_tiled(a, k, b, n, c, n, m, k, n);
+}
+
+// C[i0:i1, j0:j1] += A rows · B rows as direct dot products (both operands
+// contiguous along k in the nt layout). Used for small shapes and for the
+// block-remainder edges of the packed nt path.
+void nt_dot_range(const float* __restrict a, const float* __restrict b,
+                  float* __restrict c, std::size_t k, std::size_t n,
+                  std::size_t i0, std::size_t i1, std::size_t j0,
+                  std::size_t j1) {
+  for (std::size_t i = i0; i < i1; ++i) {
+    const float* __restrict arow = a + i * k;
+    float* __restrict crow = c + i * n;
+    for (std::size_t j = j0; j < j1; ++j) {
+      const float* __restrict brow = b + j * k;
+      float acc = 0.0f;
+#pragma omp simd reduction(+ : acc)
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += acc;
+    }
+  }
+}
+
+void gemm_nt_impl(const float* a, const float* b, float* c, std::size_t m,
+                  std::size_t k, std::size_t n, bool accumulate) {
+  if (m == 0 || n == 0) return;
+  if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
+  if (k == 0) return;
+  const std::size_t n_main = n - n % kNr;
+  if (m >= 2 * kMr && n_main > 0) {
+    // Pack B^T straight into kNr-wide column panels (single O(kn) pass —
+    // no intermediate row-major transpose): panel q, row p, lane t holds
+    // B[q*kNr + t][p]. Amortized over the O(mkn) multiply.
+    if (tl_pack.size() < k * n_main) tl_pack.resize(k * n_main);
+    for (std::size_t q = 0; q < n_main / kNr; ++q) {
+      float* __restrict panel = tl_pack.data() + q * k * kNr;
+      const float* __restrict src = b + q * kNr * k;
+      for (std::size_t p = 0; p < k; ++p) {
+        for (std::size_t t = 0; t < kNr; ++t) {
+          panel[p * kNr + t] = src[t * k + p];
+        }
+      }
+    }
+    const std::size_t m_main = m - m % kMr;
+    const std::size_t m_tail4 = (m - m_main >= 4) ? m_main + 4 : m_main;
+    for (std::size_t p0 = 0; p0 < k; p0 += kKc) {
+      const std::size_t p1 = std::min(k, p0 + kKc);
+      for (std::size_t i = 0; i < m_tail4; i += (i < m_main ? kMr : 4)) {
+        const bool full = i < m_main;
+        for (std::size_t j = 0; j < n_main; j += kNr) {
+          const float* panel = tl_pack.data() + (j / kNr) * k * kNr;
+          if (full) {
+            micro_kernel<kMr>(a, k, panel, kNr, 0, c, n, i, j, p0, p1);
+          } else {
+            micro_kernel<4>(a, k, panel, kNr, 0, c, n, i, j, p0, p1);
+          }
+        }
+      }
+    }
+    // Remainders straight off the original B: the nt layout makes them
+    // contiguous dot products, so no row-major B^T is ever materialized.
+    nt_dot_range(a, b, c, k, n, 0, m_tail4, n_main, n);
+    nt_dot_range(a, b, c, k, n, m_tail4, m, 0, n);
+    return;
+  }
+  // Few output rows (or narrower than one panel): plain dot products.
+  nt_dot_range(a, b, c, k, n, 0, m, 0, n);
+}
+
+void gemm_tn_impl(const float* a, const float* b, float* c, std::size_t k,
+                  std::size_t m, std::size_t n, bool accumulate) {
+  if (m == 0 || n == 0) return;
+  if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
+  if (k == 0) return;
+  if (m >= 2 * kMr && n >= kNr) {
+    // Pack A^T (k,m -> m,k) so the main kernel streams A rows contiguously.
+    if (tl_pack.size() < k * m) tl_pack.resize(k * m);
+    pack_transposed(a, k, m, tl_pack.data());
+    gemm_tiled(tl_pack.data(), k, b, n, c, n, m, k, n);
+    return;
+  }
+  // Small outputs (bias-sized gradients): stream B rows, accumulate into C.
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* __restrict arow = a + p * m;
+    const float* __restrict brow = b + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      float* __restrict crow = c + i * n;
+#pragma omp simd
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------------ reference kernels --
+// The original scalar loops, retained verbatim as the correctness reference
+// for the blocked kernels and as the "before" side of the substrate
+// microbenchmark. Not used on any hot path.
+
+void gemm_naive_raw(const float* a, const float* b, float* c, std::size_t m,
+                    std::size_t k, std::size_t n, bool accumulate) {
   if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
   for (std::size_t i = 0; i < m; ++i) {
     const float* arow = a + i * k;
@@ -25,15 +287,8 @@ void gemm_impl(const float* a, const float* b, float* c, std::size_t m,
   }
 }
 
-}  // namespace
-
-void gemm_raw(const float* a, const float* b, float* c, std::size_t m,
-              std::size_t k, std::size_t n, bool accumulate) {
-  gemm_impl(a, b, c, m, k, n, accumulate);
-}
-
-void gemm_nt_raw(const float* a, const float* b, float* c, std::size_t m,
-                 std::size_t k, std::size_t n, bool accumulate) {
+void gemm_nt_naive_raw(const float* a, const float* b, float* c, std::size_t m,
+                       std::size_t k, std::size_t n, bool accumulate) {
   if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
   for (std::size_t i = 0; i < m; ++i) {
     const float* arow = a + i * k;
@@ -47,8 +302,8 @@ void gemm_nt_raw(const float* a, const float* b, float* c, std::size_t m,
   }
 }
 
-void gemm_tn_raw(const float* a, const float* b, float* c, std::size_t k,
-                 std::size_t m, std::size_t n, bool accumulate) {
+void gemm_tn_naive_raw(const float* a, const float* b, float* c, std::size_t k,
+                       std::size_t m, std::size_t n, bool accumulate) {
   if (!accumulate) std::memset(c, 0, m * n * sizeof(float));
   for (std::size_t p = 0; p < k; ++p) {
     const float* arow = a + p * m;
@@ -62,9 +317,33 @@ void gemm_tn_raw(const float* a, const float* b, float* c, std::size_t k,
   }
 }
 
+void gemm_naive(const Matrix& a, const Matrix& b, Matrix& out) {
+  FEDTUNE_CHECK(a.cols() == b.rows());
+  out.ensure_shape(a.rows(), b.cols());
+  gemm_naive_raw(a.data(), b.data(), out.data(), a.rows(), a.cols(), b.cols(),
+                 false);
+}
+
+// -------------------------------------------------------- public kernels --
+
+void gemm_raw(const float* a, const float* b, float* c, std::size_t m,
+              std::size_t k, std::size_t n, bool accumulate) {
+  gemm_impl(a, b, c, m, k, n, accumulate);
+}
+
+void gemm_nt_raw(const float* a, const float* b, float* c, std::size_t m,
+                 std::size_t k, std::size_t n, bool accumulate) {
+  gemm_nt_impl(a, b, c, m, k, n, accumulate);
+}
+
+void gemm_tn_raw(const float* a, const float* b, float* c, std::size_t k,
+                 std::size_t m, std::size_t n, bool accumulate) {
+  gemm_tn_impl(a, b, c, k, m, n, accumulate);
+}
+
 void gemm(const Matrix& a, const Matrix& b, Matrix& out) {
   FEDTUNE_CHECK(a.cols() == b.rows());
-  out.resize(a.rows(), b.cols());
+  out.ensure_shape(a.rows(), b.cols());
   gemm_impl(a.data(), b.data(), out.data(), a.rows(), a.cols(), b.cols(), false);
 }
 
@@ -75,126 +354,138 @@ void gemm_acc(const Matrix& a, const Matrix& b, Matrix& out) {
 }
 
 void gemm_nt(const Matrix& a, const Matrix& b, Matrix& out) {
-  // (m,k) x (n,k)^T -> (m,n): dot products of rows — contiguous in both.
   FEDTUNE_CHECK(a.cols() == b.cols());
-  out.resize(a.rows(), b.rows());
-  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = a.data() + i * k;
-    float* crow = out.data() + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = b.data() + j * k;
-      float acc = 0.0f;
-      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] = acc;
-    }
-  }
+  out.ensure_shape(a.rows(), b.rows());
+  gemm_nt_impl(a.data(), b.data(), out.data(), a.rows(), a.cols(), b.rows(),
+               false);
 }
 
 void gemm_nt_acc(const Matrix& a, const Matrix& b, Matrix& out) {
   FEDTUNE_CHECK(a.cols() == b.cols());
   FEDTUNE_CHECK(out.rows() == a.rows() && out.cols() == b.rows());
-  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = a.data() + i * k;
-    float* crow = out.data() + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = b.data() + j * k;
-      float acc = 0.0f;
-      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] += acc;
-    }
-  }
+  gemm_nt_impl(a.data(), b.data(), out.data(), a.rows(), a.cols(), b.rows(),
+               true);
 }
 
 void gemm_tn(const Matrix& a, const Matrix& b, Matrix& out) {
   FEDTUNE_CHECK(a.rows() == b.rows());
-  out.resize(a.cols(), b.cols());
-  out.fill(0.0f);
-  gemm_tn_acc(a, b, out);
+  out.ensure_shape(a.cols(), b.cols());
+  gemm_tn_impl(a.data(), b.data(), out.data(), a.rows(), a.cols(), b.cols(),
+               false);
 }
 
 void gemm_tn_acc(const Matrix& a, const Matrix& b, Matrix& out) {
   FEDTUNE_CHECK(a.rows() == b.rows());
   FEDTUNE_CHECK(out.rows() == a.cols() && out.cols() == b.cols());
-  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
-  for (std::size_t p = 0; p < k; ++p) {
-    const float* arow = a.data() + p * m;
-    const float* brow = b.data() + p * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = out.data() + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  gemm_tn_impl(a.data(), b.data(), out.data(), a.rows(), a.cols(), b.cols(),
+               true);
 }
+
+// ------------------------------------------------------------ elementwise --
 
 void add_row_bias(Matrix& x, std::span<const float> bias) {
   FEDTUNE_CHECK(x.cols() == bias.size());
+  const std::size_t n = x.cols();
+  const float* __restrict bp = bias.data();
   for (std::size_t r = 0; r < x.rows(); ++r) {
-    float* row = x.data() + r * x.cols();
-    for (std::size_t c = 0; c < x.cols(); ++c) row[c] += bias[c];
+    float* __restrict row = x.data() + r * n;
+#pragma omp simd
+    for (std::size_t c = 0; c < n; ++c) row[c] += bp[c];
+  }
+}
+
+void add_row_bias_relu(Matrix& x, std::span<const float> bias) {
+  FEDTUNE_CHECK(x.cols() == bias.size());
+  const std::size_t n = x.cols();
+  const float* __restrict bp = bias.data();
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    float* __restrict row = x.data() + r * n;
+#pragma omp simd
+    for (std::size_t c = 0; c < n; ++c) {
+      const float v = row[c] + bp[c];
+      row[c] = v > 0.0f ? v : 0.0f;
+    }
   }
 }
 
 void col_sums_acc(const Matrix& grad, std::span<float> bias_grad) {
   FEDTUNE_CHECK(grad.cols() == bias_grad.size());
+  const std::size_t n = grad.cols();
+  float* __restrict acc = bias_grad.data();
   for (std::size_t r = 0; r < grad.rows(); ++r) {
-    const float* row = grad.data() + r * grad.cols();
-    for (std::size_t c = 0; c < grad.cols(); ++c) bias_grad[c] += row[c];
+    const float* __restrict row = grad.data() + r * n;
+#pragma omp simd
+    for (std::size_t c = 0; c < n; ++c) acc[c] += row[c];
   }
 }
 
 void axpy(float alpha, std::span<const float> x, std::span<float> y) {
   FEDTUNE_CHECK(x.size() == y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  const float* __restrict xp = x.data();
+  float* __restrict yp = y.data();
+  const std::size_t n = x.size();
+#pragma omp simd
+  for (std::size_t i = 0; i < n; ++i) yp[i] += alpha * xp[i];
 }
 
 void scale(std::span<float> x, float alpha) {
-  for (float& v : x) v *= alpha;
+  float* __restrict xp = x.data();
+  const std::size_t n = x.size();
+#pragma omp simd
+  for (std::size_t i = 0; i < n; ++i) xp[i] *= alpha;
 }
 
 float dot(std::span<const float> a, std::span<const float> b) {
   FEDTUNE_CHECK(a.size() == b.size());
+  const float* __restrict ap = a.data();
+  const float* __restrict bp = b.data();
+  const std::size_t n = a.size();
   float acc = 0.0f;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+#pragma omp simd reduction(+ : acc)
+  for (std::size_t i = 0; i < n; ++i) acc += ap[i] * bp[i];
   return acc;
 }
 
 float l2_norm(std::span<const float> x) { return std::sqrt(dot(x, x)); }
 
 void relu(const Matrix& x, Matrix& y) {
-  y.resize(x.rows(), x.cols());
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    y.flat()[i] = x.flat()[i] > 0.0f ? x.flat()[i] : 0.0f;
-  }
+  y.ensure_shape(x.rows(), x.cols());
+  const float* __restrict in = x.data();
+  float* __restrict out = y.data();
+  const std::size_t n = x.size();
+#pragma omp simd
+  for (std::size_t i = 0; i < n; ++i) out[i] = in[i] > 0.0f ? in[i] : 0.0f;
 }
 
 void relu_backward(const Matrix& y, const Matrix& grad_out, Matrix& grad_in) {
   FEDTUNE_CHECK(y.same_shape(grad_out));
-  grad_in.resize(y.rows(), y.cols());
-  for (std::size_t i = 0; i < y.size(); ++i) {
-    grad_in.flat()[i] = y.flat()[i] > 0.0f ? grad_out.flat()[i] : 0.0f;
-  }
+  grad_in.ensure_shape(y.rows(), y.cols());
+  const float* __restrict yp = y.data();
+  const float* __restrict go = grad_out.data();
+  float* __restrict gi = grad_in.data();
+  const std::size_t n = y.size();
+#pragma omp simd
+  for (std::size_t i = 0; i < n; ++i) gi[i] = yp[i] > 0.0f ? go[i] : 0.0f;
 }
 
 void tanh_forward(const Matrix& x, Matrix& y) {
-  y.resize(x.rows(), x.cols());
+  y.ensure_shape(x.rows(), x.cols());
   for (std::size_t i = 0; i < x.size(); ++i) y.flat()[i] = std::tanh(x.flat()[i]);
 }
 
 void tanh_backward(const Matrix& y, const Matrix& grad_out, Matrix& grad_in) {
   FEDTUNE_CHECK(y.same_shape(grad_out));
-  grad_in.resize(y.rows(), y.cols());
-  for (std::size_t i = 0; i < y.size(); ++i) {
-    const float t = y.flat()[i];
-    grad_in.flat()[i] = grad_out.flat()[i] * (1.0f - t * t);
-  }
+  grad_in.ensure_shape(y.rows(), y.cols());
+  const float* __restrict yp = y.data();
+  const float* __restrict go = grad_out.data();
+  float* __restrict gi = grad_in.data();
+  const std::size_t n = y.size();
+#pragma omp simd
+  for (std::size_t i = 0; i < n; ++i) gi[i] = go[i] * (1.0f - yp[i] * yp[i]);
 }
 
 void sigmoid(const Matrix& x, Matrix& y) {
-  y.resize(x.rows(), x.cols());
+  y.ensure_shape(x.rows(), x.cols());
   for (std::size_t i = 0; i < x.size(); ++i) {
     y.flat()[i] = 1.0f / (1.0f + std::exp(-x.flat()[i]));
   }
@@ -202,15 +493,17 @@ void sigmoid(const Matrix& x, Matrix& y) {
 
 void sigmoid_backward(const Matrix& y, const Matrix& grad_out, Matrix& grad_in) {
   FEDTUNE_CHECK(y.same_shape(grad_out));
-  grad_in.resize(y.rows(), y.cols());
-  for (std::size_t i = 0; i < y.size(); ++i) {
-    const float s = y.flat()[i];
-    grad_in.flat()[i] = grad_out.flat()[i] * s * (1.0f - s);
-  }
+  grad_in.ensure_shape(y.rows(), y.cols());
+  const float* __restrict yp = y.data();
+  const float* __restrict go = grad_out.data();
+  float* __restrict gi = grad_in.data();
+  const std::size_t n = y.size();
+#pragma omp simd
+  for (std::size_t i = 0; i < n; ++i) gi[i] = go[i] * yp[i] * (1.0f - yp[i]);
 }
 
 void softmax_rows(const Matrix& logits, Matrix& probs) {
-  probs.resize(logits.rows(), logits.cols());
+  probs.ensure_shape(logits.rows(), logits.cols());
   const std::size_t n = logits.cols();
   for (std::size_t r = 0; r < logits.rows(); ++r) {
     const float* in = logits.data() + r * n;
@@ -223,6 +516,7 @@ void softmax_rows(const Matrix& logits, Matrix& probs) {
       total += out[c];
     }
     const float inv = 1.0f / total;
+#pragma omp simd
     for (std::size_t c = 0; c < n; ++c) out[c] *= inv;
   }
 }
@@ -239,9 +533,10 @@ double softmax_cross_entropy(const Matrix& logits,
   for (std::size_t r = 0; r < batch; ++r) {
     const auto label = static_cast<std::size_t>(labels[r]);
     FEDTUNE_CHECK(label < n);
-    float* grow = grad_logits.data() + r * n;
+    float* __restrict grow = grad_logits.data() + r * n;
     loss -= std::log(std::max(grow[label], 1e-12f));
     grow[label] -= 1.0f;
+#pragma omp simd
     for (std::size_t c = 0; c < n; ++c) grow[c] *= inv_batch;
   }
   return loss / static_cast<double>(batch);

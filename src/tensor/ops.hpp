@@ -35,8 +35,21 @@ void gemm_nt_raw(const float* a, const float* b, float* c, std::size_t m,
 void gemm_tn_raw(const float* a, const float* b, float* c, std::size_t k,
                  std::size_t m, std::size_t n, bool accumulate);
 
+// Reference (pre-blocking) scalar kernels. Retained for correctness tests of
+// the blocked kernels and as the "before" baseline in the substrate
+// microbenchmark — never called on a hot path.
+void gemm_naive_raw(const float* a, const float* b, float* c, std::size_t m,
+                    std::size_t k, std::size_t n, bool accumulate);
+void gemm_nt_naive_raw(const float* a, const float* b, float* c, std::size_t m,
+                       std::size_t k, std::size_t n, bool accumulate);
+void gemm_tn_naive_raw(const float* a, const float* b, float* c, std::size_t k,
+                       std::size_t m, std::size_t n, bool accumulate);
+void gemm_naive(const Matrix& a, const Matrix& b, Matrix& out);
+
 // Adds a row-vector bias (1,n) to every row of x (m,n).
 void add_row_bias(Matrix& x, std::span<const float> bias);
+// Fused bias + ReLU in one pass: x = max(0, x + bias) rowwise.
+void add_row_bias_relu(Matrix& x, std::span<const float> bias);
 // bias_grad += column sums of grad (m,n) -> (n).
 void col_sums_acc(const Matrix& grad, std::span<float> bias_grad);
 

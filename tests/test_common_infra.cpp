@@ -60,6 +60,65 @@ TEST(ThreadPool, ManyMoreItemsThanThreads) {
   EXPECT_EQ(total.load(), 5000L * 4999L / 2L);
 }
 
+TEST(ThreadPool, ChunkedCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  for (std::size_t grain : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                            std::size_t{64}, std::size_t{1000}}) {
+    std::vector<std::atomic<int>> hits(257);
+    pool.parallel_for_chunked(
+        257,
+        [&](std::size_t begin, std::size_t end) {
+          ASSERT_LT(begin, end);
+          for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+        },
+        grain);
+    for (const auto& h : hits) ASSERT_EQ(h.load(), 1) << "grain " << grain;
+  }
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    EXPECT_TRUE(ThreadPool::in_parallel_region());
+    // Nested loops (same pool and global pool) must degrade to inline
+    // execution instead of deadlocking on the occupied workers.
+    pool.parallel_for(50, [&](std::size_t i) {
+      total.fetch_add(static_cast<long>(i));
+    });
+    ThreadPool::global().parallel_for(10, [&](std::size_t) {
+      total.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(total.load(), 8 * (50L * 49L / 2L) + 8 * 10L);
+  EXPECT_FALSE(ThreadPool::in_parallel_region());
+}
+
+TEST(ThreadPool, SlotsAreStableAndBounded) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  std::atomic<bool> slot_out_of_range{false};
+  pool.parallel_for_slots(64, [&](std::size_t slot, std::size_t i) {
+    if (slot >= pool.max_slots()) slot_out_of_range.store(true);
+    hits[i].fetch_add(1);
+  });
+  EXPECT_FALSE(slot_out_of_range.load());
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SlotsIndexPrivateScratchWithoutRaces) {
+  ThreadPool pool(4);
+  // Per-slot accumulators written without synchronization: correct iff two
+  // threads never share a live slot.
+  std::vector<long> per_slot(pool.max_slots(), 0);
+  pool.parallel_for_slots(2000, [&](std::size_t slot, std::size_t i) {
+    per_slot[slot] += static_cast<long>(i);
+  });
+  long total = 0;
+  for (long v : per_slot) total += v;
+  EXPECT_EQ(total, 2000L * 1999L / 2L);
+}
+
 TEST(Table, AddRowValuesFormatsAndValidates) {
   Table t({"name", "value"});
   t.add_row({"alpha", "1"});

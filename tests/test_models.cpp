@@ -80,9 +80,10 @@ TEST(LstmLm, GradientCheck) {
   model.init(rng);
   const data::ClientData client = small_token_client(rng, 4, 5, 6);
   const auto idx = iota_idx(client.num_examples());
-  const GradCheckResult r = gradient_check(model, client, idx, rng, 60);
-  // float32 storage makes the worst-case finite-difference ratio noisy on
-  // near-zero gradients; the mean is the reliable signal through BPTT.
+  // float32 storage limits the central difference to gradients above
+  // ~eps(loss)/step ≈ 1e-4; below that the quotient is quantization noise.
+  const GradCheckResult r =
+      gradient_check(model, client, idx, rng, 60, 1e-3, /*noise_floor=*/1e-4);
   EXPECT_LT(r.max_rel_error, 0.15) << "mean: " << r.mean_rel_error;
   EXPECT_LT(r.mean_rel_error, 2e-2);
 }

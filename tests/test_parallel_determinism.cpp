@@ -1,0 +1,107 @@
+// Determinism regression tests for the parallel training substrate.
+//
+// The contract (src/README.md): every (round, client) RNG stream is derived
+// by splitting, all reductions run in a fixed order, and work-to-output
+// mappings never depend on the schedule — so any thread count must produce
+// bitwise-identical results, and PoolEvalView caches stay byte-compatible
+// across machines with different core counts.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/config_pool.hpp"
+#include "fl/trainer.hpp"
+#include "nn/factory.hpp"
+#include "test_util.hpp"
+
+namespace fedtune {
+namespace {
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(ParallelDeterminism, SerialAndParallelTrainerBitwiseIdentical) {
+  const auto ds = testutil::small_image_dataset();
+  const auto arch = nn::make_default_model(ds);
+  fl::FedHyperParams hps;
+  hps.client_lr = 0.05;
+  hps.client_momentum = 0.9;
+  hps.batch_size = 16;
+
+  fl::TrainerConfig serial_cfg;
+  serial_cfg.client_threads = 1;
+  fl::TrainerConfig parallel_cfg;
+  parallel_cfg.client_threads = 0;  // shared pool
+
+  fl::FedTrainer serial(ds, *arch, hps, serial_cfg, Rng(77));
+  fl::FedTrainer parallel(ds, *arch, hps, parallel_cfg, Rng(77));
+  serial.run_rounds(6);
+  parallel.run_rounds(6);
+
+  const auto ps = serial.model().params();
+  const auto pp = parallel.model().params();
+  ASSERT_EQ(ps.size(), pp.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    // Bitwise: no tolerance.
+    ASSERT_EQ(ps[i], pp[i]) << "param " << i;
+  }
+}
+
+TEST(ParallelDeterminism, PoolBuildThreadCountInvariantBytes) {
+  const auto ds = testutil::small_image_dataset();
+  const auto arch = nn::make_default_model(ds);
+  core::PoolBuildOptions opts;
+  opts.num_configs = 4;
+  opts.checkpoints = {1, 3};
+  opts.trainer.clients_per_round = 5;
+  opts.store_params = false;
+
+  opts.num_threads = 1;
+  const core::ConfigPool one =
+      core::ConfigPool::build(ds, *arch, hpo::appendix_b_space(), opts);
+  opts.num_threads = 4;
+  const core::ConfigPool four =
+      core::ConfigPool::build(ds, *arch, hpo::appendix_b_space(), opts);
+
+  const std::string path_one = "/tmp/fedtune_det_view_1.bin";
+  const std::string path_four = "/tmp/fedtune_det_view_4.bin";
+  one.view().save(path_one);
+  four.view().save(path_four);
+  EXPECT_EQ(read_bytes(path_one), read_bytes(path_four));
+  std::filesystem::remove(path_one);
+  std::filesystem::remove(path_four);
+}
+
+TEST(ParallelDeterminism, EvaluateOnThreadCountInvariant) {
+  const auto ds = testutil::small_image_dataset();
+  const auto arch = nn::make_default_model(ds);
+  core::PoolBuildOptions opts;
+  opts.num_configs = 3;
+  opts.checkpoints = {1, 3};
+  opts.trainer.clients_per_round = 5;
+  opts.num_threads = 2;
+  const core::ConfigPool pool =
+      core::ConfigPool::build(ds, *arch, hpo::appendix_b_space(), opts);
+
+  const core::PoolEvalView a =
+      pool.evaluate_on(*arch, ds.eval_clients, {}, /*num_threads=*/1);
+  const core::PoolEvalView b =
+      pool.evaluate_on(*arch, ds.eval_clients, {}, /*num_threads=*/4);
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t ck = 0; ck < 2; ++ck) {
+      const auto ea = a.errors(c, ck);
+      const auto eb = b.errors(c, ck);
+      for (std::size_t k = 0; k < ea.size(); ++k) {
+        ASSERT_EQ(ea[k], eb[k]) << "config " << c << " ckpt " << ck;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fedtune
