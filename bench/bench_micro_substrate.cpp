@@ -223,18 +223,37 @@ double gemm_gflops(std::size_t n, Fn&& fn) {
   return best;
 }
 
-double pool_build_seconds(const data::FederatedDataset& ds,
-                          const nn::Model& arch, std::size_t num_threads) {
+core::PoolBuildOptions report_pool_options(std::size_t num_threads) {
   core::PoolBuildOptions opts;
   opts.num_configs = 8;
   opts.checkpoints = {1, 3, 9};
   opts.trainer.clients_per_round = 8;
   opts.store_params = false;
   opts.num_threads = num_threads;
+  return opts;
+}
+
+double pool_build_seconds(const data::FederatedDataset& ds,
+                          const nn::Model& arch, std::size_t num_threads) {
+  const core::PoolBuildOptions opts = report_pool_options(num_threads);
   const auto t0 = Clock::now();
   benchmark::DoNotOptimize(
       core::ConfigPool::build(ds, arch, hpo::appendix_b_space(), opts));
   return seconds_since(t0);
+}
+
+// One shard of the same 8-config pool, timed as a fleet process would run it
+// (full thread budget per shard — shards live on separate machines).
+core::ConfigPool pool_shard_timed(const data::FederatedDataset& ds,
+                                  const nn::Model& arch, std::size_t lo,
+                                  std::size_t hi, std::size_t num_threads,
+                                  double* seconds) {
+  const core::PoolBuildOptions opts = report_pool_options(num_threads);
+  const auto t0 = Clock::now();
+  core::ConfigPool shard = core::ConfigPool::build_shard(
+      ds, arch, hpo::appendix_b_space(), opts, lo, hi);
+  *seconds = seconds_since(t0);
+  return shard;
 }
 
 int write_substrate_report(const std::string& path) {
@@ -290,9 +309,31 @@ int write_substrate_report(const std::string& path) {
   out << "  \"pool_build\": {\"configs\": 8, \"threads_1_seconds\": " << t1
       << ", \"threads_n\": " << scale_threads
       << ", \"threads_n_seconds\": " << tn << ", \"speedup\": " << t1 / tn
-      << "}\n}\n";
+      << "},\n";
   std::cerr << "pool build: 1 thread " << t1 << "s, " << scale_threads
             << " threads " << tn << "s (" << t1 / tn << "x)\n";
+
+  // Sharded build: the same pool as 2 shards. Shards run on separate
+  // machines in practice, so the fleet wall-clock estimate is the slowest
+  // shard plus the (cheap, single-process) merge.
+  double ta = 0.0, tb = 0.0;
+  core::ConfigPool shards[2] = {
+      pool_shard_timed(ds, *arch, 0, 4, scale_threads, &ta),
+      pool_shard_timed(ds, *arch, 4, 8, scale_threads, &tb)};
+  const auto m0 = Clock::now();
+  benchmark::DoNotOptimize(
+      core::ConfigPool::merge(std::span<const core::ConfigPool>(shards, 2)));
+  const double tm = seconds_since(m0);
+  const double wall = std::max(ta, tb) + tm;
+  out << "  \"pool_build_sharded\": {\"configs\": 8, \"shards\": 2, "
+      << "\"shard_seconds\": [" << ta << ", " << tb
+      << "], \"merge_seconds\": " << tm
+      << ", \"est_wall_clock_seconds\": " << wall
+      << ", \"monolithic_seconds\": " << tn
+      << ", \"est_fleet_speedup\": " << tn / wall << "}\n}\n";
+  std::cerr << "sharded pool build: shards " << ta << "s / " << tb
+            << "s, merge " << tm << "s -> est fleet wall-clock " << wall
+            << "s vs monolithic " << tn << "s (" << tn / wall << "x)\n";
   return 0;
 }
 

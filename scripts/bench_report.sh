@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Runs the substrate microbenchmark in report mode and emits a
 # machine-readable BENCH_substrate.json (GEMM GFLOP/s naive vs blocked,
-# config-pool build wall-clock at 1 vs N threads, thread count) for tracking
-# the perf trajectory across PRs.
+# config-pool build wall-clock at 1 vs N threads, sharded vs monolithic
+# pool-build wall-clock with the estimated fleet speedup, thread count) for
+# tracking the perf trajectory across PRs.
 #
 # Usage: scripts/bench_report.sh [build_dir] [output.json]
 set -euo pipefail

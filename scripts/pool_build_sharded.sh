@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Builds a benchmark's configuration pool as N parallel shard processes and
+# merges them into the monolithic cache file — the fleet-scale path for the
+# expensive train-once step. The determinism contract (src/README.md) makes
+# the merged pool bitwise identical to a single-process build; merge
+# validates shard headers (contiguity, matching configs/checkpoints/
+# weights), and `fedtune_pool verify MERGED.pool MONO.pool` can confirm
+# bitwise equality against a single-process reference build.
+#
+# Usage: scripts/pool_build_sharded.sh DATASET NUM_SHARDS [build_dir] [extra
+#        fedtune_pool flags, e.g. --configs 16 --no-params]
+#
+# Shards land in $FEDTUNE_CACHE_DIR (default ./fedtune_cache) as
+# DATASET.shard-K-of-N.pool; the merged pool as DATASET.pool. PoolHub also
+# assembles a complete shard set by itself, so running only the build-shard
+# steps (e.g. on separate machines that share the cache dir) is enough.
+set -euo pipefail
+
+if [[ $# -lt 2 ]]; then
+  echo "usage: $0 DATASET NUM_SHARDS [build_dir] [extra flags...]" >&2
+  exit 2
+fi
+
+dataset="$1"
+num_shards="$2"
+shift 2
+build_dir="build"
+if [[ $# -gt 0 && $1 != --* ]]; then
+  build_dir="$1"
+  shift
+fi
+extra=("$@")
+
+bin="$build_dir/fedtune_pool"
+if [[ ! -x "$bin" ]]; then
+  echo "error: $bin not found or not executable." >&2
+  echo "build it first: cmake -B $build_dir -S . && cmake --build $build_dir -j" >&2
+  exit 1
+fi
+
+cache_dir="${FEDTUNE_CACHE_DIR:-fedtune_cache}"
+echo "building $dataset pool as $num_shards shards into $cache_dir ..."
+
+pids=()
+for k in $(seq 1 "$num_shards"); do
+  "$bin" build-shard --dataset "$dataset" --shard "$k" \
+    --num-shards "$num_shards" "${extra[@]}" &
+  pids+=($!)
+done
+
+fail=0
+for pid in "${pids[@]}"; do
+  wait "$pid" || fail=1
+done
+if [[ $fail -ne 0 ]]; then
+  echo "error: at least one shard build failed" >&2
+  exit 1
+fi
+
+# merge prints the output path: DATASET.pool when the result matches the
+# shared bench pool definition, a distinct .merged-*.pool name otherwise.
+"$bin" merge --dataset "$dataset" --num-shards "$num_shards" "${extra[@]}"

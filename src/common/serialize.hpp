@@ -96,6 +96,11 @@ class BinaryReader {
     return v;
   }
 
+  // True once the stream is fully consumed. Loaders call this after the last
+  // field so files with trailing garbage (e.g. a longer payload renamed over
+  // a cache entry) are rejected instead of silently half-read.
+  bool at_end() { return in_.peek() == std::ifstream::traits_type::eof(); }
+
  private:
   std::ifstream in_;
 };

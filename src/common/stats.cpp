@@ -111,8 +111,13 @@ double kendall_tau(std::span<const double> xs, std::span<const double> ys) {
     for (std::size_t j = i + 1; j < n; ++j) {
       const double dx = xs[i] - xs[j];
       const double dy = ys[i] - ys[j];
-      if (dx == 0.0 && dy == 0.0) continue;
-      if (dx == 0.0) {
+      // tau-b: a pair tied in BOTH variables counts toward both tie totals
+      // (it is neither concordant nor discordant, but it still reduces the
+      // number of orderable pairs on each axis).
+      if (dx == 0.0 && dy == 0.0) {
+        ++ties_x;
+        ++ties_y;
+      } else if (dx == 0.0) {
         ++ties_x;
       } else if (dy == 0.0) {
         ++ties_y;

@@ -12,7 +12,14 @@ namespace fedtune::core {
 
 namespace {
 constexpr std::uint64_t kPoolMagic = 0xfed7d2ae00000003ULL;
-constexpr std::uint64_t kViewMagic = 0xfed7a11e00000001ULL;
+// v2: derived-view caches regenerated after the iid repartition seed moved
+// from truncated p*1000 to p's full bit pattern (same filename, different
+// stream — the magic bump is what invalidates stale caches).
+constexpr std::uint64_t kViewMagic = 0xfed7a11e00000002ULL;
+// Shard files: range header (lo, hi, total) + monolithic payload. Bump the
+// low word on any layout change so stale shard caches are rejected, not
+// misread.
+constexpr std::uint64_t kShardMagic = 0xfed75a2d00000001ULL;
 }
 
 // ------------------------------------------------------------ PoolEvalView --
@@ -109,6 +116,7 @@ std::optional<PoolEvalView> PoolEvalView::load(const std::string& path) {
     view.errors_ = r.read_vector<float>();
     FEDTUNE_CHECK(view.errors_.size() ==
                   num_configs * checkpoints.size() * weights.size());
+    FEDTUNE_CHECK_MSG(r.at_end(), "trailing bytes after view payload");
     return view;
   } catch (const std::exception&) {
     return std::nullopt;
@@ -129,25 +137,42 @@ ConfigPool ConfigPool::build(const data::FederatedDataset& dataset,
                              const nn::Model& architecture,
                              const hpo::SearchSpace& space,
                              const PoolBuildOptions& opts) {
+  return build_shard(dataset, architecture, space, opts, 0, opts.num_configs);
+}
+
+ConfigPool ConfigPool::build_shard(const data::FederatedDataset& dataset,
+                                   const nn::Model& architecture,
+                                   const hpo::SearchSpace& space,
+                                   const PoolBuildOptions& opts,
+                                   std::size_t config_lo,
+                                   std::size_t config_hi) {
   FEDTUNE_CHECK(opts.num_configs > 0);
+  FEDTUNE_CHECK_MSG(config_lo < config_hi && config_hi <= opts.num_configs,
+                    "bad shard range [" << config_lo << ", " << config_hi
+                                        << ") of " << opts.num_configs);
   FEDTUNE_CHECK(!opts.checkpoints.empty());
   FEDTUNE_CHECK(std::is_sorted(opts.checkpoints.begin(), opts.checkpoints.end()));
 
   ConfigPool pool;
   pool.dataset_name_ = dataset.name;
+  pool.shard_lo_ = config_lo;
+  // The FULL config list is sampled in every shard: it is cheap, keeps the
+  // sampling stream independent of the sharding, and lets merge() verify
+  // that all shards came from the same (seed, space) pool definition.
   Rng config_rng(opts.config_seed);
   pool.configs_.reserve(opts.num_configs);
   for (std::size_t i = 0; i < opts.num_configs; ++i) {
     pool.configs_.push_back(space.sample(config_rng));
   }
 
+  const std::size_t range = config_hi - config_lo;
   pool.view_ = PoolEvalView(opts.checkpoints,
                             data::example_count_weights(dataset.eval_clients),
-                            opts.num_configs);
+                            range);
   pool.param_count_ = architecture.num_params();
   if (opts.store_params) {
-    pool.params_.assign(
-        opts.num_configs * opts.checkpoints.size() * pool.param_count_, 0.0f);
+    pool.params_.assign(range * opts.checkpoints.size() * pool.param_count_,
+                        0.0f);
   }
 
   // Config-level parallelism is the outer loop. With num_threads == 0
@@ -167,7 +192,10 @@ ConfigPool ConfigPool::build(const data::FederatedDataset& dataset,
   fl::TrainerConfig trainer_cfg = opts.trainer;
   const std::size_t inner_threads = opts.num_threads == 0 ? 0 : 1;
   if (opts.num_threads != 0) trainer_cfg.client_threads = 1;
-  workers.parallel_for(opts.num_configs, [&](std::size_t c) {
+  workers.parallel_for(range, [&](std::size_t local) {
+    // Training streams split on the GLOBAL config index, so a shard build is
+    // bitwise identical to the same slice of a monolithic build.
+    const std::size_t c = config_lo + local;
     const fl::FedHyperParams hps = to_fed_hyperparams(pool.configs_[c]);
     fl::FedTrainer trainer(dataset, architecture, hps, trainer_cfg,
                            train_rng.split(c));
@@ -175,7 +203,7 @@ ConfigPool ConfigPool::build(const data::FederatedDataset& dataset,
       trainer.run_rounds(opts.checkpoints[ck] - trainer.rounds_done());
       const std::vector<double> errs = fl::all_client_errors(
           trainer.model(), dataset.eval_clients, inner_threads);
-      auto dst = pool.view_.errors(c, ck);
+      auto dst = pool.view_.errors(local, ck);
       for (std::size_t k = 0; k < errs.size(); ++k) {
         dst[k] = static_cast<float>(errs[k]);
       }
@@ -184,7 +212,7 @@ ConfigPool ConfigPool::build(const data::FederatedDataset& dataset,
         std::copy(src.begin(), src.end(),
                   pool.params_.begin() +
                       static_cast<std::ptrdiff_t>(
-                          (c * opts.checkpoints.size() + ck) *
+                          (local * opts.checkpoints.size() + ck) *
                           pool.param_count_));
       }
     }
@@ -192,10 +220,71 @@ ConfigPool ConfigPool::build(const data::FederatedDataset& dataset,
   return pool;
 }
 
+ConfigPool ConfigPool::merge(std::span<const ConfigPool> shards) {
+  FEDTUNE_CHECK_MSG(!shards.empty(), "nothing to merge");
+  std::vector<const ConfigPool*> ordered;
+  ordered.reserve(shards.size());
+  for (const ConfigPool& s : shards) ordered.push_back(&s);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const ConfigPool* a, const ConfigPool* b) {
+              return a->shard_lo() < b->shard_lo();
+            });
+
+  const ConfigPool& first = *ordered.front();
+  const std::size_t total = first.configs_.size();
+  std::size_t expected_lo = 0;
+  for (const ConfigPool* s : ordered) {
+    FEDTUNE_CHECK_MSG(s->shard_lo() == expected_lo,
+                      "shard ranges not contiguous: expected lo "
+                          << expected_lo << ", got [" << s->shard_lo() << ", "
+                          << s->shard_hi() << ")");
+    expected_lo = s->shard_hi();
+    FEDTUNE_CHECK_MSG(s->dataset_name_ == first.dataset_name_,
+                      "shards from different datasets");
+    FEDTUNE_CHECK_MSG(s->configs_ == first.configs_,
+                      "shards disagree on the config list");
+    FEDTUNE_CHECK_MSG(s->view_.checkpoints() == first.view_.checkpoints(),
+                      "shards disagree on the checkpoint grid");
+    FEDTUNE_CHECK_MSG(s->view_.client_weights() == first.view_.client_weights(),
+                      "shards disagree on eval-client weights");
+    FEDTUNE_CHECK_MSG(s->param_count_ == first.param_count_ &&
+                          s->has_params() == first.has_params(),
+                      "shards disagree on parameter snapshots");
+  }
+  FEDTUNE_CHECK_MSG(expected_lo == total,
+                    "shards cover [0, " << expected_lo << ") of " << total
+                                        << " configs");
+
+  ConfigPool merged;
+  merged.dataset_name_ = first.dataset_name_;
+  merged.configs_ = first.configs_;
+  merged.param_count_ = first.param_count_;
+  merged.view_ = PoolEvalView(first.view_.checkpoints(),
+                              first.view_.client_weights(), total);
+  if (first.has_params()) {
+    merged.params_.reserve(total * first.view_.checkpoints().size() *
+                           first.param_count_);
+  }
+  const std::size_t num_ck = first.view_.checkpoints().size();
+  for (const ConfigPool* s : ordered) {
+    for (std::size_t local = 0; local < s->view_.num_configs(); ++local) {
+      for (std::size_t ck = 0; ck < num_ck; ++ck) {
+        const auto src = s->view_.errors(local, ck);
+        auto dst = merged.view_.errors(s->shard_lo() + local, ck);
+        std::copy(src.begin(), src.end(), dst.begin());
+      }
+    }
+    // Both tensors are config-major, so ordered shards splice by append.
+    merged.params_.insert(merged.params_.end(), s->params_.begin(),
+                          s->params_.end());
+  }
+  return merged;
+}
+
 std::span<const float> ConfigPool::params(std::size_t config,
                                           std::size_t checkpoint) const {
   FEDTUNE_CHECK_MSG(has_params(), "pool was built without parameter snapshots");
-  FEDTUNE_CHECK(config < configs_.size());
+  FEDTUNE_CHECK(config < view_.num_configs());
   FEDTUNE_CHECK(checkpoint < view_.checkpoints().size());
   return std::span<const float>(
       params_.data() +
@@ -207,6 +296,8 @@ PoolEvalView ConfigPool::evaluate_on(const nn::Model& architecture,
                                      std::span<const data::ClientData> clients,
                                      std::vector<std::size_t> checkpoint_subset,
                                      std::size_t num_threads) const {
+  FEDTUNE_CHECK_MSG(!is_shard(),
+                    "re-evaluation needs the full pool: merge shards first");
   FEDTUNE_CHECK(has_params());
   FEDTUNE_CHECK(architecture.num_params() == param_count_);
   if (checkpoint_subset.empty()) checkpoint_subset = view_.checkpoints();
@@ -248,9 +339,11 @@ PoolEvalView ConfigPool::evaluate_on(const nn::Model& architecture,
   return out;
 }
 
-void ConfigPool::save(const std::string& path) const {
-  BinaryWriter w(path);
-  w.write_u64(kPoolMagic);
+// Payload shared by .pool and shard files: full config list, view metadata,
+// then error/param blocks for the file's config range (the full range for a
+// monolithic .pool, [lo, hi) for a shard — the count is implied by the
+// header, so the monolithic byte layout is unchanged from magic v3).
+void ConfigPool::write_payload(BinaryWriter& w) const {
   w.write_string(dataset_name_);
   w.write_u64(configs_.size());
   for (const auto& config : configs_) {
@@ -262,14 +355,59 @@ void ConfigPool::save(const std::string& path) const {
   }
   w.write_vector<std::size_t>(view_.checkpoints());
   w.write_vector<double>(view_.client_weights());
-  // Error tensor, config-major.
-  for (std::size_t c = 0; c < configs_.size(); ++c) {
+  // Error tensor, config-major, local (in-range) indices.
+  for (std::size_t c = 0; c < view_.num_configs(); ++c) {
     for (std::size_t ck = 0; ck < view_.checkpoints().size(); ++ck) {
       w.write_vector<float>(view_.errors(c, ck));
     }
   }
   w.write_u64(param_count_);
   w.write_vector<float>(params_);
+}
+
+ConfigPool ConfigPool::read_payload(BinaryReader& r,
+                                    std::size_t range_configs) {
+  ConfigPool pool;
+  pool.dataset_name_ = r.read_string();
+  const std::uint64_t num_configs = r.read_u64();
+  if (range_configs == 0) range_configs = num_configs;  // monolithic file
+  FEDTUNE_CHECK(range_configs <= num_configs);
+  pool.configs_.resize(num_configs);
+  for (auto& config : pool.configs_) {
+    const std::uint64_t n = r.read_u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::string name = r.read_string();
+      config[name] = r.read_f64();
+    }
+  }
+  const auto checkpoints = r.read_vector<std::size_t>();
+  const auto weights = r.read_vector<double>();
+  pool.view_ = PoolEvalView(checkpoints, weights, range_configs);
+  for (std::size_t c = 0; c < range_configs; ++c) {
+    for (std::size_t ck = 0; ck < checkpoints.size(); ++ck) {
+      const auto errs = r.read_vector<float>();
+      FEDTUNE_CHECK(errs.size() == weights.size());
+      auto dst = pool.view_.errors(c, ck);
+      std::copy(errs.begin(), errs.end(), dst.begin());
+    }
+  }
+  pool.param_count_ = r.read_u64();
+  pool.params_ = r.read_vector<float>();
+  if (!pool.params_.empty()) {
+    FEDTUNE_CHECK(pool.params_.size() ==
+                  range_configs * checkpoints.size() * pool.param_count_);
+  }
+  FEDTUNE_CHECK_MSG(r.at_end(), "trailing bytes after pool payload");
+  return pool;
+}
+
+void ConfigPool::save(const std::string& path) const {
+  FEDTUNE_CHECK_MSG(!is_shard(),
+                    "partial pool [" << shard_lo() << ", " << shard_hi()
+                                     << "): use save_shard()");
+  BinaryWriter w(path);
+  w.write_u64(kPoolMagic);
+  write_payload(w);
   FEDTUNE_CHECK_MSG(w.good(), "failed writing pool to " << path);
 }
 
@@ -278,33 +416,37 @@ std::optional<ConfigPool> ConfigPool::load(const std::string& path) {
   if (!r.is_open()) return std::nullopt;
   try {
     if (r.read_u64() != kPoolMagic) return std::nullopt;
-    ConfigPool pool;
-    pool.dataset_name_ = r.read_string();
-    const std::uint64_t num_configs = r.read_u64();
-    pool.configs_.resize(num_configs);
-    for (auto& config : pool.configs_) {
-      const std::uint64_t n = r.read_u64();
-      for (std::uint64_t i = 0; i < n; ++i) {
-        const std::string name = r.read_string();
-        config[name] = r.read_f64();
-      }
-    }
-    const auto checkpoints = r.read_vector<std::size_t>();
-    const auto weights = r.read_vector<double>();
-    pool.view_ = PoolEvalView(checkpoints, weights, num_configs);
-    for (std::size_t c = 0; c < num_configs; ++c) {
-      for (std::size_t ck = 0; ck < checkpoints.size(); ++ck) {
-        const auto errs = r.read_vector<float>();
-        FEDTUNE_CHECK(errs.size() == weights.size());
-        auto dst = pool.view_.errors(c, ck);
-        std::copy(errs.begin(), errs.end(), dst.begin());
-      }
-    }
-    pool.param_count_ = r.read_u64();
-    pool.params_ = r.read_vector<float>();
-    return pool;
+    return read_payload(r, 0);
   } catch (const std::exception&) {
     return std::nullopt;  // stale/corrupt cache: rebuild
+  }
+}
+
+void ConfigPool::save_shard(const std::string& path) const {
+  BinaryWriter w(path);
+  w.write_u64(kShardMagic);
+  w.write_u64(shard_lo_);
+  w.write_u64(shard_hi());
+  w.write_u64(configs_.size());
+  write_payload(w);
+  FEDTUNE_CHECK_MSG(w.good(), "failed writing shard to " << path);
+}
+
+std::optional<ConfigPool> ConfigPool::load_shard(const std::string& path) {
+  BinaryReader r(path);
+  if (!r.is_open()) return std::nullopt;
+  try {
+    if (r.read_u64() != kShardMagic) return std::nullopt;
+    const std::uint64_t lo = r.read_u64();
+    const std::uint64_t hi = r.read_u64();
+    const std::uint64_t total = r.read_u64();
+    if (!(lo < hi && hi <= total)) return std::nullopt;
+    ConfigPool pool = read_payload(r, hi - lo);
+    if (pool.configs_.size() != total) return std::nullopt;
+    pool.shard_lo_ = lo;
+    return pool;
+  } catch (const std::exception&) {
+    return std::nullopt;
   }
 }
 

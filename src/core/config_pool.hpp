@@ -25,6 +25,11 @@
 #include "hpo/search_space.hpp"
 #include "nn/model.hpp"
 
+namespace fedtune {
+class BinaryReader;
+class BinaryWriter;
+}
+
 namespace fedtune::core {
 
 // Per-client errors for every (config, checkpoint) — the data the
@@ -98,10 +103,37 @@ class ConfigPool {
                           const hpo::SearchSpace& space,
                           const PoolBuildOptions& opts);
 
+  // Trains only configurations [config_lo, config_hi) of the pool described
+  // by `opts` (opts.num_configs is the FULL pool size). The determinism
+  // contract (src/README.md) keys every per-config training stream off the
+  // global config index, so a shard's error/param blocks are bitwise
+  // identical to the corresponding slice of a monolithic build — shards can
+  // run on separate machines and be reassembled with merge().
+  static ConfigPool build_shard(const data::FederatedDataset& dataset,
+                                const nn::Model& architecture,
+                                const hpo::SearchSpace& space,
+                                const PoolBuildOptions& opts,
+                                std::size_t config_lo, std::size_t config_hi);
+
+  // Splices contiguous, non-overlapping shards (any order) covering the full
+  // config range back into one pool. Throws std::invalid_argument on gaps,
+  // overlaps, or shards that disagree on dataset/configs/checkpoints/
+  // weights/params.
+  static ConfigPool merge(std::span<const ConfigPool> shards);
+
   const std::string& dataset_name() const { return dataset_name_; }
   const std::vector<hpo::Config>& configs() const { return configs_; }
   const PoolEvalView& view() const { return view_; }
   bool has_params() const { return !params_.empty(); }
+
+  // Shard range within the full pool. A monolithic pool is the trivial shard
+  // [0, configs().size()). view()/errors()/params() index configs locally,
+  // i.e. relative to shard_lo().
+  std::size_t shard_lo() const { return shard_lo_; }
+  std::size_t shard_hi() const { return shard_lo_ + view_.num_configs(); }
+  bool is_shard() const {
+    return shard_lo_ != 0 || view_.num_configs() != configs_.size();
+  }
 
   // Stored global-model parameters at (config, checkpoint).
   std::span<const float> params(std::size_t config, std::size_t checkpoint) const;
@@ -115,15 +147,30 @@ class ConfigPool {
                            std::vector<std::size_t> checkpoint_subset = {},
                            std::size_t num_threads = 0) const;
 
+  // Monolithic pool files (.pool). save() rejects shards — their error
+  // blocks cover only a subrange; use save_shard().
   void save(const std::string& path) const;
   static std::optional<ConfigPool> load(const std::string& path);
 
+  // Shard files: a versioned magic plus a [lo, hi, total) range header on
+  // top of the monolithic payload (full config list; errors/params for the
+  // local range only). A monolithic pool may be saved as its trivial shard.
+  void save_shard(const std::string& path) const;
+  static std::optional<ConfigPool> load_shard(const std::string& path);
+
  private:
+  void write_payload(BinaryWriter& w) const;
+  // Reads the payload shared by .pool and shard files; `range_configs` is
+  // the number of configs whose error/param blocks follow (== total configs
+  // for a monolithic file).
+  static ConfigPool read_payload(BinaryReader& r, std::size_t range_configs);
+
   std::string dataset_name_;
-  std::vector<hpo::Config> configs_;
-  PoolEvalView view_;
+  std::vector<hpo::Config> configs_;  // full pool list, even in a shard
+  PoolEvalView view_;                 // covers [shard_lo_, shard_hi())
+  std::size_t shard_lo_ = 0;
   std::size_t param_count_ = 0;
-  std::vector<float> params_;  // [config][checkpoint][param]
+  std::vector<float> params_;  // [local config][checkpoint][param]
 };
 
 }  // namespace fedtune::core

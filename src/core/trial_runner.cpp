@@ -22,6 +22,13 @@ std::vector<double> LiveTrialRunner::run(const hpo::Trial& trial) {
     FEDTUNE_CHECK_MSG(it != checkpoints_.end(),
                       "missing checkpoint for parent trial " << trial.parent_id);
     trainer.restore(it->second);
+    resumed_rounds_[trial.id] = it->second.rounds;
+    // Every rung entry is promoted at most once, so the parent's snapshot
+    // (full model params + optimizer state) has served its purpose — evict
+    // it. Interior nodes of every promotion chain are freed this way; only
+    // leaf trials (rung losers and final-rung survivors, whose params a
+    // caller may still deploy via trial_params) are retained.
+    checkpoints_.erase(it);
   }
   FEDTUNE_CHECK_MSG(trainer.rounds_done() <= trial.target_rounds,
                     "trial resumes beyond its target fidelity");
@@ -32,6 +39,11 @@ std::vector<double> LiveTrialRunner::run(const hpo::Trial& trial) {
 
 std::size_t LiveTrialRunner::rounds_consumed(const hpo::Trial& trial) const {
   if (trial.parent_id < 0) return trial.target_rounds;
+  if (const auto it = resumed_rounds_.find(trial.id);
+      it != resumed_rounds_.end()) {
+    return trial.target_rounds - it->second;
+  }
+  // Not run yet: the parent checkpoint must still be alive.
   const auto it = checkpoints_.find(trial.parent_id);
   FEDTUNE_CHECK(it != checkpoints_.end());
   return trial.target_rounds - it->second.rounds;

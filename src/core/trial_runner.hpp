@@ -47,7 +47,16 @@ class LiveTrialRunner final : public TrialRunner {
   std::size_t rounds_consumed(const hpo::Trial& trial) const override;
 
   // Global-model parameters of a completed trial (e.g. to deploy the winner).
+  // Available while the trial's checkpoint is retained: a checkpoint is
+  // evicted once a promotion resumes from it (each SHA/Hyperband rung entry
+  // is promoted at most once), so leaf trials — including every bracket
+  // winner — stay retrievable while interior parents are freed.
   const std::vector<float>& trial_params(int trial_id) const;
+
+  // Retained checkpoints (leaf trials only, once their promotions ran;
+  // non-promoted trials stay retrievable) — observability hook for the
+  // eviction contract.
+  std::size_t checkpoints_held() const { return checkpoints_.size(); }
 
  private:
   const data::FederatedDataset* dataset_;
@@ -56,6 +65,9 @@ class LiveTrialRunner final : public TrialRunner {
   Rng rng_;
   std::vector<double> weights_;
   std::map<int, fl::Checkpoint> checkpoints_;  // by trial id
+  // Rounds already banked when a trial resumed its parent — kept past the
+  // parent checkpoint's eviction so rounds_consumed() stays answerable.
+  std::map<int, std::size_t> resumed_rounds_;  // by (child) trial id
 };
 
 }  // namespace fedtune::core

@@ -1,10 +1,11 @@
 #include "sim/pool_hub.hpp"
 
+#include <bit>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
 #include <map>
-#include <sstream>
 
 #include "common/check.hpp"
 #include "data/partition.hpp"
@@ -13,10 +14,14 @@
 
 namespace fedtune::sim {
 
+namespace fs = std::filesystem;
+
 struct PoolHub::Entry {
   std::unique_ptr<data::FederatedDataset> dataset;
   std::unique_ptr<core::ConfigPool> pool;
-  std::map<double, core::PoolEvalView> iid_views;
+  // Keyed by the formatted probability (format_probability) so the cache key
+  // and the cache file name can never disagree.
+  std::map<std::string, core::PoolEvalView> iid_views;
 };
 
 PoolHub& PoolHub::instance() {
@@ -30,6 +35,12 @@ PoolHub::PoolHub() {
   std::filesystem::create_directories(cache_dir_);
 }
 
+std::string PoolHub::format_probability(double p) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", p);
+  return buf;
+}
+
 std::vector<std::size_t> PoolHub::checkpoint_grid(data::BenchmarkId id) {
   std::vector<std::size_t> grid;
   const std::size_t r0 = data::min_rounds_per_config(id);
@@ -38,14 +49,19 @@ std::vector<std::size_t> PoolHub::checkpoint_grid(data::BenchmarkId id) {
   return grid;
 }
 
-PoolHub::Entry& PoolHub::entry(data::BenchmarkId id) {
+PoolHub::Entry& PoolHub::entry_locked(data::BenchmarkId id) {
   auto& slot = entries_[static_cast<std::size_t>(id)];
   if (!slot) slot = std::make_unique<Entry>();
   return *slot;
 }
 
 const data::FederatedDataset& PoolHub::dataset(data::BenchmarkId id) {
-  Entry& e = entry(id);
+  std::lock_guard<std::mutex> lock(mu_);
+  return dataset_locked(id);
+}
+
+const data::FederatedDataset& PoolHub::dataset_locked(data::BenchmarkId id) {
+  Entry& e = entry_locked(id);
   if (!e.dataset) {
     e.dataset = std::make_unique<data::FederatedDataset>(
         data::make_benchmark(id));
@@ -53,8 +69,83 @@ const data::FederatedDataset& PoolHub::dataset(data::BenchmarkId id) {
   return *e.dataset;
 }
 
+std::unique_ptr<core::ConfigPool> PoolHub::assemble_shards_locked(
+    data::BenchmarkId id, const std::string& pool_path) {
+  // Collect `<name>.shard-K-of-N.pool` files (K in 1..N), grouped by N.
+  const std::string prefix = data::benchmark_name(id) + ".shard-";
+  const std::string suffix = ".pool";
+  std::map<std::size_t, std::map<std::size_t, std::string>> sets;  // N->K->path
+  std::error_code ec;
+  for (const auto& de : fs::directory_iterator(cache_dir_, ec)) {
+    const std::string name = de.path().filename().string();
+    if (name.size() <= prefix.size() + suffix.size() ||
+        name.compare(0, prefix.size(), prefix) != 0 ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+      continue;
+    }
+    const std::string mid =
+        name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+    std::size_t k = 0, n = 0;
+    int consumed = -1;
+    // %n: the midsection must be exactly "K-of-N" — trailing junk (e.g. a
+    // ".shard-1-of-2-old.pool" backup) must not alias a real shard.
+    if (std::sscanf(mid.c_str(), "%zu-of-%zu%n", &k, &n, &consumed) != 2 ||
+        consumed != static_cast<int>(mid.size())) {
+      continue;
+    }
+    if (k == 0 || n == 0 || k > n) continue;
+    sets[n][k] = de.path().string();
+  }
+
+  for (const auto& [n, shards_by_k] : sets) {
+    if (shards_by_k.size() != n) continue;  // incomplete set
+    std::vector<core::ConfigPool> shards;
+    shards.reserve(n);
+    bool ok = true;
+    for (const auto& [k, path] : shards_by_k) {
+      auto shard = core::ConfigPool::load_shard(path);
+      if (!shard.has_value()) {
+        std::cerr << "[fedtune] ignoring unreadable shard " << path << "\n";
+        ok = false;
+        break;
+      }
+      shards.push_back(std::move(*shard));
+    }
+    if (!ok) continue;
+    try {
+      auto merged = std::make_unique<core::ConfigPool>(
+          core::ConfigPool::merge(shards));
+      if (merged->configs().size() != kPoolConfigs || !merged->has_params()) {
+        // Not the shared pool every bench expects (a small smoke-test set,
+        // or a --no-params build that would break derived views) — leave it
+        // alone rather than silently substituting it.
+        std::cerr << "[fedtune] ignoring " << n << "-shard set for "
+                  << data::benchmark_name(id) << ": "
+                  << merged->configs().size() << " configs (need "
+                  << kPoolConfigs << "), params="
+                  << merged->has_params() << "\n";
+        continue;
+      }
+      std::cerr << "[fedtune] assembled " << data::benchmark_name(id)
+                << " pool from " << n << " shards (re-cached at " << pool_path
+                << ")\n";
+      merged->save(pool_path);
+      return merged;
+    } catch (const std::exception& ex) {
+      std::cerr << "[fedtune] shard merge failed for "
+                << data::benchmark_name(id) << ": " << ex.what() << "\n";
+    }
+  }
+  return nullptr;
+}
+
 const core::ConfigPool& PoolHub::pool(data::BenchmarkId id) {
-  Entry& e = entry(id);
+  std::lock_guard<std::mutex> lock(mu_);
+  return pool_locked(id);
+}
+
+const core::ConfigPool& PoolHub::pool_locked(data::BenchmarkId id) {
+  Entry& e = entry_locked(id);
   if (e.pool) return *e.pool;
 
   const std::string path =
@@ -63,11 +154,15 @@ const core::ConfigPool& PoolHub::pool(data::BenchmarkId id) {
     e.pool = std::make_unique<core::ConfigPool>(std::move(*loaded));
     return *e.pool;
   }
+  if (auto merged = assemble_shards_locked(id, path)) {
+    e.pool = std::move(merged);
+    return *e.pool;
+  }
 
   std::cerr << "[fedtune] building " << kPoolConfigs << "-config pool for "
             << data::benchmark_name(id) << " (cached at " << path
             << " afterwards)...\n";
-  const data::FederatedDataset& ds = dataset(id);
+  const data::FederatedDataset& ds = dataset_locked(id);
   const std::unique_ptr<nn::Model> arch = nn::make_default_model(ds);
   core::PoolBuildOptions opts;
   opts.num_configs = kPoolConfigs;
@@ -79,33 +174,37 @@ const core::ConfigPool& PoolHub::pool(data::BenchmarkId id) {
 }
 
 const core::PoolEvalView& PoolHub::iid_view(data::BenchmarkId id, double p) {
-  Entry& e = entry(id);
-  const auto it = e.iid_views.find(p);
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entry_locked(id);
+  const std::string key = format_probability(p);
+  const auto it = e.iid_views.find(key);
   if (it != e.iid_views.end()) return it->second;
   if (p == 0.0) {
     // Natural partition: the pool's own view.
-    return e.iid_views.emplace(0.0, pool(id).view()).first->second;
+    return e.iid_views.emplace(key, pool_locked(id).view()).first->second;
   }
 
-  std::ostringstream name;
-  name << cache_dir_ << "/" << data::benchmark_name(id) << "_iid_p" << p
-       << ".view";
-  if (auto loaded = core::PoolEvalView::load(name.str())) {
-    return e.iid_views.emplace(p, std::move(*loaded)).first->second;
+  const std::string name = cache_dir_ + "/" + data::benchmark_name(id) +
+                           "_iid_p" + key + ".view";
+  if (auto loaded = core::PoolEvalView::load(name)) {
+    return e.iid_views.emplace(key, std::move(*loaded)).first->second;
   }
 
   std::cerr << "[fedtune] evaluating " << data::benchmark_name(id)
-            << " pool on IID(p=" << p << ") repartition...\n";
-  const data::FederatedDataset& ds = dataset(id);
-  Rng rng(0x1d1d0000 + static_cast<std::uint64_t>(p * 1000.0));
+            << " pool on IID(p=" << key << ") repartition...\n";
+  const data::FederatedDataset& ds = dataset_locked(id);
+  // Seed from p's bits: truncating (p * 1000) collapsed every p < 1e-3 (and
+  // any 6+-sig-fig neighbors) onto one repartition stream.
+  Rng rng(0x1d1d0000ULL ^ std::bit_cast<std::uint64_t>(p));
   const std::vector<data::ClientData> repartitioned =
       data::repartition_iid(ds.eval_clients, p, rng);
   const std::unique_ptr<nn::Model> arch = nn::make_default_model(ds);
   // Fig. 4 only evaluates at the fidelity ceiling — skip earlier rungs.
-  core::PoolEvalView view = pool(id).evaluate_on(
-      *arch, repartitioned, {pool(id).view().checkpoints().back()});
-  view.save(name.str());
-  return e.iid_views.emplace(p, std::move(view)).first->second;
+  const core::ConfigPool& pool = pool_locked(id);
+  core::PoolEvalView view =
+      pool.evaluate_on(*arch, repartitioned, {pool.view().checkpoints().back()});
+  view.save(name);
+  return e.iid_views.emplace(key, std::move(view)).first->second;
 }
 
 }  // namespace fedtune::sim

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "core/config_pool.hpp"
@@ -20,7 +21,12 @@ class PoolHub {
  public:
   static PoolHub& instance();
 
-  // The shared 128-config pool for a benchmark dataset (builds on miss).
+  // The shared 128-config pool for a benchmark dataset. Resolution order on
+  // a memory miss: `<name>.pool` in the cache dir, then a complete
+  // `<name>.shard-K-of-N.pool` set (K in 1..N, e.g. from
+  // scripts/pool_build_sharded.sh) merged and re-cached as `<name>.pool`,
+  // then a local build. All accessors are mutex-guarded so parallel benches
+  // can share the singleton.
   const core::ConfigPool& pool(data::BenchmarkId id);
   const core::PoolEvalView& view(data::BenchmarkId id) {
     return pool(id).view();
@@ -40,12 +46,25 @@ class PoolHub {
 
   const std::string& cache_dir() const { return cache_dir_; }
 
+  // Round-trip (max_digits10) formatting used in derived-view cache file
+  // names. Default ostream precision is 6 significant digits, which collides
+  // distinct probabilities (e.g. 0.1234567 vs 0.1234568) onto one cache
+  // file; this formatting is injective over doubles.
+  static std::string format_probability(double p);
+
  private:
   PoolHub();
 
   struct Entry;
-  Entry& entry(data::BenchmarkId id);
+  // _locked variants assume mu_ is held (pool() is reached from iid_view()).
+  Entry& entry_locked(data::BenchmarkId id);
+  const core::ConfigPool& pool_locked(data::BenchmarkId id);
+  const data::FederatedDataset& dataset_locked(data::BenchmarkId id);
+  // Merge a complete shard set from the cache dir; null when none exists.
+  std::unique_ptr<core::ConfigPool> assemble_shards_locked(
+      data::BenchmarkId id, const std::string& pool_path);
 
+  std::mutex mu_;
   std::string cache_dir_;
   std::unique_ptr<Entry> entries_[4];
 };

@@ -118,6 +118,59 @@ TEST_F(PoolFixture, LoadCorruptFileReturnsNullopt) {
   std::filesystem::remove(path);
 }
 
+namespace {
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+}  // namespace
+
+TEST_F(PoolFixture, LoadTruncatedFileReturnsNullopt) {
+  const std::string path = "/tmp/fedtune_truncated_pool.bin";
+  pool->save(path);
+  const std::string bytes = slurp(path);
+  // Cut at several depths: mid-header, mid-error-tensor, just shy of EOF.
+  for (const std::size_t keep :
+       {bytes.size() / 8, bytes.size() / 2, bytes.size() - 1}) {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(keep));
+    out.close();
+    EXPECT_FALSE(ConfigPool::load(path).has_value()) << "kept " << keep;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST_F(PoolFixture, LoadRejectsTrailingGarbage) {
+  const std::string path = "/tmp/fedtune_trailing_pool.bin";
+  pool->save(path);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "extra bytes";
+  }
+  EXPECT_FALSE(ConfigPool::load(path).has_value());
+  std::filesystem::remove(path);
+}
+
+TEST_F(PoolFixture, ViewLoadRejectsCorruptMagicAndTruncation) {
+  const std::string path = "/tmp/fedtune_bad_view.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a view";
+  }
+  EXPECT_FALSE(PoolEvalView::load(path).has_value());
+
+  pool->view().save(path);
+  const std::string bytes = slurp(path);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_FALSE(PoolEvalView::load(path).has_value());
+  EXPECT_FALSE(PoolEvalView::load("/tmp/definitely_missing.view").has_value());
+  std::filesystem::remove(path);
+}
+
 TEST_F(PoolFixture, EvaluateOnSameClientsReproducesErrors) {
   // Re-evaluating the stored params on the original eval clients must give
   // the same error tensor.

@@ -1,12 +1,28 @@
 // Small API surfaces not covered elsewhere: exact top-k selector, pool
-// statistics, weight helpers, and Trial defaults.
+// statistics, weight helpers, Trial defaults, and PoolHub cache-name
+// formatting.
 #include <gtest/gtest.h>
 
 #include "data/client_data.hpp"
 #include "hpo/tuner.hpp"
+#include "sim/pool_hub.hpp"
 
 namespace fedtune {
 namespace {
+
+TEST(PoolHubFormatProbability, DistinguishesSixSigFigCollisions) {
+  // Default ostream precision (6 significant digits) mapped 0.1234567 and
+  // 0.1234568 — distinct subsampling probabilities — onto the same derived-
+  // view cache file. Round-trip formatting must keep them apart.
+  EXPECT_NE(sim::PoolHub::format_probability(0.1234567),
+            sim::PoolHub::format_probability(0.1234568));
+  EXPECT_NE(sim::PoolHub::format_probability(1e-5),
+            sim::PoolHub::format_probability(1.0000001e-5));
+  // Deterministic: the in-memory map key always matches the file name.
+  EXPECT_EQ(sim::PoolHub::format_probability(0.25),
+            sim::PoolHub::format_probability(0.25));
+  EXPECT_EQ(sim::PoolHub::format_probability(0.25), "0.25");
+}
 
 TEST(ExactTopKSelector, OrdersByValueDescending) {
   const hpo::TopKSelector sel = hpo::exact_top_k_selector();

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 namespace fedtune::stats {
@@ -111,6 +112,30 @@ TEST(Stats, KendallWithTies) {
   const double tau = kendall_tau(xs, ys);
   EXPECT_GT(tau, 0.0);
   EXPECT_LT(tau, 1.0);
+}
+
+TEST(Stats, KendallJointTiesCountTowardBothTieTotals) {
+  // Pairs tied in BOTH x and y belong to n1 (x ties) AND n2 (y ties) in the
+  // tau-b denominator sqrt((n0 - n1)(n0 - n2)). Identical tied sequences
+  // must therefore give tau = 1 exactly: here the (0,1) pair is jointly
+  // tied, the other 5 pairs are concordant, so
+  // tau = 5 / sqrt((6 - 1)(6 - 1)) = 1. The old code dropped joint ties
+  // from both totals and reported 5/6.
+  const std::vector<double> xs = {1.0, 1.0, 2.0, 3.0};
+  EXPECT_NEAR(kendall_tau(xs, xs), 1.0, 1e-12);
+
+  // Hand-computed mixed case: joint tie on (0,1), x-only tie on (2,3),
+  // 4 concordant pairs. n0 = 6, n1 = 2 ({1,1} and {2,2} in x), n2 = 1
+  // ({1,1} in y): tau = 4 / sqrt((6 - 2)(6 - 1)) = 4 / sqrt(20).
+  const std::vector<double> mx = {1.0, 1.0, 2.0, 2.0};
+  const std::vector<double> my = {1.0, 1.0, 3.0, 2.0};
+  EXPECT_NEAR(kendall_tau(mx, my), 4.0 / std::sqrt(20.0), 1e-12);
+
+  // Discretized collisions (the DP-noise regime of rank_fidelity): perfectly
+  // anti-ranked sequences with a jointly tied pair stay at exactly -1.
+  const std::vector<double> dx = {1.0, 2.0, 2.0, 3.0};
+  const std::vector<double> dy = {3.0, 2.0, 2.0, 1.0};
+  EXPECT_NEAR(kendall_tau(dx, dy), -1.0, 1e-12);
 }
 
 TEST(Stats, QuartilesOrdering) {

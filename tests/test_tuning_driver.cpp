@@ -230,6 +230,53 @@ TEST_F(DriverFixture, LiveRunnerShaResume) {
   }
 }
 
+TEST_F(DriverFixture, LiveRunnerEvictsConsumedParentCheckpoints) {
+  // A parent's full model snapshot is released once its promotion resumed
+  // from it, so long Hyperband runs hold checkpoints proportional to the
+  // live rung, not to every trial ever run.
+  LiveTrialRunner runner(dataset, *arch, fl::TrainerConfig{}, Rng(17));
+  hpo::Trial parent;
+  parent.id = 0;
+  parent.config = pool->configs()[0];
+  parent.target_rounds = 1;
+  runner.run(parent);
+  EXPECT_EQ(runner.checkpoints_held(), 1u);
+  EXPECT_NO_THROW(runner.trial_params(0));
+
+  hpo::Trial child;
+  child.id = 1;
+  child.config = parent.config;
+  child.parent_id = 0;
+  child.target_rounds = 3;
+  runner.run(child);
+  // Parent evicted, child retained.
+  EXPECT_EQ(runner.checkpoints_held(), 1u);
+  EXPECT_THROW(runner.trial_params(0), std::invalid_argument);
+  EXPECT_NO_THROW(runner.trial_params(1));
+  // Budget accounting survives the eviction (driver calls this after run).
+  EXPECT_EQ(runner.rounds_consumed(child), 2u);
+
+  hpo::Trial grandchild;
+  grandchild.id = 2;
+  grandchild.config = parent.config;
+  grandchild.parent_id = 1;
+  grandchild.target_rounds = 9;
+  runner.run(grandchild);
+  EXPECT_EQ(runner.checkpoints_held(), 1u);
+  EXPECT_EQ(runner.rounds_consumed(grandchild), 6u);
+  // The chain's leaf — what a real run deploys — stays retrievable.
+  EXPECT_NO_THROW(runner.trial_params(2));
+
+  // A rung loser (never promoted) is a leaf too: retained, not evicted.
+  hpo::Trial loser;
+  loser.id = 3;
+  loser.config = pool->configs()[1];
+  loser.target_rounds = 1;
+  runner.run(loser);
+  EXPECT_EQ(runner.checkpoints_held(), 2u);
+  EXPECT_NO_THROW(runner.trial_params(3));
+}
+
 TEST(DpSelector, MatchesOneShotMechanism) {
   Rng rng(14);
   const hpo::TopKSelector selector =

@@ -1,0 +1,288 @@
+// fedtune_pool — build, merge, and verify configuration-pool caches from the
+// command line, so 128-config pools can be built by a fleet instead of one
+// process (see scripts/pool_build_sharded.sh for the fan-out driver).
+//
+//   fedtune_pool build-shard --dataset NAME --shard K --num-shards N
+//                [--configs C] [--cache-dir DIR] [--out PATH] [--no-params]
+//       trains configs [(K-1)*C/N, K*C/N) of the shared pool definition
+//       (PoolHub checkpoint grid + Appendix-B space) and writes
+//       DIR/NAME.shard-K-of-N.pool. Bitwise identical to the same slice of
+//       a monolithic build (determinism contract, src/README.md).
+//
+//   fedtune_pool merge --dataset NAME --num-shards N
+//                [--cache-dir DIR] [--out PATH]
+//       loads the N shard files, validates contiguity/compatibility, and
+//       writes the merged monolithic pool (default DIR/NAME.pool).
+//
+//   fedtune_pool verify POOL_A POOL_B
+//       loads two monolithic pool files and checks they are bitwise
+//       identical (configs, error tensors, parameter snapshots). Exit 0 on
+//       match — used to confirm sharded == monolithic from the CLI.
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config_pool.hpp"
+#include "data/benchmarks.hpp"
+#include "hpo/search_space.hpp"
+#include "nn/factory.hpp"
+#include "sim/pool_hub.hpp"
+
+namespace {
+
+using namespace fedtune;
+
+struct Args {
+  std::string dataset;
+  std::size_t shard = 0;
+  std::size_t num_shards = 0;
+  std::size_t configs = sim::PoolHub::kPoolConfigs;
+  std::string cache_dir;
+  std::string out;
+  bool store_params = true;
+  std::vector<std::string> positional;
+};
+
+// True when the build matches the shared pool definition every bench binary
+// expects (PoolHub::pool): full config count, parameter snapshots stored.
+bool is_canonical_build(const Args& args) {
+  return args.configs == sim::PoolHub::kPoolConfigs && args.store_params;
+}
+
+bool parse_args(int argc, char** argv, Args& args) {
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* flag) -> std::optional<std::string> {
+      if (i + 1 >= argc) {
+        std::cerr << "error: " << flag << " needs a value\n";
+        return std::nullopt;
+      }
+      return std::string(argv[++i]);
+    };
+    if (a == "--dataset") {
+      const auto v = next("--dataset");
+      if (!v) return false;
+      args.dataset = *v;
+    } else if (a == "--shard") {
+      const auto v = next("--shard");
+      if (!v) return false;
+      args.shard = std::stoul(*v);
+    } else if (a == "--num-shards") {
+      const auto v = next("--num-shards");
+      if (!v) return false;
+      args.num_shards = std::stoul(*v);
+    } else if (a == "--configs") {
+      const auto v = next("--configs");
+      if (!v) return false;
+      args.configs = std::stoul(*v);
+    } else if (a == "--cache-dir") {
+      const auto v = next("--cache-dir");
+      if (!v) return false;
+      args.cache_dir = *v;
+    } else if (a == "--out") {
+      const auto v = next("--out");
+      if (!v) return false;
+      args.out = *v;
+    } else if (a == "--no-params") {
+      args.store_params = false;
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "error: unknown flag " << a << "\n";
+      return false;
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  if (args.cache_dir.empty()) {
+    // PoolHub owns the cache-dir policy ($FEDTUNE_CACHE_DIR, default
+    // ./fedtune_cache) and creates the directory.
+    args.cache_dir = sim::PoolHub::instance().cache_dir();
+  }
+  std::filesystem::create_directories(args.cache_dir);
+  return true;
+}
+
+std::string shard_path(const Args& args, std::size_t k) {
+  // Non-canonical builds (smoke tests) get a distinct name so they can
+  // neither overwrite production shards nor match PoolHub's
+  // `<name>.shard-` assembly scan.
+  const std::string tag =
+      is_canonical_build(args)
+          ? ""
+          : ".test" + std::to_string(args.configs) + "c" +
+                (args.store_params ? "" : "-noparams");
+  return args.cache_dir + "/" + args.dataset + tag + ".shard-" +
+         std::to_string(k) + "-of-" + std::to_string(args.num_shards) +
+         ".pool";
+}
+
+// The shared pool definition every bench binary expects (PoolHub::pool).
+core::PoolBuildOptions pool_options(const Args& args, data::BenchmarkId id) {
+  core::PoolBuildOptions opts;
+  opts.num_configs = args.configs;
+  opts.checkpoints = sim::PoolHub::checkpoint_grid(id);
+  opts.store_params = args.store_params;
+  return opts;
+}
+
+int cmd_build_shard(const Args& args) {
+  if (args.dataset.empty() || args.shard == 0 || args.num_shards == 0 ||
+      args.shard > args.num_shards) {
+    std::cerr << "usage: fedtune_pool build-shard --dataset NAME --shard K "
+                 "--num-shards N [--configs C] [--cache-dir DIR] [--out PATH] "
+                 "[--no-params]\n";
+    return 2;
+  }
+  const data::BenchmarkId id = data::benchmark_from_name(args.dataset);
+  const std::size_t lo = (args.shard - 1) * args.configs / args.num_shards;
+  const std::size_t hi = args.shard * args.configs / args.num_shards;
+  if (lo >= hi) {
+    std::cerr << "error: shard " << args.shard << "/" << args.num_shards
+              << " of " << args.configs << " configs is empty\n";
+    return 2;
+  }
+  const std::string out = args.out.empty() ? shard_path(args, args.shard)
+                                           : args.out;
+  std::cerr << "[fedtune_pool] " << args.dataset << " shard " << args.shard
+            << "/" << args.num_shards << ": configs [" << lo << ", " << hi
+            << ") of " << args.configs << " -> " << out << "\n";
+  const data::FederatedDataset ds = data::make_benchmark(id);
+  const std::unique_ptr<nn::Model> arch = nn::make_default_model(ds);
+  const core::ConfigPool shard = core::ConfigPool::build_shard(
+      ds, *arch, hpo::appendix_b_space(), pool_options(args, id), lo, hi);
+  shard.save_shard(out);
+  return 0;
+}
+
+int cmd_merge(const Args& args) {
+  if (args.dataset.empty() || args.num_shards == 0) {
+    std::cerr << "usage: fedtune_pool merge --dataset NAME --num-shards N "
+                 "[--cache-dir DIR] [--out PATH]\n";
+    return 2;
+  }
+  std::vector<core::ConfigPool> shards;
+  shards.reserve(args.num_shards);
+  for (std::size_t k = 1; k <= args.num_shards; ++k) {
+    const std::string path = shard_path(args, k);
+    auto shard = core::ConfigPool::load_shard(path);
+    if (!shard.has_value()) {
+      std::cerr << "error: cannot load shard " << path << "\n";
+      return 1;
+    }
+    shards.push_back(std::move(*shard));
+  }
+  const core::ConfigPool merged = core::ConfigPool::merge(shards);
+  // Only a pool matching the shared definition (PoolHub::kPoolConfigs, with
+  // parameter snapshots) may claim the canonical <name>.pool cache file —
+  // every bench binary loads that path unconditionally. Smoke-test builds
+  // get a distinct default name (or pass --out explicitly).
+  std::string out = args.out;
+  if (out.empty()) {
+    const bool canonical = merged.configs().size() == sim::PoolHub::kPoolConfigs &&
+                           merged.has_params();
+    out = canonical
+              ? args.cache_dir + "/" + args.dataset + ".pool"
+              : args.cache_dir + "/" + args.dataset + ".merged-" +
+                    std::to_string(merged.configs().size()) + "c.pool";
+    if (!canonical) {
+      std::cerr << "[fedtune_pool] note: " << merged.configs().size()
+                << "-config, params=" << merged.has_params()
+                << " pool does not match the shared bench pool definition; "
+                   "writing to " << out << " (use --out to override)\n";
+    }
+  }
+  merged.save(out);
+  std::cerr << "[fedtune_pool] merged " << args.num_shards << " shards ("
+            << merged.configs().size() << " configs) -> " << out << "\n";
+  return 0;
+}
+
+int cmd_verify(const Args& args) {
+  if (args.positional.size() != 2) {
+    std::cerr << "usage: fedtune_pool verify POOL_A POOL_B\n";
+    return 2;
+  }
+  const auto a = core::ConfigPool::load(args.positional[0]);
+  const auto b = core::ConfigPool::load(args.positional[1]);
+  if (!a.has_value() || !b.has_value()) {
+    std::cerr << "error: cannot load "
+              << args.positional[a.has_value() ? 1 : 0] << "\n";
+    return 1;
+  }
+  auto fail = [](const char* what) {
+    std::cerr << "MISMATCH: " << what << "\n";
+    return 1;
+  };
+  if (a->dataset_name() != b->dataset_name()) return fail("dataset name");
+  if (a->configs() != b->configs()) return fail("config list");
+  if (a->view().checkpoints() != b->view().checkpoints()) {
+    return fail("checkpoint grid");
+  }
+  if (a->view().client_weights() != b->view().client_weights()) {
+    return fail("client weights");
+  }
+  for (std::size_t c = 0; c < a->view().num_configs(); ++c) {
+    for (std::size_t ck = 0; ck < a->view().checkpoints().size(); ++ck) {
+      const auto ea = a->view().errors(c, ck);
+      const auto eb = b->view().errors(c, ck);
+      if (std::memcmp(ea.data(), eb.data(), ea.size() * sizeof(float)) != 0) {
+        return fail("error tensor");
+      }
+    }
+  }
+  if (a->has_params() != b->has_params()) return fail("parameter presence");
+  if (a->has_params()) {
+    for (std::size_t c = 0; c < a->view().num_configs(); ++c) {
+      for (std::size_t ck = 0; ck < a->view().checkpoints().size(); ++ck) {
+        const auto pa = a->params(c, ck);
+        const auto pb = b->params(c, ck);
+        if (pa.size() != pb.size() ||
+            std::memcmp(pa.data(), pb.data(), pa.size() * sizeof(float)) !=
+                0) {
+          return fail("parameter snapshots");
+        }
+      }
+    }
+  }
+  // Logical equality established; the on-disk encoding is canonical, so the
+  // files themselves must match byte-for-byte too.
+  std::ifstream fa(args.positional[0], std::ios::binary);
+  std::ifstream fb(args.positional[1], std::ios::binary);
+  const std::string bytes_a((std::istreambuf_iterator<char>(fa)),
+                            std::istreambuf_iterator<char>());
+  const std::string bytes_b((std::istreambuf_iterator<char>(fb)),
+                            std::istreambuf_iterator<char>());
+  if (bytes_a != bytes_b) return fail("file bytes");
+  std::cerr << "OK: pools are bitwise identical (" << bytes_a.size()
+            << " bytes)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: fedtune_pool {build-shard|merge|verify} ...\n";
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    Args args;
+    // Inside the try: stoul on malformed numeric flags must exit with the
+    // error path, not std::terminate.
+    if (!parse_args(argc - 2, argv + 2, args)) return 2;
+    if (cmd == "build-shard") return cmd_build_shard(args);
+    if (cmd == "merge") return cmd_merge(args);
+    if (cmd == "verify") return cmd_verify(args);
+  } catch (const std::exception& ex) {
+    std::cerr << "error: " << ex.what() << "\n";
+    return 1;
+  }
+  std::cerr << "error: unknown command '" << cmd << "'\n";
+  return 2;
+}
