@@ -1,0 +1,16 @@
+// SysSim experiments: rank fidelity under systems heterogeneity (straggler/
+// dropout severity and participation bias, over the cached pool) and a live
+// comparison of the three round-scheduler participation policies.
+#include "bench_util.hpp"
+#include "sim/experiments.hpp"
+
+int main() {
+  using namespace fedtune;
+  bench::emit("experiments_systems_policies",
+              sim::systems_participation_policies());
+  for (data::BenchmarkId id : data::all_benchmarks()) {
+    bench::emit("experiments_systems_rankfidelity_" + data::benchmark_name(id),
+                sim::systems_rank_fidelity(id));
+  }
+  return 0;
+}

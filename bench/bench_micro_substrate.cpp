@@ -7,9 +7,10 @@
 //   bench_micro_substrate [google-benchmark flags]
 //       runs the registered microbenchmarks.
 //   bench_micro_substrate --substrate_json=PATH
-//       runs the focused substrate report — before/after GEMM GFLOP/s and
-//       config-pool build wall-clock at 1 vs N threads — and writes it as
-//       machine-readable JSON (consumed by scripts/bench_report.sh).
+//       runs the focused substrate report — before/after GEMM GFLOP/s,
+//       config-pool build wall-clock at 1 vs N threads (monolithic and
+//       sharded), and the eval/train async-overlap speedup — and writes it
+//       as machine-readable JSON (consumed by scripts/bench_report.sh).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -22,6 +23,7 @@
 #include "core/config_pool.hpp"
 #include "core/hp_mapping.hpp"
 #include "data/synth_image.hpp"
+#include "fl/evaluator.hpp"
 #include "fl/trainer.hpp"
 #include "hpo/random_search.hpp"
 #include "hpo/tpe.hpp"
@@ -29,6 +31,7 @@
 #include "nn/mlp.hpp"
 #include "nn/text_models.hpp"
 #include "privacy/laplace.hpp"
+#include "runtime/async_eval.hpp"
 #include "sampling/client_sampler.hpp"
 #include "tensor/ops.hpp"
 
@@ -256,6 +259,40 @@ core::ConfigPool pool_shard_timed(const data::FederatedDataset& ds,
   return shard;
 }
 
+// Train `rounds` rounds with a full checkpoint evaluation after every
+// round: synchronously (eval barriers training) vs pipelined through
+// runtime::AsyncEvalPipeline (next round trains while the previous
+// checkpoint evaluates). Values are identical by construction
+// (tests/test_runtime.cpp); this measures only the barrier's cost.
+void async_overlap_seconds(const data::FederatedDataset& ds,
+                           const nn::Model& arch, std::size_t rounds,
+                           double* sync_seconds, double* pipelined_seconds) {
+  fl::FedHyperParams hps;
+  hps.client_lr = 0.05;
+  {
+    fl::FedTrainer trainer(ds, arch, hps, fl::TrainerConfig{}, Rng(5));
+    const auto t0 = Clock::now();
+    for (std::size_t r = 0; r < rounds; ++r) {
+      trainer.run_round();
+      benchmark::DoNotOptimize(
+          fl::all_client_errors(trainer.model(), ds.eval_clients));
+    }
+    *sync_seconds = seconds_since(t0);
+  }
+  {
+    fl::FedTrainer trainer(ds, arch, hps, fl::TrainerConfig{}, Rng(5));
+    runtime::AsyncEvalPipeline pipeline(arch, ds.eval_clients);
+    const auto t0 = Clock::now();
+    for (std::size_t r = 0; r < rounds; ++r) {
+      trainer.run_round();
+      pipeline.submit(r, r, trainer.global_params());
+    }
+    pipeline.drain();
+    *pipelined_seconds = seconds_since(t0);
+    benchmark::DoNotOptimize(pipeline.completed());
+  }
+}
+
 int write_substrate_report(const std::string& path) {
   // Scale test capped at the hardware: more workers than cores only
   // measures oversubscription, which would make the JSON non-comparable
@@ -330,10 +367,24 @@ int write_substrate_report(const std::string& path) {
       << "], \"merge_seconds\": " << tm
       << ", \"est_wall_clock_seconds\": " << wall
       << ", \"monolithic_seconds\": " << tn
-      << ", \"est_fleet_speedup\": " << tn / wall << "}\n}\n";
+      << ", \"est_fleet_speedup\": " << tn / wall << "},\n";
+
+  // Eval/train overlap: sync barrier vs runtime::AsyncEvalPipeline. On a
+  // 1-core box this is ~1x (eval runs on the same core); the win appears
+  // whenever a worker is free to take the eval job.
+  constexpr std::size_t kOverlapRounds = 12;
+  double sync_s = 0.0, pipe_s = 0.0;
+  async_overlap_seconds(ds, *arch, kOverlapRounds, &sync_s, &pipe_s);
+  out << "  \"async_overlap\": {\"rounds\": " << kOverlapRounds
+      << ", \"sync_barrier_seconds\": " << sync_s
+      << ", \"pipelined_seconds\": " << pipe_s
+      << ", \"speedup\": " << sync_s / pipe_s << "}\n}\n";
   std::cerr << "sharded pool build: shards " << ta << "s / " << tb
             << "s, merge " << tm << "s -> est fleet wall-clock " << wall
             << "s vs monolithic " << tn << "s (" << tn / wall << "x)\n";
+  std::cerr << "async eval overlap: sync " << sync_s << "s, pipelined "
+            << pipe_s << "s (" << sync_s / pipe_s << "x) over "
+            << kOverlapRounds << " rounds\n";
   return 0;
 }
 

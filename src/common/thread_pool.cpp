@@ -130,6 +130,22 @@ void ThreadPool::run_batch(
   if (state->error) std::rethrow_exception(state->error);
 }
 
+std::future<void> ThreadPool::submit(std::function<void()> fn) {
+  auto task = std::make_shared<std::packaged_task<void()>>(std::move(fn));
+  std::future<void> future = task->get_future();
+  if (workers_.empty()) {
+    // Degenerate pool: run inline so the future is still serviceable.
+    (*task)();
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push([task] { (*task)(); });
+  }
+  cv_.notify_one();
+  return future;
+}
+
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   // grain 1: coarse work items (one HP config, one client) where dynamic

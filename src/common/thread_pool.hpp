@@ -22,6 +22,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <future>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -63,6 +64,14 @@ class ThreadPool {
   // must not depend on `slot` if deterministic results are required.
   void parallel_for_slots(std::size_t n,
                           const std::function<void(std::size_t, std::size_t)>& fn);
+
+  // Enqueues a standalone task (not part of a parallel loop) on a worker
+  // thread; the returned future reports completion or rethrows the task's
+  // exception. Used by runtime::AsyncEvalPipeline to overlap checkpoint
+  // evaluation with the caller's own compute. A submitted task that issues
+  // a parallel_for participates in its own batch, so it completes even when
+  // every other worker is busy.
+  std::future<void> submit(std::function<void()> fn);
 
   // True while the calling thread is executing inside any parallel_for of
   // any pool — i.e. a parallel_for issued now would run inline.

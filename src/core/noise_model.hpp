@@ -25,6 +25,15 @@ struct NoiseModel {
   //    bound requires p_k = 1; §2.2 footnote 1).
   double epsilon = std::numeric_limits<double>::infinity();
 
+  // 5. Systems heterogeneity at evaluation time (runtime/ SysSim): each
+  //    sampled client independently fails to return its error with this
+  //    probability — a straggler cut at the evaluation deadline or a
+  //    dropout. The aggregate is computed over the reporting clients only
+  //    (the fastest reporter is always kept so the evaluation is defined),
+  //    shrinking the effective sample exactly the way a round deadline
+  //    does.
+  double eval_dropout = 0.0;
+
   // Client weighting for the aggregate (Eq. 2).
   fl::Weighting weighting = fl::Weighting::kByExampleCount;
 

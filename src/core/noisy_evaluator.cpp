@@ -19,6 +19,7 @@ NoisyEvaluator::NoisyEvaluator(const NoiseModel& noise,
   FEDTUNE_CHECK(noise_.is_full_eval() ||
                 noise_.eval_clients <= client_weights_.size());
   FEDTUNE_CHECK(noise_.eval_clients > 0);
+  FEDTUNE_CHECK(noise_.eval_dropout >= 0.0 && noise_.eval_dropout < 1.0);
 }
 
 double NoisyEvaluator::full_error(
@@ -54,7 +55,21 @@ double NoisyEvaluator::evaluate(std::span<const double> all_client_errors) {
     last_sample_ = sampling::sample_uniform(n, s, rng_);
   }
 
-  // 2. Aggregate (Eq. 2) — uniform weighting whenever DP is on.
+  // 2. Systems heterogeneity: stragglers cut at the evaluation deadline —
+  //    each sampled client independently fails to report. The fastest
+  //    reporter (first surviving draw, or the first sampled client when
+  //    every coin fails) is always kept so the aggregate is defined.
+  if (noise_.eval_dropout > 0.0) {
+    std::vector<std::size_t> reported;
+    reported.reserve(last_sample_.size());
+    for (const std::size_t k : last_sample_) {
+      if (rng_.uniform() >= noise_.eval_dropout) reported.push_back(k);
+    }
+    if (reported.empty()) reported.push_back(last_sample_.front());
+    last_sample_ = std::move(reported);
+  }
+
+  // 3. Aggregate (Eq. 2) — uniform weighting whenever DP is on.
   const bool uniform =
       noise_.effective_weighting() == fl::Weighting::kUniform;
   double num = 0.0, den = 0.0;
@@ -65,10 +80,11 @@ double NoisyEvaluator::evaluate(std::span<const double> all_client_errors) {
   }
   double value = num / den;
 
-  // 3. Privacy: Lap(M / (epsilon * |S|)) on the aggregate, charging the
-  //    accountant epsilon / M per evaluation (basic composition).
+  // 4. Privacy: Lap(M / (epsilon * |S|)) on the aggregate, charging the
+  //    accountant epsilon / M per evaluation (basic composition). The
+  //    sensitivity bound uses the clients that actually reported.
   if (noise_.is_private()) {
-    const double sensitivity = 1.0 / static_cast<double>(s);
+    const double sensitivity = 1.0 / static_cast<double>(last_sample_.size());
     value = privacy::privatize(value, sensitivity, noise_.epsilon,
                                planned_evals_, rng_);
     accountant_.charge(noise_.epsilon / static_cast<double>(planned_evals_));

@@ -1,6 +1,7 @@
 #include "core/trial_runner.hpp"
 
 #include "common/check.hpp"
+#include "common/rng_salts.hpp"
 #include "core/hp_mapping.hpp"
 #include "fl/evaluator.hpp"
 
@@ -8,21 +9,55 @@ namespace fedtune::core {
 
 LiveTrialRunner::LiveTrialRunner(const data::FederatedDataset& dataset,
                                  const nn::Model& architecture,
-                                 fl::TrainerConfig trainer_cfg, Rng rng)
+                                 fl::TrainerConfig trainer_cfg, Rng rng,
+                                 std::optional<RuntimeOptions> runtime)
     : dataset_(&dataset), architecture_(&architecture),
       trainer_cfg_(trainer_cfg), rng_(rng),
-      weights_(data::example_count_weights(dataset.eval_clients)) {}
+      weights_(data::example_count_weights(dataset.eval_clients)),
+      runtime_(std::move(runtime)) {
+  if (runtime_.has_value()) {
+    // One latency model for the whole run: hardware tiers are a property of
+    // the fleet, not of any single trial.
+    latency_.emplace(runtime_->latency, rng_.split(salts::kRunnerLatency));
+  }
+}
 
 std::vector<double> LiveTrialRunner::run(const hpo::Trial& trial) {
   const fl::FedHyperParams hps = to_fed_hyperparams(trial.config);
   fl::FedTrainer trainer(*dataset_, *architecture_, hps, trainer_cfg_,
                          rng_.split(static_cast<std::uint64_t>(trial.id)));
+  std::optional<runtime::RoundScheduler> scheduler;
+  if (runtime_.has_value()) {
+    // The scheduler stream is keyed by the ROOT of the promotion chain so
+    // a resumed child replays the exact timeline continuation its parent
+    // would have run (the per-round/dispatch streams are pure in the
+    // scheduler seed and the round index).
+    // A child's parent must have run through this runner (the checkpoint
+    // lookup below enforces it), so its root is always registered.
+    const auto root_it =
+        trial.parent_id >= 0 ? chain_roots_.find(trial.parent_id)
+                             : chain_roots_.end();
+    const int root = root_it != chain_roots_.end() ? root_it->second
+                                                   : trial.id;
+    chain_roots_[trial.id] = root;
+    scheduler.emplace(trainer, *latency_, runtime_->scheduler,
+                      rng_.split(salts::kRunnerScheduler)
+                          .split(static_cast<std::uint64_t>(root)));
+  }
   if (trial.parent_id >= 0) {
     const auto it = checkpoints_.find(trial.parent_id);
     FEDTUNE_CHECK_MSG(it != checkpoints_.end(),
                       "missing checkpoint for parent trial " << trial.parent_id);
     trainer.restore(it->second);
     resumed_rounds_[trial.id] = it->second.rounds;
+    if (scheduler.has_value()) {
+      const auto st = scheduler_states_.find(trial.parent_id);
+      FEDTUNE_CHECK_MSG(st != scheduler_states_.end(),
+                        "missing scheduler state for parent trial "
+                            << trial.parent_id);
+      scheduler->restore(st->second);
+      scheduler_states_.erase(st);
+    }
     // Every rung entry is promoted at most once, so the parent's snapshot
     // (full model params + optimizer state) has served its purpose — evict
     // it. Interior nodes of every promotion chain are freed this way; only
@@ -32,7 +67,15 @@ std::vector<double> LiveTrialRunner::run(const hpo::Trial& trial) {
   }
   FEDTUNE_CHECK_MSG(trainer.rounds_done() <= trial.target_rounds,
                     "trial resumes beyond its target fidelity");
-  trainer.run_rounds(trial.target_rounds - trainer.rounds_done());
+  if (scheduler.has_value()) {
+    const double sim_start = scheduler->sim_time();
+    scheduler->run_rounds(trial.target_rounds - trainer.rounds_done());
+    sim_seconds_total_ += scheduler->sim_time() - sim_start;
+    trial_sim_seconds_[trial.id] = scheduler->sim_time();
+    scheduler_states_[trial.id] = scheduler->checkpoint();
+  } else {
+    trainer.run_rounds(trial.target_rounds - trainer.rounds_done());
+  }
   checkpoints_[trial.id] = trainer.checkpoint();
   return fl::all_client_errors(trainer.model(), dataset_->eval_clients);
 }
@@ -47,6 +90,13 @@ std::size_t LiveTrialRunner::rounds_consumed(const hpo::Trial& trial) const {
   const auto it = checkpoints_.find(trial.parent_id);
   FEDTUNE_CHECK(it != checkpoints_.end());
   return trial.target_rounds - it->second.rounds;
+}
+
+double LiveTrialRunner::trial_sim_seconds(int trial_id) const {
+  const auto it = trial_sim_seconds_.find(trial_id);
+  FEDTUNE_CHECK_MSG(it != trial_sim_seconds_.end(),
+                    "no simulated time recorded for trial " << trial_id);
+  return it->second;
 }
 
 const std::vector<float>& LiveTrialRunner::trial_params(int trial_id) const {

@@ -10,13 +10,27 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 
 #include "data/client_data.hpp"
 #include "fl/trainer.hpp"
 #include "hpo/tuner.hpp"
 #include "nn/model.hpp"
+#include "runtime/latency_model.hpp"
+#include "runtime/round_scheduler.hpp"
 
 namespace fedtune::core {
+
+// Optional SysSim runtime for live trials: when set, every trial's rounds
+// run through a runtime::RoundScheduler (deadlines, stragglers, dropouts,
+// async aggregation) instead of the bare synchronous loop, and the runner
+// accounts the simulated wall-clock each trial consumed. One LatencyModel
+// is shared across trials (hardware tiers persist); each trial gets its own
+// scheduler stream split from the runner seed (common/rng_salts.hpp).
+struct RuntimeOptions {
+  runtime::LatencyConfig latency;
+  runtime::SchedulerConfig scheduler;
+};
 
 class TrialRunner {
  public:
@@ -35,10 +49,13 @@ class TrialRunner {
 
 class LiveTrialRunner final : public TrialRunner {
  public:
-  // `dataset` and `architecture` must outlive the runner.
+  // `dataset` and `architecture` must outlive the runner. With `runtime`
+  // set, trials consume simulated wall-clock (sim_seconds_total) in
+  // addition to rounds, and participation follows the scheduler policy.
   LiveTrialRunner(const data::FederatedDataset& dataset,
                   const nn::Model& architecture, fl::TrainerConfig trainer_cfg,
-                  Rng rng);
+                  Rng rng,
+                  std::optional<RuntimeOptions> runtime = std::nullopt);
 
   std::vector<double> run(const hpo::Trial& trial) override;
   const std::vector<double>& client_weights() const override {
@@ -58,6 +75,14 @@ class LiveTrialRunner final : public TrialRunner {
   // eviction contract.
   std::size_t checkpoints_held() const { return checkpoints_.size(); }
 
+  // Simulated wall-clock accounting (runtime mode only; 0 otherwise).
+  // Total seconds of simulated federated time consumed by every run() so
+  // far — resumed trials only pay the continuation, mirroring
+  // rounds_consumed.
+  double sim_seconds_total() const { return sim_seconds_total_; }
+  // Simulated time at which `trial_id` finished its schedule.
+  double trial_sim_seconds(int trial_id) const;
+
  private:
   const data::FederatedDataset* dataset_;
   const nn::Model* architecture_;
@@ -68,6 +93,18 @@ class LiveTrialRunner final : public TrialRunner {
   // Rounds already banked when a trial resumed its parent — kept past the
   // parent checkpoint's eviction so rounds_consumed() stays answerable.
   std::map<int, std::size_t> resumed_rounds_;  // by (child) trial id
+
+  // SysSim runtime (optional): shared latency model plus per-trial
+  // scheduler checkpoints, evicted in lockstep with checkpoints_ (same
+  // leaf-retention contract; note the async policy's state carries up to
+  // async_concurrency anchor snapshots per retained trial, so prefer
+  // synchronous policies for very wide rung sweeps).
+  std::optional<RuntimeOptions> runtime_;
+  std::optional<runtime::LatencyModel> latency_;
+  std::map<int, runtime::SchedulerCheckpoint> scheduler_states_;
+  std::map<int, int> chain_roots_;  // trial id -> root of promotion chain
+  std::map<int, double> trial_sim_seconds_;
+  double sim_seconds_total_ = 0.0;
 };
 
 }  // namespace fedtune::core

@@ -3,17 +3,12 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/rng_salts.hpp"
 #include "common/thread_pool.hpp"
 #include "opt/optimizer.hpp"
 #include "sampling/client_sampler.hpp"
 
 namespace fedtune::fl {
-
-namespace {
-// Salt base for per-round RNG streams; offset keeps the round streams away
-// from the 0xfeed model-init stream.
-constexpr std::uint64_t kRoundSalt = 0x726f756e64ULL;  // "round"
-}  // namespace
 
 FedTrainer::FedTrainer(const data::FederatedDataset& dataset,
                        const nn::Model& architecture, const FedHyperParams& hps,
@@ -26,7 +21,7 @@ FedTrainer::FedTrainer(const data::FederatedDataset& dataset,
   FEDTUNE_CHECK_MSG(cfg.clients_per_round <= dataset.train_clients.size(),
                     "clients_per_round exceeds training pool");
   FEDTUNE_CHECK(hps.batch_size > 0 && hps.local_epochs > 0);
-  Rng init_rng = rng_.split(0xfeed);
+  Rng init_rng = rng_.split(salts::kModelInit);
   model_->init(init_rng);
   global_params_.assign(model_->params().begin(), model_->params().end());
   delta_accum_.assign(global_params_.size(), 0.0f);
@@ -55,62 +50,73 @@ void FedTrainer::train_client_locally(nn::Model& model,
   }
 }
 
-void FedTrainer::run_round() {
+void FedTrainer::train_clients(std::span<const ClientTask> tasks,
+                               std::vector<float>& out) {
   const auto& clients = dataset_->train_clients;
-  const std::vector<std::size_t> sampled = sampling::sample_uniform(
-      clients.size(), cfg_.clients_per_round, rng_);
-
-  // Independent stream per (round, client id): the work a client does is a
-  // pure function of (global params, its stream), so the parallel schedule
-  // cannot affect results.
-  const Rng round_rng = rng_.split(kRoundSalt + rounds_);
   const std::size_t n_params = global_params_.size();
-  local_params_.resize(sampled.size() * n_params);
+  out.resize(tasks.size() * n_params);
 
+  // Each task is a pure function of (its anchor, its stream), so the
+  // parallel schedule cannot affect results.
   auto train_one = [&](nn::Model& model, std::size_t idx) {
-    const data::ClientData& client = clients[sampled[idx]];
-    if (client.num_examples() == 0) return;
-    std::copy(global_params_.begin(), global_params_.end(),
-              model.params().begin());
-    Rng client_rng = round_rng.split(sampled[idx]);
+    const ClientTask& task = tasks[idx];
+    const data::ClientData& client = clients[task.client_id];
+    const std::vector<float>& anchor =
+        task.anchor != nullptr ? *task.anchor : global_params_;
+    float* dst = out.data() + static_cast<std::ptrdiff_t>(idx * n_params);
+    if (client.num_examples() == 0) {
+      std::copy(anchor.begin(), anchor.end(), dst);
+      return;
+    }
+    std::copy(anchor.begin(), anchor.end(), model.params().begin());
+    Rng client_rng = task.rng;
     train_client_locally(model, client, client_rng);
     const auto local = model.params();
-    std::copy(local.begin(), local.end(),
-              local_params_.begin() +
-                  static_cast<std::ptrdiff_t>(idx * n_params));
+    std::copy(local.begin(), local.end(), dst);
   };
 
-  const bool serial = cfg_.client_threads == 1 || sampled.size() < 2 ||
+  const bool serial = cfg_.client_threads == 1 || tasks.size() < 2 ||
                       ThreadPool::in_parallel_region();
   if (serial) {
-    for (std::size_t idx = 0; idx < sampled.size(); ++idx) {
+    for (std::size_t idx = 0; idx < tasks.size(); ++idx) {
       train_one(*model_, idx);
     }
+    // The serial path dirtied *model_ with the last client's local params;
+    // restore the global model for callers that evaluate between rounds
+    // (the parallel path only touches replicas).
+    std::copy(global_params_.begin(), global_params_.end(),
+              model_->params().begin());
   } else {
     ThreadPool& pool = ThreadPool::global();
     replicas_.reset(*model_, pool.max_slots(), /*copy_params=*/false);
-    pool.parallel_for_slots(sampled.size(), [&](std::size_t slot,
-                                                std::size_t idx) {
+    pool.parallel_for_slots(tasks.size(), [&](std::size_t slot,
+                                              std::size_t idx) {
       train_one(replicas_.at(slot), idx);
     });
   }
+}
 
-  // Reduce in sampled order — fixed float summation order keeps parallel
-  // and serial rounds bitwise identical.
+void FedTrainer::apply_reports(std::span<const ClientReport> reports) {
+  const auto& clients = dataset_->train_clients;
+  const std::size_t n_params = global_params_.size();
+
+  // Reduce in report order — fixed float summation order keeps parallel
+  // and serial rounds (and any scheduler timeline) bitwise identical.
   std::fill(delta_accum_.begin(), delta_accum_.end(), 0.0f);
   double weight_total = 0.0;
-  for (std::size_t idx = 0; idx < sampled.size(); ++idx) {
-    const data::ClientData& client = clients[sampled[idx]];
+  for (const ClientReport& report : reports) {
+    const data::ClientData& client = clients[report.client_id];
     if (client.num_examples() == 0) continue;
-    const double w = cfg_.weighted_aggregation
-                         ? static_cast<double>(client.num_examples())
-                         : 1.0;
+    FEDTUNE_CHECK(report.params.size() == n_params &&
+                  report.anchor.size() == n_params);
+    const double w = (cfg_.weighted_aggregation
+                          ? static_cast<double>(client.num_examples())
+                          : 1.0) *
+                     report.discount;
     const auto wf = static_cast<float>(w);
-    const float* local =
-        local_params_.data() + static_cast<std::ptrdiff_t>(idx * n_params);
-    // delta_accum += w * (local - global)
+    // delta_accum += w * (local - anchor)
     for (std::size_t i = 0; i < n_params; ++i) {
-      delta_accum_[i] += wf * (local[i] - global_params_[i]);
+      delta_accum_[i] += wf * (report.params[i] - report.anchor[i]);
     }
     weight_total += w;
   }
@@ -124,6 +130,37 @@ void FedTrainer::run_round() {
   std::copy(global_params_.begin(), global_params_.end(),
             model_->params().begin());
   ++rounds_;
+}
+
+void FedTrainer::run_round() {
+  const auto& clients = dataset_->train_clients;
+  const std::vector<std::size_t> sampled = sampling::sample_uniform(
+      clients.size(), cfg_.clients_per_round, rng_);
+
+  // Independent stream per (round, client id), split off the round stream.
+  const Rng round_rng = rng_.split(salts::kTrainerRound + rounds_);
+  std::vector<ClientTask> tasks;
+  tasks.reserve(sampled.size());
+  for (const std::size_t client_id : sampled) {
+    tasks.push_back(ClientTask{client_id, round_rng.split(client_id), nullptr});
+  }
+  train_clients(tasks, local_params_);
+
+  // Full cohort reports synchronously at discount 1 (classic FedAvg).
+  const std::size_t n_params = global_params_.size();
+  std::vector<ClientReport> reports;
+  reports.reserve(sampled.size());
+  for (std::size_t idx = 0; idx < sampled.size(); ++idx) {
+    if (clients[sampled[idx]].num_examples() == 0) continue;
+    reports.push_back(ClientReport{
+        sampled[idx],
+        std::span<const float>(
+            local_params_.data() +
+                static_cast<std::ptrdiff_t>(idx * n_params),
+            n_params),
+        std::span<const float>(global_params_), 1.0});
+  }
+  apply_reports(reports);
 }
 
 void FedTrainer::run_rounds(std::size_t n) {

@@ -12,12 +12,20 @@
 // serially in sampled order, so parallel and serial rounds produce bitwise
 // identical parameters regardless of thread count or schedule.
 //
+// Participation is pluggable: run_round composes the public hooks
+// train_clients (local SGD from an explicit anchor, with an explicit
+// stream) and apply_reports (ordered, staleness-discounted delta
+// aggregation). The runtime/ RoundScheduler drives the hooks directly to
+// simulate deadlines, stragglers, dropouts, and buffered-async rounds.
+//
 // The trainer owns the global parameter vector, a scratch model, and lazily
 // cloned per-worker model replicas, so each FedTrainer instance is
 // independent and thread-compatible (one per HP configuration / thread).
 #pragma once
 
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "data/client_data.hpp"
@@ -47,6 +55,26 @@ struct Checkpoint {
   Rng rng{0};
 };
 
+// One unit of client work for train_clients: which client trains, from
+// which parameter vector (nullptr = the current global model), with which
+// private RNG stream.
+struct ClientTask {
+  std::size_t client_id = 0;
+  Rng rng{0};
+  const std::vector<float>* anchor = nullptr;
+};
+
+// One client's contribution to an aggregation step (apply_reports). The
+// delta is params - anchor: for synchronous FedAvg the anchor is the
+// current global model; an async scheduler passes the stale snapshot the
+// client actually trained from, discounted by staleness.
+struct ClientReport {
+  std::size_t client_id = 0;
+  std::span<const float> params;  // locally trained parameters
+  std::span<const float> anchor;  // parameters the client started from
+  double discount = 1.0;          // staleness discount on weight and delta
+};
+
 class FedTrainer {
  public:
   // `dataset` must outlive the trainer. The model architecture is cloned
@@ -57,6 +85,31 @@ class FedTrainer {
   // Runs one communication round.
   void run_round();
   void run_rounds(std::size_t n);
+
+  // --- Participation hooks (runtime/RoundScheduler) ------------------------
+  // run_round is sample-cohort + train_clients + apply_reports with the
+  // full cohort reporting at discount 1. A scheduler drives these pieces
+  // directly to decide *which* clients report, from *which* snapshot, with
+  // *what* staleness discount.
+
+  // Trains each task's client locally from its anchor; row i of `out`
+  // (tasks.size() x num_params) receives task i's trained parameters
+  // (zero-example clients copy their anchor through). Parallel over tasks on
+  // the shared pool unless cfg.client_threads == 1; bitwise deterministic
+  // either way (each task is a pure function of its anchor and stream).
+  void train_clients(std::span<const ClientTask> tasks,
+                     std::vector<float>& out);
+
+  // Aggregates reports in order (fixed-order float reduction), applies
+  // ServerOPT, and advances the round counter. Weights are example counts
+  // (or 1 under uniform aggregation) times the report's discount. An empty
+  // report set still advances the round (a round where nobody reported).
+  void apply_reports(std::span<const ClientReport> reports);
+
+  // The current global parameter vector (anchor for synchronous reports).
+  const std::vector<float>& global_params() const { return global_params_; }
+  std::size_t num_params() const { return global_params_.size(); }
+  const data::FederatedDataset& dataset() const { return *dataset_; }
 
   std::size_t rounds_done() const { return rounds_; }
   const FedHyperParams& hyperparams() const { return hps_; }

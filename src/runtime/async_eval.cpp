@@ -1,0 +1,134 @@
+#include "runtime/async_eval.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+#include "fl/evaluator.hpp"
+
+namespace fedtune::runtime {
+
+AsyncEvalPipeline::AsyncEvalPipeline(
+    const nn::Model& architecture,
+    std::span<const data::ClientData> eval_clients, AsyncEvalOptions opts)
+    : architecture_(&architecture), eval_clients_(eval_clients),
+      opts_(std::move(opts)) {
+  FEDTUNE_CHECK(!eval_clients_.empty());
+  if (!opts_.stream_path.empty()) {
+    stream_.open(opts_.stream_path, std::ios::trunc);
+    FEDTUNE_CHECK_MSG(stream_.is_open(),
+                      "cannot open eval stream " << opts_.stream_path);
+  }
+}
+
+AsyncEvalPipeline::~AsyncEvalPipeline() {
+  // Join every job; destructors must not throw, so exceptions die here (a
+  // caller that cares calls drain() first).
+  for (auto& job : jobs_) {
+    if (job.valid()) {
+      try {
+        job.get();
+      } catch (...) {
+      }
+    }
+  }
+}
+
+std::unique_ptr<nn::Model> AsyncEvalPipeline::acquire_replica() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!free_replicas_.empty()) {
+      auto replica = std::move(free_replicas_.back());
+      free_replicas_.pop_back();
+      return replica;
+    }
+  }
+  return architecture_->clone_architecture();
+}
+
+void AsyncEvalPipeline::release_replica(std::unique_ptr<nn::Model> replica) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_replicas_.push_back(std::move(replica));
+}
+
+void AsyncEvalPipeline::submit(std::size_t tag, std::size_t rounds,
+                               std::span<const float> params) {
+  FEDTUNE_CHECK(params.size() == architecture_->num_params());
+  // Deep copies made *before* returning: the caller's parameter buffer is
+  // free to change the moment submit() returns.
+  auto snapshot =
+      std::make_shared<std::vector<float>>(params.begin(), params.end());
+  ++submitted_;
+
+  jobs_.push_back(ThreadPool::global().submit([this, tag, rounds, snapshot] {
+    std::unique_ptr<nn::Model> model = acquire_replica();
+    std::copy(snapshot->begin(), snapshot->end(), model->params().begin());
+    // Same evaluator as the synchronous path — per-client errors are a pure
+    // function of (params, client), so async values match sync bitwise.
+    Result result{tag, rounds,
+                  fl::all_client_errors(*model, eval_clients_,
+                                        opts_.eval_threads)};
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stream_.is_open()) {
+        stream_ << result.tag << ' ' << result.rounds;
+        char buf[32];
+        for (const double e : result.errors) {
+          std::snprintf(buf, sizeof(buf), " %.17g", e);
+          stream_ << buf;
+        }
+        stream_ << '\n';
+        stream_.flush();
+        // A truncated stream (full disk, I/O error) must fail the run, not
+        // silently drop checkpoint lines; the throw propagates through the
+        // job future into drain()/results().
+        FEDTUNE_CHECK_MSG(stream_.good(),
+                          "eval stream write failed: " << opts_.stream_path);
+      }
+      results_.push_back(std::move(result));
+    }
+    release_replica(std::move(model));
+  }));
+
+  // Compact completed futures so a long-lived pipeline does not grow
+  // unboundedly. get() on a ready future is cheap and rethrows job errors
+  // at the next submit instead of silently in the destructor.
+  std::erase_if(jobs_, [](std::future<void>& job) {
+    if (job.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+      return false;
+    }
+    job.get();
+    return true;
+  });
+}
+
+void AsyncEvalPipeline::drain() {
+  for (auto& job : jobs_) {
+    if (job.valid()) job.get();
+  }
+  jobs_.clear();
+}
+
+std::vector<AsyncEvalPipeline::Result> AsyncEvalPipeline::results() {
+  drain();
+  std::vector<Result> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = results_;
+  }
+  std::sort(out.begin(), out.end(), [](const Result& a, const Result& b) {
+    if (a.tag != b.tag) return a.tag < b.tag;
+    return a.rounds < b.rounds;
+  });
+  return out;
+}
+
+std::size_t AsyncEvalPipeline::completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return results_.size();
+}
+
+}  // namespace fedtune::runtime

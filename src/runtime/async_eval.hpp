@@ -1,0 +1,97 @@
+// AsyncEvalPipeline — overlap checkpoint evaluation with training.
+//
+// Rounds used to barrier on checkpoint evaluation: train to a rung, stop,
+// evaluate every eval client, continue. The pipeline removes the barrier:
+// submit() copies the parameter snapshot and returns immediately; a task on
+// the shared ThreadPool evaluates the checkpoint (fl::all_client_errors on a
+// private model replica, so values are identical to the synchronous path by
+// construction) while the caller trains the next rounds. Completed
+// checkpoints are streamed to disk as they finish and retained in memory.
+//
+// Memory model (documented in src/README.md): submit() deep-copies the
+// parameter vector before returning, so the caller may mutate its buffer
+// freely; each in-flight job owns a private model replica; completed results
+// and the stream file are published under one mutex; drain() joins every
+// job's future, which sequences all job writes before the caller's reads.
+//
+// Ordering: jobs may complete in any order (the stream file records
+// completion order), but results() sorts by (tag, rounds) — consumers see a
+// deterministic view regardless of the schedule.
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/client_data.hpp"
+#include "nn/model.hpp"
+
+namespace fedtune::runtime {
+
+struct AsyncEvalOptions {
+  // When non-empty, each completed checkpoint appends one text line:
+  //   `tag rounds err_0 err_1 ... err_{K-1}`  (%.17g round-trip doubles)
+  // in completion order.
+  std::string stream_path;
+  // Thread fan-out *within* one evaluation job (passed to
+  // fl::all_client_errors). 1 = serial per job: jobs themselves already run
+  // concurrently with training, and a busy pool degrades the inner loop
+  // inline anyway.
+  std::size_t eval_threads = 1;
+};
+
+class AsyncEvalPipeline {
+ public:
+  struct Result {
+    std::size_t tag = 0;     // caller's id (trial, config, ...)
+    std::size_t rounds = 0;  // checkpoint fidelity
+    std::vector<double> errors;  // per eval client, full pool order
+  };
+
+  // `architecture` is cloned per in-flight job; `eval_clients` must outlive
+  // the pipeline.
+  AsyncEvalPipeline(const nn::Model& architecture,
+                    std::span<const data::ClientData> eval_clients,
+                    AsyncEvalOptions opts = {});
+  ~AsyncEvalPipeline();  // drains outstanding jobs
+
+  AsyncEvalPipeline(const AsyncEvalPipeline&) = delete;
+  AsyncEvalPipeline& operator=(const AsyncEvalPipeline&) = delete;
+
+  // Snapshots `params` and schedules the evaluation; returns immediately.
+  void submit(std::size_t tag, std::size_t rounds,
+              std::span<const float> params);
+
+  // Blocks until every submitted checkpoint has been evaluated (and
+  // streamed, when a stream path is configured). Rethrows the first job
+  // exception, if any.
+  void drain();
+
+  // Drains, then returns all completed results sorted by (tag, rounds).
+  std::vector<Result> results();
+
+  std::size_t submitted() const { return submitted_; }
+  std::size_t completed() const;
+
+ private:
+  std::unique_ptr<nn::Model> acquire_replica();
+  void release_replica(std::unique_ptr<nn::Model> replica);
+
+  const nn::Model* architecture_;
+  std::span<const data::ClientData> eval_clients_;
+  AsyncEvalOptions opts_;
+  std::size_t submitted_ = 0;
+  std::vector<std::future<void>> jobs_;
+
+  mutable std::mutex mutex_;  // guards results_, stream_, free_replicas_
+  std::vector<Result> results_;
+  std::ofstream stream_;
+  std::vector<std::unique_ptr<nn::Model>> free_replicas_;
+};
+
+}  // namespace fedtune::runtime

@@ -1,0 +1,48 @@
+#include "runtime/event_clock.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace fedtune::runtime {
+
+std::uint64_t EventClock::schedule(double t, Handler fn) {
+  FEDTUNE_CHECK_MSG(fn, "scheduling an empty handler");
+  const std::uint64_t seq = next_seq_++;
+  heap_.push_back(Event{std::max(t, now_), seq, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+  return seq;
+}
+
+EventClock::Event EventClock::pop_next() {
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  return ev;
+}
+
+bool EventClock::step() {
+  if (heap_.empty()) return false;
+  Event ev = pop_next();
+  now_ = ev.time;
+  ev.fn();
+  return true;
+}
+
+void EventClock::run_until_idle() {
+  while (step()) {
+  }
+}
+
+void EventClock::run_until(double t) {
+  while (!heap_.empty() && heap_.front().time <= t) step();
+  if (t > now_) now_ = t;
+}
+
+void EventClock::reset(double t) {
+  heap_.clear();
+  now_ = t;
+}
+
+}  // namespace fedtune::runtime

@@ -1,0 +1,67 @@
+// EventClock — the deterministic discrete-event core of the SysSim runtime.
+//
+// A priority queue of timestamped events. Events fire in (time, sequence)
+// order, where sequence is the schedule() insertion index: two events at the
+// same simulated instant fire in the order they were scheduled, never in
+// heap or hash order. Any component that schedules the same events in the
+// same order therefore replays bitwise identically — the runtime extension
+// of the determinism contract in src/README.md.
+//
+// Simulated time is seconds as double. Handlers may schedule further events
+// (at or after now()); the clock never runs backwards.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace fedtune::runtime {
+
+class EventClock {
+ public:
+  using Handler = std::function<void()>;
+
+  double now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+  // Schedules `fn` at absolute simulated time `t` (clamped to now());
+  // returns the event's sequence number.
+  std::uint64_t schedule(double t, Handler fn);
+  std::uint64_t schedule_after(double dt, Handler fn) {
+    return schedule(now_ + dt, std::move(fn));
+  }
+
+  // Fires the earliest pending event (advancing now() to its timestamp);
+  // false when the queue is empty.
+  bool step();
+
+  // Fires events until the queue is empty.
+  void run_until_idle();
+
+  // Fires every event with timestamp <= t, then advances now() to t.
+  void run_until(double t);
+
+  // Drops all pending events and moves the clock to `t` — used when
+  // restoring a scheduler checkpoint, which re-schedules its own events.
+  void reset(double t);
+
+ private:
+  struct Event {
+    double time = 0.0;
+    std::uint64_t seq = 0;
+    Handler fn;
+  };
+  // Min-heap: later (time, seq) sorts as lower priority.
+  static bool later(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+  Event pop_next();
+
+  std::vector<Event> heap_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace fedtune::runtime

@@ -1,0 +1,84 @@
+// LatencyModel — per-client compute/network time and dropout draws.
+//
+// Models the systems heterogeneity the paper names as a noise source
+// (stragglers, dropouts, and the biased participation they induce): each
+// unit of client work gets a compute-time draw from a configurable
+// distribution (lognormal or shifted exponential), scaled by a per-client
+// hardware tier, plus network time and an independent dropout coin.
+//
+// Determinism contract: a draw is a pure function of (model seed,
+// client_id, work_key). The per-draw stream is
+//   model_rng.split(kLatencyDraw).split(client_id).split(work_key)
+// so draws are independent of call order and of which other (client, key)
+// pairs were ever drawn — the RoundScheduler relies on this to make
+// checkpoint resume replay the exact timeline. work_key is the round index
+// for synchronous policies and the dispatch index for async.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace fedtune::runtime {
+
+enum class LatencyKind {
+  kLognormal,           // exp(N(log_mean, sigma)) seconds
+  kShiftedExponential,  // shift + Exp(rate) seconds
+};
+
+struct LatencyConfig {
+  LatencyKind kind = LatencyKind::kLognormal;
+  double lognormal_log_mean = 0.0;  // log-seconds of the median compute time
+  double lognormal_sigma = 0.5;
+  double shifted_exp_shift = 0.5;   // seconds
+  double shifted_exp_rate = 1.0;    // 1/seconds
+
+  // Hardware tiers: each client is assigned one tier (categorical by
+  // tier_weights, fixed for the model's lifetime) and its compute draws are
+  // multiplied by tier_slowdowns[tier]. Defaults model a homogeneous fleet.
+  std::vector<double> tier_slowdowns = {1.0};
+  std::vector<double> tier_weights = {1.0};
+
+  // When > 0, compute time scales linearly with the client's example count:
+  // the drawn time covers `examples_per_unit` examples. 0 = size-independent.
+  double examples_per_unit = 0.0;
+
+  // Network time on top of compute: fixed base + uniform [0, jitter).
+  double network_base = 0.0;
+  double network_jitter = 0.0;
+
+  // Probability a dispatched client drops out of the round entirely (its
+  // result never reaches the server).
+  double dropout_prob = 0.0;
+};
+
+struct LatencyDraw {
+  double compute_seconds = 0.0;
+  double network_seconds = 0.0;
+  bool dropped = false;
+  // Time until the server would receive the result; dropped clients still
+  // consume this much simulated time before the server gives up on them.
+  double total() const { return compute_seconds + network_seconds; }
+};
+
+class LatencyModel {
+ public:
+  LatencyModel(LatencyConfig cfg, Rng rng);
+
+  const LatencyConfig& config() const { return cfg_; }
+
+  // Hardware tier of `client_id` (one categorical draw, fixed per client).
+  std::size_t tier_of(std::size_t client_id) const;
+
+  // The draw for one unit of work. Pure in (model seed, client_id,
+  // work_key); `num_examples` only matters when examples_per_unit > 0.
+  LatencyDraw draw(std::size_t client_id, std::uint64_t work_key,
+                   std::size_t num_examples = 0) const;
+
+ private:
+  LatencyConfig cfg_;
+  Rng rng_;  // base stream: split per draw, never advanced
+};
+
+}  // namespace fedtune::runtime

@@ -100,4 +100,19 @@ Table ablation_rank_fidelity(data::BenchmarkId id, std::size_t trials = 20,
 Table ablation_repeated_evaluation(data::BenchmarkId id,
                                    const BootstrapOptions& opts = {});
 
+// --- SysSim (runtime/, experiments_systems.cpp) ----------------------------
+
+// Rank fidelity of evaluation under systems heterogeneity: straggler/
+// dropout severity (fraction of sampled eval clients that never report)
+// and participation bias, over the cached pool. Tau degrades as severity
+// rises — the systems analogue of the subsampling sweep.
+Table systems_rank_fidelity(data::BenchmarkId id, std::size_t trials = 20,
+                            std::uint64_t seed = 42);
+
+// Live SysSim comparison of the three participation policies (synchronous
+// deadline + over-selection, straggler-drop, buffered async): final full
+// error, simulated wall-clock, participation and staleness statistics.
+Table systems_participation_policies(std::size_t rounds = 24,
+                                     std::uint64_t seed = 42);
+
 }  // namespace fedtune::sim

@@ -1,0 +1,138 @@
+// SysSim experiments — systems heterogeneity as an evaluation-noise source
+// (runtime/), extending the paper's §3.2 study beyond participation bias:
+// stragglers and dropouts shrink the set of clients whose errors reach the
+// server, and async aggregation trades staleness for wall-clock.
+#include <cmath>
+#include <memory>
+
+#include "common/rng_salts.hpp"
+#include "core/rank_fidelity.hpp"
+#include "data/synth_image.hpp"
+#include "fl/evaluator.hpp"
+#include "nn/factory.hpp"
+#include "runtime/latency_model.hpp"
+#include "runtime/round_scheduler.hpp"
+#include "sim/experiments.hpp"
+#include "sim/pool_hub.hpp"
+
+namespace fedtune::sim {
+
+Table systems_rank_fidelity(data::BenchmarkId id, std::size_t trials,
+                            std::uint64_t seed) {
+  PoolHub& hub = PoolHub::instance();
+  const core::PoolEvalView& view = hub.view(id);
+  Rng rng(seed);
+
+  // |S| = 16 reporting targets per evaluation: large enough that the
+  // noiseless row has real signal, small enough that losing reporters to
+  // stragglers visibly erodes it.
+  const std::size_t eval_clients =
+      std::min<std::size_t>(16, view.num_clients());
+
+  Table table({"dataset", "source", "severity", "spearman", "kendall",
+               "top1_hit_rate"});
+  auto add_row = [&](const char* source, double severity,
+                     const core::NoiseModel& noise, std::uint64_t salt) {
+    Rng trial_rng = rng.split(salt);
+    const core::RankFidelity rf =
+        core::measure_rank_fidelity(view, noise, trials, trial_rng);
+    table.add_row({data::benchmark_name(id), source,
+                   Table::format(severity, 2), Table::format(rf.spearman),
+                   Table::format(rf.kendall),
+                   Table::format(rf.top1_hit_rate)});
+  };
+
+  // Straggler/dropout severity: the fraction of the sampled evaluation
+  // cohort that never reports (cut at the deadline).
+  std::uint64_t salt = 1;
+  for (const double dropout : {0.0, 0.25, 0.5, 0.75, 0.9}) {
+    core::NoiseModel noise;
+    noise.eval_clients = eval_clients;
+    noise.eval_dropout = dropout;
+    add_row("straggler_dropout", dropout, noise, salt++);
+  }
+  // Participation bias (the paper's systems-heterogeneity knob) for
+  // reference, at the same subsample size.
+  for (const double b : {1.0, 3.0}) {
+    core::NoiseModel noise;
+    noise.eval_clients = eval_clients;
+    noise.bias_b = b;
+    add_row("participation_bias", b, noise, salt++);
+  }
+  // Both at once: a biased, straggler-thinned evaluation.
+  {
+    core::NoiseModel noise;
+    noise.eval_clients = eval_clients;
+    noise.eval_dropout = 0.5;
+    noise.bias_b = 1.0;
+    add_row("bias+dropout", 0.5, noise, salt++);
+  }
+  return table;
+}
+
+Table systems_participation_policies(std::size_t rounds, std::uint64_t seed) {
+  // A heterogeneous fleet on a small live dataset: two hardware tiers (one
+  // 4x slower), lognormal compute spread, and a 10% dropout rate.
+  data::SynthImageConfig cfg;
+  cfg.name = "syssim";
+  cfg.num_train_clients = 40;
+  cfg.num_eval_clients = 12;
+  cfg.mean_examples = 40.0;
+  cfg.input_dim = 16;
+  cfg.seed = seed;
+  const data::FederatedDataset ds = data::make_synth_image(cfg);
+  const std::unique_ptr<nn::Model> arch = nn::make_default_model(ds);
+
+  runtime::LatencyConfig lat;
+  lat.lognormal_log_mean = 0.0;
+  lat.lognormal_sigma = 0.6;
+  lat.tier_slowdowns = {1.0, 4.0};
+  lat.tier_weights = {0.7, 0.3};
+  lat.network_base = 0.2;
+  lat.network_jitter = 0.1;
+  lat.dropout_prob = 0.1;
+  const runtime::LatencyModel latency(lat, Rng(seed).split(1));
+
+  fl::FedHyperParams hps;
+  hps.client_lr = 0.05;
+  hps.client_momentum = 0.9;
+
+  Table table({"policy", "rounds", "full_error", "sim_seconds",
+               "mean_participants", "total_dropped", "mean_staleness"});
+  for (const runtime::ParticipationPolicy policy :
+       {runtime::ParticipationPolicy::kSynchronous,
+        runtime::ParticipationPolicy::kStragglerDrop,
+        runtime::ParticipationPolicy::kBufferedAsync}) {
+    runtime::SchedulerConfig sched;
+    sched.policy = policy;
+    sched.cohort_size = 10;
+    sched.over_select_factor = 1.3;
+    sched.round_deadline = 8.0;
+    sched.drop_slowest_fraction = 0.3;
+    sched.async_concurrency = 10;
+    sched.async_buffer_size = 5;
+
+    fl::FedTrainer trainer(ds, *arch, hps, fl::TrainerConfig{}, Rng(seed));
+    runtime::RoundScheduler scheduler(trainer, latency, sched,
+                                      Rng(seed).split(2));
+    scheduler.run_rounds(rounds);
+
+    double participants = 0.0, staleness = 0.0;
+    std::size_t dropped = 0;
+    for (const runtime::RoundRecord& r : scheduler.history()) {
+      participants += static_cast<double>(r.participants.size());
+      staleness += r.mean_staleness;
+      dropped += r.dropped.size();
+    }
+    const auto n_rounds = static_cast<double>(scheduler.history().size());
+    table.add_row(
+        {runtime::policy_name(policy), std::to_string(rounds),
+         Table::format(100.0 * fl::full_validation_error(trainer.model(), ds)),
+         Table::format(scheduler.sim_time(), 1),
+         Table::format(participants / n_rounds, 1), std::to_string(dropped),
+         Table::format(staleness / n_rounds, 2)});
+  }
+  return table;
+}
+
+}  // namespace fedtune::sim

@@ -8,6 +8,7 @@
 #include <map>
 
 #include "common/check.hpp"
+#include "common/rng_salts.hpp"
 #include "data/partition.hpp"
 #include "hpo/search_space.hpp"
 #include "nn/factory.hpp"
@@ -195,7 +196,7 @@ const core::PoolEvalView& PoolHub::iid_view(data::BenchmarkId id, double p) {
   const data::FederatedDataset& ds = dataset_locked(id);
   // Seed from p's bits: truncating (p * 1000) collapsed every p < 1e-3 (and
   // any 6+-sig-fig neighbors) onto one repartition stream.
-  Rng rng(0x1d1d0000ULL ^ std::bit_cast<std::uint64_t>(p));
+  Rng rng(salts::kIidView ^ std::bit_cast<std::uint64_t>(p));
   const std::vector<data::ClientData> repartitioned =
       data::repartition_iid(ds.eval_clients, p, rng);
   const std::unique_ptr<nn::Model> arch = nn::make_default_model(ds);

@@ -46,8 +46,32 @@ struct Args {
   std::string cache_dir;
   std::string out;
   bool store_params = true;
+  bool help = false;
   std::vector<std::string> positional;
 };
+
+void print_usage(std::ostream& os) {
+  os << "usage: fedtune_pool <command> [flags]\n"
+        "\n"
+        "commands:\n"
+        "  build-shard --dataset NAME --shard K --num-shards N\n"
+        "              [--configs C] [--cache-dir DIR] [--out PATH]\n"
+        "              [--no-params]\n"
+        "      train configs [(K-1)*C/N, K*C/N) of the shared pool and\n"
+        "      write DIR/NAME.shard-K-of-N.pool (bitwise identical to the\n"
+        "      same slice of a monolithic build).\n"
+        "  merge --dataset NAME --num-shards N [--cache-dir DIR]\n"
+        "              [--out PATH]\n"
+        "      validate and splice the N shard files into one pool\n"
+        "      (default DIR/NAME.pool).\n"
+        "  verify POOL_A POOL_B\n"
+        "      exit 0 iff the two pool files are bitwise identical.\n"
+        "  help | --help | -h\n"
+        "      print this message.\n"
+        "\n"
+        "The default cache dir is $FEDTUNE_CACHE_DIR (./fedtune_cache).\n"
+        "See scripts/pool_build_sharded.sh for the fan-out driver.\n";
+}
 
 // True when the build matches the shared pool definition every bench binary
 // expects (PoolHub::pool): full config count, parameter snapshots stored.
@@ -91,6 +115,9 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.out = *v;
     } else if (a == "--no-params") {
       args.store_params = false;
+    } else if (a == "--help" || a == "-h") {
+      args.help = true;
+      return true;
     } else if (!a.empty() && a[0] == '-') {
       std::cerr << "error: unknown flag " << a << "\n";
       return false;
@@ -267,22 +294,34 @@ int cmd_verify(const Args& args) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: fedtune_pool {build-shard|merge|verify} ...\n";
+    std::cerr << "error: missing command\n\n";
+    print_usage(std::cerr);
     return 2;
   }
   const std::string cmd = argv[1];
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    print_usage(std::cout);
+    return 0;
+  }
+  if (cmd != "build-shard" && cmd != "merge" && cmd != "verify") {
+    std::cerr << "error: unknown command '" << cmd << "'\n\n";
+    print_usage(std::cerr);
+    return 2;
+  }
   try {
     Args args;
     // Inside the try: stoul on malformed numeric flags must exit with the
     // error path, not std::terminate.
     if (!parse_args(argc - 2, argv + 2, args)) return 2;
+    if (args.help) {
+      print_usage(std::cout);
+      return 0;
+    }
     if (cmd == "build-shard") return cmd_build_shard(args);
     if (cmd == "merge") return cmd_merge(args);
-    if (cmd == "verify") return cmd_verify(args);
+    return cmd_verify(args);
   } catch (const std::exception& ex) {
     std::cerr << "error: " << ex.what() << "\n";
     return 1;
   }
-  std::cerr << "error: unknown command '" << cmd << "'\n";
-  return 2;
 }
