@@ -9,12 +9,17 @@
 //   bench_micro_substrate --substrate_json=PATH
 //       runs the focused substrate report — before/after GEMM GFLOP/s,
 //       config-pool build wall-clock at 1 vs N threads (monolithic and
-//       sharded), and the eval/train async-overlap speedup — and writes it
-//       as machine-readable JSON (consumed by scripts/bench_report.sh).
+//       sharded), the eval/train async-overlap speedup, and the
+//       study_service section (journal append throughput, ask->tell step
+//       latency, concurrent-study scheduler throughput) — and writes it as
+//       machine-readable JSON (consumed by scripts/bench_report.sh).
 #include <benchmark/benchmark.h>
+
+#include <unistd.h>
 
 #include <chrono>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -33,6 +38,7 @@
 #include "privacy/laplace.hpp"
 #include "runtime/async_eval.hpp"
 #include "sampling/client_sampler.hpp"
+#include "service/study_manager.hpp"
 #include "tensor/ops.hpp"
 
 namespace {
@@ -378,7 +384,111 @@ int write_substrate_report(const std::string& path) {
   out << "  \"async_overlap\": {\"rounds\": " << kOverlapRounds
       << ", \"sync_barrier_seconds\": " << sync_s
       << ", \"pipelined_seconds\": " << pipe_s
-      << ", \"speedup\": " << sync_s / pipe_s << "}\n}\n";
+      << ", \"speedup\": " << sync_s / pipe_s << "},\n";
+
+  // StudyService: journal append throughput, managed ask->tell step
+  // latency (journaled), and the fair-share scheduler's aggregate trial
+  // throughput over 8 concurrent pool-backed studies.
+  {
+    namespace svc = fedtune::service;
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         ("fedtune_bench_service_" + std::to_string(::getpid())))
+            .string();
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    // Journal appends: one framed+flushed ask/tell pair per step.
+    svc::StudySpec jspec;
+    jspec.name = "bench-journal";
+    jspec.external = true;
+    constexpr std::size_t kJournalSteps = 2000;
+    hpo::Trial jtrial;
+    jtrial.config = {{"client_lr", 0.1}, {"server_lr", 0.01}};
+    core::TrialRecord jrec;
+    jrec.trial = jtrial;
+    const auto j0 = Clock::now();
+    {
+      svc::StudyJournal journal =
+          svc::StudyJournal::create(dir + "/bench-journal.journal", jspec);
+      for (std::size_t i = 0; i < kJournalSteps; ++i) {
+        jtrial.id = static_cast<int>(i);
+        jrec.trial.id = jtrial.id;
+        jrec.cumulative_rounds = i;
+        journal.append_ask(jtrial);
+        journal.append_tell(jrec);
+      }
+    }
+    const double journal_s = seconds_since(j0);
+    const double appends_per_sec =
+        2.0 * static_cast<double>(kJournalSteps) / journal_s;
+
+    // A small shared pool for the service benches (same substrate the
+    // pool_build section measures).
+    const core::ConfigPool bench_pool = core::ConfigPool::build(
+        ds, *arch, hpo::appendix_b_space(), report_pool_options(scale_threads));
+    auto resources = std::make_shared<svc::PoolResources>();
+    resources->configs = bench_pool.configs();
+    resources->view = bench_pool.view();
+
+    svc::ManagerOptions mopts;
+    mopts.journal_dir = dir;
+    mopts.rounds_per_slice = 9;
+
+    // Ask->tell service latency: one managed study stepped to completion,
+    // every step journaled.
+    const std::size_t latency_trials = 64;
+    double step_us = 0.0;
+    {
+      svc::StudyManager mgr(mopts);
+      mgr.register_pool("p", resources);
+      svc::StudySpec spec;
+      spec.name = "bench-latency";
+      spec.pool = "p";
+      spec.num_configs = latency_trials;
+      spec.noise.eval_clients = 4;
+      svc::StudySession& s = mgr.create_study(spec);
+      const auto t0 = Clock::now();
+      while (s.run_one_step()) {
+      }
+      step_us = seconds_since(t0) * 1e6 / static_cast<double>(s.steps());
+    }
+
+    // Concurrent-study scheduler throughput: 8 tenants, fair-share slices
+    // on the shared thread pool.
+    constexpr std::size_t kTenants = 8;
+    double trials_per_sec = 0.0;
+    {
+      svc::StudyManager mgr(mopts);
+      mgr.register_pool("p", resources);
+      for (std::size_t i = 0; i < kTenants; ++i) {
+        svc::StudySpec spec;
+        spec.name = "bench-tenant" + std::to_string(i);
+        spec.pool = "p";
+        spec.num_configs = 24;
+        spec.seed = i;
+        spec.noise.eval_clients = 4;
+        mgr.create_study(spec);
+      }
+      const auto t0 = Clock::now();
+      mgr.run_to_completion();
+      std::size_t trials = 0;
+      for (const std::string& name : mgr.list()) {
+        trials += mgr.find(name)->steps();
+      }
+      trials_per_sec = static_cast<double>(trials) / seconds_since(t0);
+    }
+    std::filesystem::remove_all(dir);
+
+    out << "  \"study_service\": {\"journal_appends_per_sec\": "
+        << appends_per_sec << ", \"step_latency_us\": " << step_us
+        << ", \"concurrent_studies\": " << kTenants
+        << ", \"scheduler_trials_per_sec\": " << trials_per_sec << "}\n}\n";
+    std::cerr << "study service: journal " << appends_per_sec
+              << " appends/s, ask->tell " << step_us << " us/step, "
+              << kTenants << "-tenant scheduler " << trials_per_sec
+              << " trials/s\n";
+  }
   std::cerr << "sharded pool build: shards " << ta << "s / " << tb
             << "s, merge " << tm << "s -> est fleet wall-clock " << wall
             << "s vs monolithic " << tn << "s (" << tn / wall << "x)\n";

@@ -2,9 +2,12 @@
 # Runs the substrate microbenchmark in report mode and emits a
 # machine-readable BENCH_substrate.json (GEMM GFLOP/s naive vs blocked,
 # config-pool build wall-clock at 1 vs N threads, sharded vs monolithic
-# pool-build wall-clock with the estimated fleet speedup, and the
-# async_overlap section — sync-barrier vs pipelined eval/train rounds via
-# runtime::AsyncEvalPipeline) for tracking the perf trajectory across PRs.
+# pool-build wall-clock with the estimated fleet speedup, the async_overlap
+# section — sync-barrier vs pipelined eval/train rounds via
+# runtime::AsyncEvalPipeline — and the study_service section: journal
+# append throughput, ask->tell step latency, and the fair-share scheduler's
+# concurrent-study trial throughput) for tracking the perf trajectory
+# across PRs.
 #
 # Usage: scripts/bench_report.sh [build_dir] [output.json]
 set -euo pipefail

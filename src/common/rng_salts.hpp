@@ -55,4 +55,18 @@ inline constexpr std::uint64_t kSchedulerDispatch = 0x64697370ULL;  // "disp"
 inline constexpr std::uint64_t kRunnerLatency = 0x726c6174ULL;    // "rlat"
 inline constexpr std::uint64_t kRunnerScheduler = 0x72736368ULL;  // "rsch"
 
+// --- core/noisy_evaluator.cpp ----------------------------------------------
+// Pure per-evaluation streams (service studies): evaluation i draws from
+// eval_rng.split(kEvalCall + i) instead of the advancing engine, so journal
+// replay can fast-forward the eval counter without re-running evaluations.
+inline constexpr std::uint64_t kEvalCall = 0x6576616cULL;  // "eval"
+
+// --- service/study.cpp -----------------------------------------------------
+// Study streams derived from the study seed: the tuner is constructed with
+// Rng(spec.seed).split(kStudyTuner); the driver/evaluator seed is
+// Rng(spec.seed).split(kStudyDriver).seed(). Keyed off the spec alone so a
+// journal-recovered study re-derives identical streams.
+inline constexpr std::uint64_t kStudyTuner = 0x73747564ULL;   // "stud"
+inline constexpr std::uint64_t kStudyDriver = 0x73647276ULL;  // "sdrv"
+
 }  // namespace fedtune::salts

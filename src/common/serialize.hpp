@@ -1,11 +1,18 @@
-// Tiny little-endian binary serialization for pool caches.
+// Tiny little-endian binary serialization for pool caches and study
+// journals.
 //
 // Format: each write_* call appends a fixed-width scalar or a length-prefixed
 // container. Readers must mirror the writer call sequence exactly; a magic +
 // version header guards against stale caches.
+//
+// Two sink/source pairs share the format: BinaryWriter/BinaryReader stream
+// whole files (pool caches), BufferWriter/BufferReader build and parse
+// in-memory payloads (the CRC-framed records of service/journal.hpp, which
+// must be checksummed before they touch the file).
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <span>
 #include <string>
@@ -103,6 +110,99 @@ class BinaryReader {
 
  private:
   std::ifstream in_;
+};
+
+// In-memory mirror of BinaryWriter: accumulates the same byte layout into a
+// string so the caller can checksum/frame the payload before writing it out.
+class BufferWriter {
+ public:
+  template <typename T>
+  void write_scalar(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    buf_.append(reinterpret_cast<const char*>(&v), sizeof(T));
+  }
+
+  void write_u8(std::uint8_t v) { write_scalar(v); }
+  void write_u32(std::uint32_t v) { write_scalar(v); }
+  void write_u64(std::uint64_t v) { write_scalar(v); }
+  void write_i64(std::int64_t v) { write_scalar(v); }
+  void write_f64(double v) { write_scalar(v); }
+  void write_f32(float v) { write_scalar(v); }
+
+  void write_string(const std::string& s) {
+    write_u64(s.size());
+    buf_.append(s.data(), s.size());
+  }
+
+  template <typename T>
+  void write_vector(std::span<const T> v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    write_u64(v.size());
+    buf_.append(reinterpret_cast<const char*>(v.data()), v.size() * sizeof(T));
+  }
+  template <typename T>
+  void write_vector(const std::vector<T>& v) {
+    write_vector(std::span<const T>(v));
+  }
+
+  const std::string& bytes() const { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+// In-memory mirror of BinaryReader over a byte span. Reads past the end
+// throw (like a truncated file); at_end() lets record parsers reject
+// payloads with trailing bytes the same way file loaders do.
+class BufferReader {
+ public:
+  explicit BufferReader(std::span<const char> bytes) : bytes_(bytes) {}
+  explicit BufferReader(const std::string& bytes)
+      : bytes_(bytes.data(), bytes.size()) {}
+
+  template <typename T>
+  T read_scalar() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    FEDTUNE_CHECK_MSG(pos_ + sizeof(T) <= bytes_.size(),
+                      "truncated binary payload");
+    T v{};
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::uint8_t read_u8() { return read_scalar<std::uint8_t>(); }
+  std::uint32_t read_u32() { return read_scalar<std::uint32_t>(); }
+  std::uint64_t read_u64() { return read_scalar<std::uint64_t>(); }
+  std::int64_t read_i64() { return read_scalar<std::int64_t>(); }
+  double read_f64() { return read_scalar<double>(); }
+  float read_f32() { return read_scalar<float>(); }
+
+  std::string read_string() {
+    const std::uint64_t n = read_u64();
+    FEDTUNE_CHECK_MSG(pos_ + n <= bytes_.size(), "truncated binary payload");
+    std::string s(bytes_.data() + pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  template <typename T>
+  std::vector<T> read_vector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::uint64_t n = read_u64();
+    FEDTUNE_CHECK_MSG(pos_ + n * sizeof(T) <= bytes_.size(),
+                      "truncated binary payload");
+    std::vector<T> v(n);
+    std::memcpy(v.data(), bytes_.data() + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return v;
+  }
+
+  bool at_end() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::span<const char> bytes_;
+  std::size_t pos_ = 0;
 };
 
 }  // namespace fedtune

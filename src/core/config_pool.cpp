@@ -1,6 +1,7 @@
 #include "core/config_pool.hpp"
 
 #include <algorithm>
+#include <filesystem>
 
 #include "common/check.hpp"
 #include "common/serialize.hpp"
@@ -445,6 +446,75 @@ std::optional<ConfigPool> ConfigPool::load_shard(const std::string& path) {
     if (pool.configs_.size() != total) return std::nullopt;
     pool.shard_lo_ = lo;
     return pool;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<PoolFileInfo> inspect_pool_file(const std::string& path) {
+  BinaryReader r(path);
+  if (!r.is_open()) return std::nullopt;
+  PoolFileInfo info;
+  std::error_code ec;
+  info.file_bytes = std::filesystem::file_size(path, ec);
+  try {
+    info.magic = r.read_u64();
+
+    if (info.magic == kViewMagic) {
+      info.kind = PoolFileInfo::Kind::kView;
+      info.total_configs = r.read_u64();
+      info.num_configs = info.total_configs;
+      info.shard_hi = info.total_configs;
+      info.checkpoints = r.read_vector<std::size_t>();
+      info.num_clients = r.read_vector<double>().size();
+      (void)r.read_vector<float>();  // error tensor
+      if (!r.at_end()) return std::nullopt;
+      return info;
+    }
+
+    if (info.magic == kShardMagic) {
+      info.kind = PoolFileInfo::Kind::kShard;
+      info.shard_lo = r.read_u64();
+      info.shard_hi = r.read_u64();
+      info.total_configs = r.read_u64();
+      if (!(info.shard_lo < info.shard_hi &&
+            info.shard_hi <= info.total_configs)) {
+        return std::nullopt;
+      }
+    } else if (info.magic != kPoolMagic) {
+      return std::nullopt;
+    }
+
+    // Shared payload prefix (write_payload layout).
+    info.dataset = r.read_string();
+    const std::uint64_t num_configs = r.read_u64();
+    if (info.magic == kPoolMagic) {
+      info.total_configs = num_configs;
+      info.shard_hi = num_configs;
+    } else if (num_configs != info.total_configs) {
+      return std::nullopt;
+    }
+    for (std::uint64_t c = 0; c < num_configs; ++c) {
+      const std::uint64_t n = r.read_u64();
+      for (std::uint64_t i = 0; i < n; ++i) {
+        (void)r.read_string();
+        (void)r.read_f64();
+      }
+    }
+    info.checkpoints = r.read_vector<std::size_t>();
+    info.num_clients = r.read_vector<double>().size();
+    info.num_configs = info.shard_hi - info.shard_lo;
+    for (std::size_t c = 0; c < info.num_configs; ++c) {
+      for (std::size_t ck = 0; ck < info.checkpoints.size(); ++ck) {
+        (void)r.read_vector<float>();
+      }
+    }
+    // param_count_ records the architecture's size even in --no-params
+    // builds; only report it when snapshots are actually stored.
+    info.param_count = r.read_u64();
+    if (r.read_vector<float>().empty()) info.param_count = 0;
+    if (!r.at_end()) return std::nullopt;
+    return info;
   } catch (const std::exception&) {
     return std::nullopt;
   }

@@ -13,6 +13,7 @@
 // sim/pool_cache.hpp.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <string>
@@ -172,5 +173,30 @@ class ConfigPool {
   std::size_t param_count_ = 0;
   std::vector<float> params_;  // [local config][checkpoint][param]
 };
+
+// Header/metadata summary of a pool-cache file (`<name>.pool`, shard, or
+// derived-view file) without retaining the payload — what `fedtune_pool
+// info` prints so cache files can be inspected without a hex dump.
+struct PoolFileInfo {
+  enum class Kind { kPool, kShard, kView };
+  Kind kind = Kind::kPool;
+  std::uint64_t magic = 0;  // full magic word; the low 32 bits version it
+  // Config range: [shard_lo, shard_hi) of total_configs. A monolithic pool
+  // or a view is the trivial range [0, total).
+  std::size_t shard_lo = 0;
+  std::size_t shard_hi = 0;
+  std::size_t total_configs = 0;
+  std::string dataset;               // empty for derived views
+  std::size_t num_configs = 0;       // configs with error blocks in the file
+  std::vector<std::size_t> checkpoints;
+  std::size_t num_clients = 0;
+  std::size_t param_count = 0;  // floats per (config, checkpoint); 0 = none
+  std::uintmax_t file_bytes = 0;
+};
+
+// Parses `path` as any of the three pool-cache formats. nullopt on unknown
+// magic, truncation, or trailing bytes — the same acceptance rules as the
+// loaders.
+std::optional<PoolFileInfo> inspect_pool_file(const std::string& path);
 
 }  // namespace fedtune::core

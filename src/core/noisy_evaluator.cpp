@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/rng_salts.hpp"
 #include "privacy/laplace.hpp"
 #include "sampling/client_sampler.hpp"
 
@@ -10,10 +11,11 @@ namespace fedtune::core {
 
 NoisyEvaluator::NoisyEvaluator(const NoiseModel& noise,
                                std::vector<double> client_weights,
-                               std::size_t planned_evals, Rng rng)
+                               std::size_t planned_evals, Rng rng,
+                               bool pure_eval_streams)
     : noise_(noise), client_weights_(std::move(client_weights)),
       planned_evals_(planned_evals), rng_(rng),
-      accountant_(noise.epsilon) {
+      pure_eval_streams_(pure_eval_streams), accountant_(noise.epsilon) {
   FEDTUNE_CHECK(!client_weights_.empty());
   FEDTUNE_CHECK(planned_evals_ > 0);
   FEDTUNE_CHECK(noise_.is_full_eval() ||
@@ -37,6 +39,24 @@ double NoisyEvaluator::full_error(
 }
 
 double NoisyEvaluator::evaluate(std::span<const double> all_client_errors) {
+  if (pure_eval_streams_) {
+    Rng call_rng = rng_.split(salts::kEvalCall + evals_);
+    return evaluate_with(all_client_errors, call_rng);
+  }
+  return evaluate_with(all_client_errors, rng_);
+}
+
+void NoisyEvaluator::skip_evaluation() {
+  FEDTUNE_CHECK_MSG(pure_eval_streams_,
+                    "skip_evaluation requires pure per-eval streams");
+  if (noise_.is_private()) {
+    accountant_.charge(noise_.epsilon / static_cast<double>(planned_evals_));
+  }
+  ++evals_;
+}
+
+double NoisyEvaluator::evaluate_with(std::span<const double> all_client_errors,
+                                     Rng& rng) {
   FEDTUNE_CHECK(all_client_errors.size() == client_weights_.size());
   const std::size_t n = all_client_errors.size();
   const std::size_t s = noise_.is_full_eval()
@@ -50,9 +70,9 @@ double NoisyEvaluator::evaluate(std::span<const double> all_client_errors) {
       accuracies[k] = std::clamp(1.0 - all_client_errors[k], 0.0, 1.0);
     }
     last_sample_ = sampling::sample_biased(
-        accuracies, s, {noise_.bias_b, noise_.bias_delta}, rng_);
+        accuracies, s, {noise_.bias_b, noise_.bias_delta}, rng);
   } else {
-    last_sample_ = sampling::sample_uniform(n, s, rng_);
+    last_sample_ = sampling::sample_uniform(n, s, rng);
   }
 
   // 2. Systems heterogeneity: stragglers cut at the evaluation deadline —
@@ -63,7 +83,7 @@ double NoisyEvaluator::evaluate(std::span<const double> all_client_errors) {
     std::vector<std::size_t> reported;
     reported.reserve(last_sample_.size());
     for (const std::size_t k : last_sample_) {
-      if (rng_.uniform() >= noise_.eval_dropout) reported.push_back(k);
+      if (rng.uniform() >= noise_.eval_dropout) reported.push_back(k);
     }
     if (reported.empty()) reported.push_back(last_sample_.front());
     last_sample_ = std::move(reported);
@@ -86,7 +106,7 @@ double NoisyEvaluator::evaluate(std::span<const double> all_client_errors) {
   if (noise_.is_private()) {
     const double sensitivity = 1.0 / static_cast<double>(last_sample_.size());
     value = privacy::privatize(value, sensitivity, noise_.epsilon,
-                               planned_evals_, rng_);
+                               planned_evals_, rng);
     accountant_.charge(noise_.epsilon / static_cast<double>(planned_evals_));
   }
   ++evals_;

@@ -22,12 +22,27 @@ class NoisyEvaluator {
   // `client_weights` are the eval pool's example counts (p_k of Eq. 2);
   // `planned_evals` is M, the number of evaluation calls the tuning run will
   // make (per-eval budget = epsilon / M).
+  //
+  // `pure_eval_streams` changes how randomness is drawn: evaluation i uses
+  // the derived stream rng.split(salts::kEvalCall + i) instead of the
+  // advancing shared engine, making each evaluation a pure function of
+  // (rng seed, eval index). Service studies run in this mode so journal
+  // replay can skip_evaluation() past already-recorded evaluations and the
+  // next live evaluation still draws the exact stream an uninterrupted run
+  // would have. Default off: the legacy sequential stream is what every
+  // existing experiment trajectory was recorded under.
   NoisyEvaluator(const NoiseModel& noise, std::vector<double> client_weights,
-                 std::size_t planned_evals, Rng rng);
+                 std::size_t planned_evals, Rng rng,
+                 bool pure_eval_streams = false);
 
   // One noisy evaluation of a model whose per-client errors are given over
   // the FULL eval pool (the evaluator does the subsampling).
   double evaluate(std::span<const double> all_client_errors);
+
+  // Journal replay (pure streams only): advances the evaluation counter and
+  // privacy accounting past one already-recorded evaluation without
+  // consuming its stream. last_sample() is unspecified afterwards.
+  void skip_evaluation();
 
   // Ground truth: full-pool aggregate under the noise model's weighting
   // (no subsampling, no DP noise).
@@ -42,10 +57,13 @@ class NoisyEvaluator {
   }
 
  private:
+  double evaluate_with(std::span<const double> all_client_errors, Rng& rng);
+
   NoiseModel noise_;
   std::vector<double> client_weights_;
   std::size_t planned_evals_;
   Rng rng_;
+  bool pure_eval_streams_;
   privacy::BasicCompositionAccountant accountant_;
   std::vector<std::size_t> last_sample_;
   std::size_t evals_ = 0;

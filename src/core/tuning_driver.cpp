@@ -19,11 +19,14 @@ hpo::TopKSelector make_dp_top_k_selector(double epsilon_total,
   };
 }
 
-TuneResult run_tuning(hpo::Tuner& tuner, TrialRunner& runner,
-                      const DriverOptions& opts) {
+// ----------------------------------------------------------- TuningSession --
+
+TuningSession::TuningSession(hpo::Tuner& tuner, TrialRunner& runner,
+                             const DriverOptions& opts, bool pure_eval_streams)
+    : tuner_(&tuner), runner_(&runner), opts_(opts) {
   Rng rng(opts.seed);
   Rng eval_rng = rng.split(1);
-  Rng selector_rng = rng.split(2);
+  selector_rng_ = rng.split(2);
 
   const std::size_t num_clients =
       opts.noise.is_full_eval() ? runner.client_weights().size()
@@ -38,56 +41,150 @@ TuneResult run_tuning(hpo::Tuner& tuner, TrialRunner& runner,
     eval_noise.weighting = fl::Weighting::kUniform;  // keep sensitivity bound
     tuner.set_selector(make_dp_top_k_selector(
         opts.noise.epsilon, tuner.planned_selection_events(), num_clients,
-        &selector_rng));
+        &*selector_rng_));
   }
 
-  NoisyEvaluator evaluator(eval_noise, runner.client_weights(),
-                           tuner.planned_evaluations(), eval_rng);
+  evaluator_.emplace(eval_noise, runner.client_weights(),
+                     tuner.planned_evaluations(), eval_rng, pure_eval_streams);
+}
 
-  TuneResult result;
-  double best_noisy = std::numeric_limits<double>::infinity();
+TuningSession::TuningSession(hpo::Tuner& tuner, const DriverOptions& opts)
+    : tuner_(&tuner), opts_(opts) {
+  FEDTUNE_CHECK_MSG(!opts.noise.is_private() ||
+                        opts.dp_style != DpStyle::kOneShotTopK,
+                    "one-shot DP selection needs a managed evaluator");
+}
 
-  while (!tuner.done()) {
-    const std::optional<hpo::Trial> trial = tuner.ask();
-    if (!trial.has_value()) break;
-    if (result.rounds_used >= opts.budget_rounds) break;
+std::optional<hpo::Trial> TuningSession::ask() {
+  FEDTUNE_CHECK_MSG(!outstanding_.has_value(),
+                    "previous trial not yet completed");
+  if (done() || tuner_->done()) return std::nullopt;
+  std::optional<hpo::Trial> trial = tuner_->ask();
+  if (!trial.has_value()) {
+    no_more_ = true;
+    return std::nullopt;
+  }
+  // Budget check mirrors run_tuning's historical order (after the ask), so
+  // trajectories are unchanged: the crossing ask is issued, then discarded.
+  if (result_.rounds_used >= opts_.budget_rounds) {
+    exhausted_ = true;
+    return std::nullopt;
+  }
+  outstanding_ = std::move(trial);
+  return outstanding_;
+}
 
-    const std::vector<double> errors = runner.run(*trial);
-    result.rounds_used += runner.rounds_consumed(*trial);
+TrialRecord TuningSession::apply_outcome(const hpo::Trial& trial,
+                                         double noisy_objective,
+                                         double full_error,
+                                         std::size_t cumulative_rounds) {
+  result_.rounds_used = cumulative_rounds;
 
-    TrialRecord record;
-    record.trial = *trial;
-    record.noisy_objective = evaluator.evaluate(errors);
-    record.full_error = evaluator.full_error(errors);
-    record.cumulative_rounds = result.rounds_used;
-    result.records.push_back(record);
+  TrialRecord record;
+  record.trial = trial;
+  record.noisy_objective = noisy_objective;
+  record.full_error = full_error;
+  record.cumulative_rounds = cumulative_rounds;
+  result_.records.push_back(record);
 
-    // Incumbent: best noisy objective seen so far (what a practitioner
-    // tracking the tuner's own signal would deploy).
-    if (record.noisy_objective < best_noisy) {
-      best_noisy = record.noisy_objective;
-      result.incumbent_curve.push_back(
-          {result.rounds_used, record.full_error});
-    } else if (!result.incumbent_curve.empty()) {
-      result.incumbent_curve.push_back(
-          {result.rounds_used, result.incumbent_curve.back().full_error});
-    }
-
-    tuner.tell(*trial, record.noisy_objective);
+  // Incumbent: best noisy objective seen so far (what a practitioner
+  // tracking the tuner's own signal would deploy).
+  if (noisy_objective < best_noisy_) {
+    best_noisy_ = noisy_objective;
+    result_.incumbent_curve.push_back({cumulative_rounds, full_error});
+  } else if (!result_.incumbent_curve.empty()) {
+    result_.incumbent_curve.push_back(
+        {cumulative_rounds, result_.incumbent_curve.back().full_error});
   }
 
-  // Final selection: the tuner's own pick (which saw only noisy signal).
-  if (!result.records.empty()) {
-    const hpo::Trial best = tuner.best_trial();
-    result.best = best;
-    for (const TrialRecord& r : result.records) {
-      if (r.trial.id == best.id) {
-        result.best_full_error = r.full_error;
+  tuner_->tell(trial, noisy_objective);
+  outstanding_.reset();
+  return record;
+}
+
+TrialRecord TuningSession::run_outstanding() {
+  FEDTUNE_CHECK_MSG(outstanding_.has_value(), "no outstanding trial");
+  FEDTUNE_CHECK_MSG(runner_ != nullptr,
+                    "external session: use tell_outstanding()");
+  const hpo::Trial trial = *outstanding_;
+  const std::vector<double> errors = runner_->run(trial);
+  const std::size_t cumulative =
+      result_.rounds_used + runner_->rounds_consumed(trial);
+  const double noisy = evaluator_->evaluate(errors);
+  const double full = evaluator_->full_error(errors);
+  return apply_outcome(trial, noisy, full, cumulative);
+}
+
+TrialRecord TuningSession::tell_outstanding(double objective) {
+  FEDTUNE_CHECK_MSG(outstanding_.has_value(), "no outstanding trial");
+  FEDTUNE_CHECK_MSG(runner_ == nullptr,
+                    "managed session: use run_outstanding()");
+  const hpo::Trial trial = *outstanding_;
+  // External workloads consume their stated fidelity; resumes are the
+  // parent-relative delta on a {r0 * eta^k} grid, mirroring PoolTrialRunner.
+  std::size_t consumed = trial.target_rounds;
+  if (trial.parent_id >= 0) {
+    for (const TrialRecord& r : result_.records) {
+      if (r.trial.id == trial.parent_id) {
+        consumed = trial.target_rounds - r.trial.target_rounds;
         break;
       }
     }
   }
-  return result;
+  return apply_outcome(trial, objective, objective,
+                       result_.rounds_used + consumed);
+}
+
+std::optional<TrialRecord> TuningSession::step() {
+  if (!ask().has_value()) return std::nullopt;
+  return run_outstanding();
+}
+
+void TuningSession::replay(const TrialRecord& record, bool reexecute_runner) {
+  const std::optional<hpo::Trial> trial = ask();
+  FEDTUNE_CHECK_MSG(trial.has_value(),
+                    "journal has more steps than the tuner will issue");
+  FEDTUNE_CHECK_MSG(trial->id == record.trial.id &&
+                        trial->config_index == record.trial.config_index &&
+                        trial->target_rounds == record.trial.target_rounds &&
+                        trial->parent_id == record.trial.parent_id,
+                    "journal step " << result_.records.size()
+                                    << " does not match the replayed tuner "
+                                       "(trial " << trial->id << " vs journal "
+                                    << record.trial.id << ")");
+  if (reexecute_runner && runner_ != nullptr) {
+    // Live runners keep in-memory checkpoints future promotions resume
+    // from; deterministic re-execution rebuilds them. Pool runners are
+    // stateless — callers skip this.
+    runner_->run(*trial);
+  }
+  if (evaluator_) evaluator_->skip_evaluation();
+  apply_outcome(*trial, record.noisy_objective, record.full_error,
+                record.cumulative_rounds);
+}
+
+TuneResult TuningSession::finalize() {
+  // Final selection: the tuner's own pick (which saw only noisy signal).
+  if (!result_.records.empty()) {
+    if (const std::optional<hpo::Trial> best = tuner_->best_trial()) {
+      result_.best = best;
+      for (const TrialRecord& r : result_.records) {
+        if (r.trial.id == best->id) {
+          result_.best_full_error = r.full_error;
+          break;
+        }
+      }
+    }
+  }
+  return result_;
+}
+
+TuneResult run_tuning(hpo::Tuner& tuner, TrialRunner& runner,
+                      const DriverOptions& opts) {
+  TuningSession session(tuner, runner, opts);
+  while (session.step().has_value()) {
+  }
+  return session.finalize();
 }
 
 }  // namespace fedtune::core

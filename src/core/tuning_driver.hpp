@@ -54,6 +54,89 @@ struct TuneResult {
 TuneResult run_tuning(hpo::Tuner& tuner, TrialRunner& runner,
                       const DriverOptions& opts);
 
+// TuningSession — the driver loop factored into single steps, so a caller
+// (service/study_manager.hpp) can interleave many studies on one thread
+// pool, journal each step, and replay a journal to recover a crashed study.
+//
+// Two construction modes:
+//   - managed: the session owns the noisy evaluation; step() (or
+//     ask() + run_outstanding()) performs one ask → evaluate → tell.
+//   - external: no runner/evaluator; the caller evaluates trials out of
+//     process and reports objectives via ask() + tell_outstanding().
+//
+// At most one trial is outstanding at a time. run_tuning() is this class
+// run to completion; its trajectories are unchanged.
+//
+// Replay contract: with pure per-eval RNG streams (see NoisyEvaluator), the
+// entire session state — tuner, evaluator, incumbent bookkeeping — is a
+// pure function of (tuner construction, DriverOptions, the sequence of
+// completed TrialRecords). replay() re-derives the tuner's ask stream,
+// verifies it matches the journaled trial, fast-forwards the evaluator, and
+// applies the recorded outcome; after replaying a journal's records the
+// session continues bitwise identically to a run that never stopped.
+class TuningSession {
+ public:
+  // Managed mode. `tuner` and `runner` must outlive the session.
+  // `pure_eval_streams` selects the replayable evaluator mode (see
+  // NoisyEvaluator); run_tuning uses the legacy sequential streams.
+  TuningSession(hpo::Tuner& tuner, TrialRunner& runner,
+                const DriverOptions& opts, bool pure_eval_streams = false);
+  // External mode: objectives come from the caller.
+  TuningSession(hpo::Tuner& tuner, const DriverOptions& opts);
+
+  // True once no further trial will be issued (tuner finished or budget
+  // exhausted). The final selection is still available via finalize().
+  bool done() const { return no_more_ || exhausted_; }
+  bool budget_exhausted() const { return exhausted_; }
+  bool has_outstanding() const { return outstanding_.has_value(); }
+  const std::optional<hpo::Trial>& outstanding() const { return outstanding_; }
+
+  // Issues the next trial (nullopt when done; marks budget exhaustion).
+  // Requires no outstanding trial.
+  std::optional<hpo::Trial> ask();
+  // Managed: evaluates the outstanding trial and tells the tuner.
+  TrialRecord run_outstanding();
+  // External: applies a caller-computed objective to the outstanding trial
+  // (full_error is recorded as the objective itself — the service has no
+  // ground-truth oracle for external workloads).
+  TrialRecord tell_outstanding(double objective);
+  // Managed convenience: ask() + run_outstanding(); nullopt when done.
+  std::optional<TrialRecord> step();
+
+  // Applies a journaled step: re-asks the tuner (verifying the journal
+  // matches the replayed trial), fast-forwards the evaluator, and applies
+  // the recorded outcome. `reexecute_runner` re-runs the trial on the
+  // runner first — required for live runners whose in-memory checkpoints
+  // future promotions resume from; pool runners are stateless, skip it.
+  void replay(const TrialRecord& record, bool reexecute_runner = false);
+
+  // Result so far (records, incumbent curve, rounds). finalize() appends
+  // the tuner's final selection and returns the completed result.
+  const TuneResult& partial_result() const { return result_; }
+  TuneResult finalize();
+
+  std::size_t steps() const { return result_.records.size(); }
+  std::size_t rounds_used() const { return result_.rounds_used; }
+  const NoisyEvaluator* evaluator() const {
+    return evaluator_ ? &*evaluator_ : nullptr;
+  }
+
+ private:
+  TrialRecord apply_outcome(const hpo::Trial& trial, double noisy_objective,
+                            double full_error, std::size_t cumulative_rounds);
+
+  hpo::Tuner* tuner_;
+  TrialRunner* runner_ = nullptr;  // null in external mode
+  DriverOptions opts_;
+  std::optional<Rng> selector_rng_;          // outlives the DP selector
+  std::optional<NoisyEvaluator> evaluator_;  // managed mode only
+  TuneResult result_;
+  double best_noisy_ = std::numeric_limits<double>::infinity();
+  std::optional<hpo::Trial> outstanding_;
+  bool no_more_ = false;    // tuner finished / returned nullopt
+  bool exhausted_ = false;  // budget cap reached
+};
+
 // The DP selection mechanism injected for rung-based tuners: one-shot
 // Laplace top-k with T = planned selection events and |S| clients per
 // evaluation. `rng` must outlive the selector.

@@ -35,7 +35,9 @@ class Bohb final : public Tuner {
   std::optional<Trial> ask() override { return hb_->ask(); }
   void tell(const Trial& trial, double objective) override;
   bool done() const override { return hb_->done(); }
-  Trial best_trial() const override { return hb_->best_trial(); }
+  std::optional<Trial> best_trial() const override {
+    return hb_->best_trial();
+  }
   std::size_t planned_evaluations() const override {
     return hb_->planned_evaluations();
   }

@@ -67,8 +67,8 @@ bool GridSearch::done() const {
   return issued_ >= grid_.size() && history_.size() >= grid_.size();
 }
 
-Trial GridSearch::best_trial() const {
-  FEDTUNE_CHECK_MSG(!history_.empty(), "no completed trials");
+std::optional<Trial> GridSearch::best_trial() const {
+  if (history_.empty()) return std::nullopt;
   std::vector<double> accuracies;
   accuracies.reserve(history_.size());
   for (const auto& [trial, obj] : history_) accuracies.push_back(1.0 - obj);

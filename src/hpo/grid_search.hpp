@@ -18,7 +18,7 @@ class GridSearch final : public Tuner {
   std::optional<Trial> ask() override;
   void tell(const Trial& trial, double objective) override;
   bool done() const override;
-  Trial best_trial() const override;
+  std::optional<Trial> best_trial() const override;
   std::size_t planned_evaluations() const override { return grid_.size(); }
 
  private:

@@ -40,14 +40,9 @@ Hyperband::Hyperband(SearchSpace space, HyperbandOptions opts, Rng rng)
 
 ConfigProvider Hyperband::default_provider() {
   return [this](Rng& rng) {
+    if (pool_.has_value()) return uniform_pool_draw(pool_->configs, rng);
     ConfigProposal p;
-    if (pool_.has_value()) {
-      p.config_index = static_cast<std::size_t>(rng.uniform_int(
-          0, static_cast<std::int64_t>(pool_->configs.size()) - 1));
-      p.config = pool_->configs[p.config_index];
-    } else {
-      p.config = space_.sample(rng);
-    }
+    p.config = space_.sample(rng);
     return p;
   };
 }
@@ -86,7 +81,8 @@ std::optional<Trial> Hyperband::ask() {
     }
     if (auto trial = current_->ask()) return trial;
     if (current_->done()) {
-      bracket_winners_.emplace_back(current_->best_trial(),
+      // done() implies the bracket named its winner.
+      bracket_winners_.emplace_back(current_->best_trial().value(),
                                     current_->best_objective());
       current_.reset();
       continue;  // next bracket
@@ -100,7 +96,7 @@ void Hyperband::tell(const Trial& trial, double objective) {
   FEDTUNE_CHECK_MSG(current_ != nullptr, "no active bracket");
   current_->tell(trial, objective);
   if (current_->done()) {
-    bracket_winners_.emplace_back(current_->best_trial(),
+    bracket_winners_.emplace_back(current_->best_trial().value(),
                                   current_->best_objective());
     current_.reset();
   }
@@ -110,8 +106,8 @@ bool Hyperband::done() const {
   return current_ == nullptr && next_bracket_ >= bracket_params_.size();
 }
 
-Trial Hyperband::best_trial() const {
-  FEDTUNE_CHECK_MSG(!bracket_winners_.empty(), "no completed brackets");
+std::optional<Trial> Hyperband::best_trial() const {
+  if (bracket_winners_.empty()) return std::nullopt;
   // Winners' (already privately released) objectives decide the final pick.
   std::size_t best = 0;
   for (std::size_t i = 1; i < bracket_winners_.size(); ++i) {

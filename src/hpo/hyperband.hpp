@@ -34,7 +34,7 @@ class Hyperband : public Tuner {
   std::optional<Trial> ask() override;
   void tell(const Trial& trial, double objective) override;
   bool done() const override;
-  Trial best_trial() const override;
+  std::optional<Trial> best_trial() const override;
   std::size_t planned_evaluations() const override;
   std::size_t planned_selection_events() const override;
 

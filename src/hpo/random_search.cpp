@@ -41,8 +41,8 @@ bool RandomSearch::done() const {
   return issued_ >= num_configs_ && history_.size() >= num_configs_;
 }
 
-Trial RandomSearch::best_trial() const {
-  FEDTUNE_CHECK_MSG(!history_.empty(), "no completed trials");
+std::optional<Trial> RandomSearch::best_trial() const {
+  if (history_.empty()) return std::nullopt;
   // Selection = top-1 by accuracy through the (possibly private) selector.
   std::vector<double> accuracies;
   accuracies.reserve(history_.size());

@@ -20,7 +20,7 @@ class RandomSearch final : public Tuner {
   std::optional<Trial> ask() override;
   void tell(const Trial& trial, double objective) override;
   bool done() const override;
-  Trial best_trial() const override;
+  std::optional<Trial> best_trial() const override;
   std::size_t planned_evaluations() const override { return num_configs_; }
 
   // All completed (trial, objective) pairs in completion order.

@@ -4,6 +4,22 @@
 
 namespace fedtune::hpo {
 
+ConfigProposal uniform_pool_draw(const std::vector<Config>& configs,
+                                 Rng& rng) {
+  FEDTUNE_CHECK(!configs.empty());
+  ConfigProposal p;
+  p.config_index = static_cast<std::size_t>(rng.uniform_int(
+      0, static_cast<std::int64_t>(configs.size()) - 1));
+  p.config = configs[p.config_index];
+  return p;
+}
+
+ConfigProvider uniform_pool_provider(std::vector<Config> configs) {
+  return [configs = std::move(configs)](Rng& rng) {
+    return uniform_pool_draw(configs, rng);
+  };
+}
+
 ShaSchedule sha_schedule(const ShaBracketParams& params) {
   FEDTUNE_CHECK(params.n0 > 0 && params.eta >= 2 && params.r0 > 0);
   FEDTUNE_CHECK(params.r0 <= params.max_rounds);
@@ -117,9 +133,8 @@ void SuccessiveHalving::advance_rung() {
 
 bool SuccessiveHalving::done() const { return finished_; }
 
-Trial SuccessiveHalving::best_trial() const {
-  FEDTUNE_CHECK_MSG(winner_.has_value(), "bracket not finished");
-  return *winner_;
+std::optional<Trial> SuccessiveHalving::best_trial() const {
+  return winner_;
 }
 
 double SuccessiveHalving::best_objective() const {

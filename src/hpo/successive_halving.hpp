@@ -9,6 +9,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 
 #include "hpo/tuner.hpp"
@@ -29,6 +30,14 @@ struct ConfigProposal {
   std::size_t config_index = std::numeric_limits<std::size_t>::max();
 };
 using ConfigProvider = std::function<ConfigProposal(Rng&)>;
+
+// One uniform with-replacement draw from a candidate pool — the proposal
+// shared by Hyperband's pool mode, standalone SHA brackets, and the
+// StudyService (whose replay contract depends on every pool tuner using
+// this exact draw sequence).
+ConfigProposal uniform_pool_draw(const std::vector<Config>& configs, Rng& rng);
+// The draw as a ConfigProvider (owns a copy of the pool's config list).
+ConfigProvider uniform_pool_provider(std::vector<Config> configs);
 
 // Rung arithmetic, exposed for planning and tests: the resource at each rung
 // and the number of entrants per rung.
@@ -51,7 +60,7 @@ class SuccessiveHalving final : public Tuner {
   std::optional<Trial> ask() override;
   void tell(const Trial& trial, double objective) override;
   bool done() const override;
-  Trial best_trial() const override;
+  std::optional<Trial> best_trial() const override;
   std::size_t planned_evaluations() const override;
   std::size_t planned_selection_events() const override;
 
@@ -79,6 +88,39 @@ class SuccessiveHalving final : public Tuner {
   bool finished_ = false;
   std::optional<Trial> winner_;
   double winner_objective_ = 1.0;
+};
+
+// A self-contained single bracket: owns the trial-id counter that Hyperband
+// normally shares across brackets, so one SHA bracket can be used as a
+// standalone Tuner (the StudyService's fifth method; service/study.hpp).
+class StandaloneSha final : public Tuner {
+ public:
+  StandaloneSha(ShaBracketParams params, ConfigProvider provider, Rng rng)
+      : sha_(std::make_unique<SuccessiveHalving>(params, std::move(provider),
+                                                 rng, &id_counter_)) {}
+
+  std::optional<Trial> ask() override { return sha_->ask(); }
+  void tell(const Trial& trial, double objective) override {
+    sha_->tell(trial, objective);
+  }
+  bool done() const override { return sha_->done(); }
+  std::optional<Trial> best_trial() const override {
+    return sha_->best_trial();
+  }
+  std::size_t planned_evaluations() const override {
+    return sha_->planned_evaluations();
+  }
+  std::size_t planned_selection_events() const override {
+    return sha_->planned_selection_events();
+  }
+  void set_selector(TopKSelector selector) override {
+    Tuner::set_selector(selector);
+    sha_->set_selector(std::move(selector));
+  }
+
+ private:
+  int id_counter_ = 0;
+  std::unique_ptr<SuccessiveHalving> sha_;
 };
 
 }  // namespace fedtune::hpo

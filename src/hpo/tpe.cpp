@@ -236,8 +236,8 @@ bool Tpe::done() const {
   return issued_ >= num_configs_ && history_.size() >= num_configs_;
 }
 
-Trial Tpe::best_trial() const {
-  FEDTUNE_CHECK_MSG(!history_.empty(), "no completed trials");
+std::optional<Trial> Tpe::best_trial() const {
+  if (history_.empty()) return std::nullopt;
   std::vector<double> accuracies;
   accuracies.reserve(history_.size());
   for (const auto& [trial, obj] : history_) accuracies.push_back(1.0 - obj);

@@ -37,6 +37,14 @@ using TopKSelector = std::function<std::vector<std::size_t>(
 // Exact (non-private) top-k by value, descending.
 TopKSelector exact_top_k_selector();
 
+// Determinism / replay contract (relied on by service/journal.hpp): a
+// tuner's observable behavior — the trial sequence from ask(), selection
+// outcomes, best_trial() — is a pure function of its construction arguments
+// (including the Rng seed) and the interleaved ask()/tell() call sequence.
+// Implementations must not read clocks, addresses, global state, or any
+// other input outside those two; the service recovers a crashed study by
+// re-constructing the tuner and replaying its journaled tell values, and
+// the result must be bitwise identical to the uninterrupted run.
 class Tuner {
  public:
   virtual ~Tuner() = default;
@@ -46,8 +54,10 @@ class Tuner {
   virtual bool done() const = 0;
 
   // Best completed trial according to the tuner's own (possibly noisy)
-  // information. Invalid until at least one tell().
-  virtual Trial best_trial() const = 0;
+  // information; nullopt until the tuner has enough tell()s to name one
+  // (at least one completed trial — rung-based methods additionally need a
+  // finished bracket).
+  virtual std::optional<Trial> best_trial() const = 0;
 
   // Planned number of evaluation calls (the M in the per-evaluation Laplace
   // budget split) — known up front for all methods in this library.

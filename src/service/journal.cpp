@@ -1,0 +1,331 @@
+#include "service/journal.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <iterator>
+
+#include "common/check.hpp"
+#include "common/crc32.hpp"
+#include "common/serialize.hpp"
+
+namespace fedtune::service {
+
+namespace {
+
+// v1 of the journal format. Bump the low word on any layout change —
+// recovery rejects unknown magic rather than misreading stale journals.
+constexpr std::uint64_t kJournalMagic = 0xfed75d0a00000001ULL;
+
+enum RecordType : std::uint8_t {
+  kCreate = 1,
+  kAsk = 2,
+  kTell = 3,
+  kSelection = 4,
+  kSnapshot = 5,
+};
+
+// Frames larger than this are treated as corruption (a torn length word
+// would otherwise ask recovery to trust a multi-gigabyte "payload").
+constexpr std::uint32_t kMaxPayloadBytes = 64u << 20;
+
+void write_config(BufferWriter& w, const hpo::Config& config) {
+  w.write_u64(config.size());
+  for (const auto& [name, value] : config) {
+    w.write_string(name);
+    w.write_f64(value);
+  }
+}
+
+hpo::Config read_config(BufferReader& r) {
+  hpo::Config config;
+  const std::uint64_t n = r.read_u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::string name = r.read_string();
+    config[name] = r.read_f64();
+  }
+  return config;
+}
+
+void write_trial(BufferWriter& w, const hpo::Trial& t) {
+  w.write_i64(t.id);
+  w.write_u64(t.target_rounds);
+  w.write_i64(t.parent_id);
+  w.write_u64(t.config_index);
+  write_config(w, t.config);
+}
+
+hpo::Trial read_trial(BufferReader& r) {
+  hpo::Trial t;
+  t.id = static_cast<int>(r.read_i64());
+  t.target_rounds = r.read_u64();
+  t.parent_id = static_cast<int>(r.read_i64());
+  t.config_index = r.read_u64();
+  t.config = read_config(r);
+  return t;
+}
+
+void write_record(BufferWriter& w, const core::TrialRecord& rec) {
+  write_trial(w, rec.trial);
+  w.write_f64(rec.noisy_objective);
+  w.write_f64(rec.full_error);
+  w.write_u64(rec.cumulative_rounds);
+}
+
+core::TrialRecord read_record(BufferReader& r) {
+  core::TrialRecord rec;
+  rec.trial = read_trial(r);
+  rec.noisy_objective = r.read_f64();
+  rec.full_error = r.read_f64();
+  rec.cumulative_rounds = r.read_u64();
+  return rec;
+}
+
+void write_spec(BufferWriter& w, const StudySpec& spec) {
+  w.write_string(spec.name);
+  w.write_u8(static_cast<std::uint8_t>(spec.method));
+  w.write_u64(spec.seed);
+  w.write_u64(spec.num_configs);
+  w.write_u64(spec.budget_rounds);
+  w.write_u64(spec.deadline_slices);
+  w.write_u8(spec.external ? 1 : 0);
+  w.write_string(spec.pool);
+  w.write_u64(spec.rounds_per_config);
+  w.write_u64(spec.r0);
+  w.write_u64(spec.max_rounds);
+  w.write_u64(spec.noise.eval_clients);
+  w.write_f64(spec.noise.bias_b);
+  w.write_f64(spec.noise.bias_delta);
+  w.write_f64(spec.noise.epsilon);
+  w.write_f64(spec.noise.eval_dropout);
+  w.write_u8(static_cast<std::uint8_t>(spec.noise.weighting));
+}
+
+StudySpec read_spec(BufferReader& r) {
+  StudySpec spec;
+  spec.name = r.read_string();
+  spec.method = static_cast<StudyMethod>(r.read_u8());
+  spec.seed = r.read_u64();
+  spec.num_configs = r.read_u64();
+  spec.budget_rounds = r.read_u64();
+  spec.deadline_slices = r.read_u64();
+  spec.external = r.read_u8() != 0;
+  spec.pool = r.read_string();
+  spec.rounds_per_config = r.read_u64();
+  spec.r0 = r.read_u64();
+  spec.max_rounds = r.read_u64();
+  spec.noise.eval_clients = r.read_u64();
+  spec.noise.bias_b = r.read_f64();
+  spec.noise.bias_delta = r.read_f64();
+  spec.noise.epsilon = r.read_f64();
+  spec.noise.eval_dropout = r.read_f64();
+  spec.noise.weighting = static_cast<fl::Weighting>(r.read_u8());
+  return spec;
+}
+
+}  // namespace
+
+bool StudyJournal::exists(const std::string& path) {
+  return std::filesystem::exists(path);
+}
+
+StudyJournal StudyJournal::create(const std::string& path,
+                                  const StudySpec& spec) {
+  FEDTUNE_CHECK_MSG(!exists(path), "journal already exists: " << path);
+  std::ofstream out(path, std::ios::binary);
+  FEDTUNE_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  const std::uint64_t magic = kJournalMagic;
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  StudyJournal journal(std::move(out));
+  BufferWriter payload;
+  payload.write_u8(kCreate);
+  write_spec(payload, spec);
+  journal.append_frame(payload.bytes());
+  return journal;
+}
+
+StudyJournal StudyJournal::append_to(const std::string& path) {
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::uint64_t magic = 0;
+    in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+    FEDTUNE_CHECK_MSG(in.good() && magic == kJournalMagic,
+                      "not a study journal: " << path);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  FEDTUNE_CHECK_MSG(out.good(), "cannot open " << path << " for appending");
+  return StudyJournal(std::move(out));
+}
+
+void StudyJournal::append_frame(const std::string& payload) {
+  FEDTUNE_CHECK(payload.size() <= kMaxPayloadBytes);
+  const auto size = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = crc32(payload.data(), payload.size());
+  out_.write(reinterpret_cast<const char*>(&size), sizeof(size));
+  out_.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  out_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out_.flush();
+  FEDTUNE_CHECK_MSG(out_.good(), "journal append failed");
+}
+
+void StudyJournal::append_ask(const hpo::Trial& trial) {
+  BufferWriter payload;
+  payload.write_u8(kAsk);
+  write_trial(payload, trial);
+  append_frame(payload.bytes());
+}
+
+void StudyJournal::append_tell(const core::TrialRecord& record) {
+  BufferWriter payload;
+  payload.write_u8(kTell);
+  write_record(payload, record);
+  append_frame(payload.bytes());
+}
+
+void StudyJournal::append_selection(std::int64_t best_id,
+                                    double best_full_error) {
+  BufferWriter payload;
+  payload.write_u8(kSelection);
+  payload.write_i64(best_id);
+  payload.write_f64(best_full_error);
+  append_frame(payload.bytes());
+}
+
+void StudyJournal::append_snapshot(std::span<const core::TrialRecord> steps) {
+  BufferWriter payload;
+  payload.write_u8(kSnapshot);
+  payload.write_u64(steps.size());
+  for (const core::TrialRecord& rec : steps) write_record(payload, rec);
+  append_frame(payload.bytes());
+}
+
+RecoveredStudy StudyJournal::recover(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  FEDTUNE_CHECK_MSG(in.is_open(), "no journal at " << path);
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+
+  FEDTUNE_CHECK_MSG(bytes.size() >= sizeof(std::uint64_t),
+                    "journal too short for header: " << path);
+  std::uint64_t magic = 0;
+  std::memcpy(&magic, bytes.data(), sizeof(magic));
+  FEDTUNE_CHECK_MSG(magic == kJournalMagic,
+                    "unknown journal magic in " << path);
+
+  RecoveredStudy study;
+  bool have_spec = false;
+  std::optional<hpo::Trial> pending_ask;
+  std::size_t pos = sizeof(magic);
+  std::size_t valid_end = pos;
+
+  while (pos + 2 * sizeof(std::uint32_t) <= bytes.size()) {
+    std::uint32_t size = 0, crc = 0;
+    std::memcpy(&size, bytes.data() + pos, sizeof(size));
+    std::memcpy(&crc, bytes.data() + pos + sizeof(size), sizeof(crc));
+    const std::size_t payload_pos = pos + 2 * sizeof(std::uint32_t);
+    if (size > kMaxPayloadBytes) break;                 // torn length word
+    if (payload_pos + size > bytes.size()) break;       // torn payload
+    if (crc32(bytes.data() + payload_pos, size) != crc) break;  // bit rot
+
+    // Each case reads its whole payload and validates full consumption
+    // BEFORE mutating the study: a frame rejected halfway (trailing bytes
+    // inside a CRC-clean frame = writer/reader version skew, treated like
+    // any other corruption) must leave no partial state behind.
+    BufferReader r(std::span<const char>(bytes.data() + payload_pos, size));
+    try {
+      const auto consumed = [&r] {
+        if (!r.at_end()) throw std::invalid_argument("payload trailing bytes");
+      };
+      const std::uint8_t type = r.read_u8();
+      switch (type) {
+        case kCreate: {
+          // Valid only as the first record.
+          if (have_spec) throw std::invalid_argument("duplicate create");
+          StudySpec spec = read_spec(r);
+          consumed();
+          study.spec = std::move(spec);
+          have_spec = true;
+          break;
+        }
+        case kAsk: {
+          // A re-issued ask after a crash-mid-step may repeat the dangling
+          // one; the latest ask is the live one.
+          if (!have_spec) throw std::invalid_argument("ask before create");
+          hpo::Trial trial = read_trial(r);
+          consumed();
+          pending_ask = std::move(trial);
+          break;
+        }
+        case kTell: {
+          if (!pending_ask.has_value()) {
+            throw std::invalid_argument("tell without ask");
+          }
+          core::TrialRecord rec = read_record(r);
+          consumed();
+          if (rec.trial.id != pending_ask->id) {
+            throw std::invalid_argument("tell does not match ask");
+          }
+          study.steps.push_back(std::move(rec));
+          pending_ask.reset();
+          break;
+        }
+        case kSelection: {
+          if (!have_spec) throw std::invalid_argument("selection before create");
+          const std::int64_t best_id = r.read_i64();
+          const double best_full_error = r.read_f64();
+          consumed();
+          study.best_id = best_id;
+          study.best_full_error = best_full_error;
+          study.finished = true;
+          break;
+        }
+        case kSnapshot: {
+          if (!have_spec) throw std::invalid_argument("snapshot before create");
+          const std::uint64_t n = r.read_u64();
+          std::vector<core::TrialRecord> steps;
+          steps.reserve(n);
+          for (std::uint64_t i = 0; i < n; ++i) {
+            steps.push_back(read_record(r));
+          }
+          consumed();
+          study.steps = std::move(steps);
+          pending_ask.reset();
+          break;
+        }
+        default:
+          throw std::invalid_argument("unknown record type");
+      }
+    } catch (const std::exception&) {
+      break;
+    }
+    pos = payload_pos + size;
+    valid_end = pos;
+  }
+
+  FEDTUNE_CHECK_MSG(have_spec, "journal has no valid create record: " << path);
+
+  // Truncate the torn/corrupt tail so the next append starts at a clean
+  // frame boundary. A dangling ask stays in the file (it is a valid frame);
+  // recovery simply ignores it and the resumed tuner re-issues the trial.
+  study.truncated_bytes = bytes.size() - valid_end;
+  if (study.truncated_bytes > 0) {
+    std::filesystem::resize_file(path, valid_end);
+  }
+  return study;
+}
+
+void StudyJournal::compact(const std::string& path) {
+  const RecoveredStudy study = recover(path);
+  const std::string tmp = path + ".tmp";
+  std::filesystem::remove(tmp);
+  {
+    StudyJournal journal = create(tmp, study.spec);
+    journal.append_snapshot(study.steps);
+    if (study.finished) {
+      journal.append_selection(study.best_id, study.best_full_error);
+    }
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+}  // namespace fedtune::service

@@ -1,0 +1,113 @@
+// StudyJournal — the per-study write-ahead log that makes service studies
+// crash-recoverable.
+//
+// Tuners, the noisy evaluator (in pure-stream mode), and pool runners are
+// pure functions of (spec seed, tell sequence) — see the replay contract in
+// hpo/tuner.hpp and core/tuning_driver.hpp. The journal therefore persists
+// exactly that: the study spec (create record) and every completed step's
+// outcome (ask + tell records). Recovery reconstructs the study by
+// re-running the tuner against the journaled tells; the result is bitwise
+// identical to a run that never stopped.
+//
+// File layout (little-endian, common/serialize.hpp):
+//
+//   u64 kJournalMagic                      — versioned; unknown magic rejected
+//   record*                                — CRC-framed, appended + flushed
+//
+//   record  := u32 payload_size, u32 crc32(payload), payload
+//   payload := u8 type, fields...          (BufferWriter layout)
+//
+// Record types:
+//   create    — the StudySpec; must be the journal's first record
+//   ask       — the trial issued for the next step (crash between ask and
+//               tell leaves a dangling ask; recovery discards it and the
+//               resumed tuner deterministically re-issues the same trial)
+//   tell      — the step's outcome (trial id, noisy objective, full error,
+//               cumulative rounds); completes the preceding ask
+//   selection — the tuner's final pick; marks the study finished
+//   snapshot  — all completed TrialRecords in one compact record; written
+//               by compact(), replaces the ask/tell prefix
+//
+// Durability: every append is length-prefixed, checksummed, and flushed to
+// the OS before the service acknowledges the step. This makes journals
+// durable across PROCESS crashes (SIGKILL, OOM-kill, aborts) — the
+// contract the tests and CI enforce. Machine-level crashes (power loss)
+// can still lose page-cache tails; per-append fsync would cost orders of
+// magnitude in append throughput, so that boundary is accepted and
+// recovery's tail-truncation handles whatever the filesystem preserved.
+// On recovery, the first unreadable frame — short header, short payload,
+// CRC mismatch, malformed or over-long payload — ends the valid prefix;
+// the file is truncated there (torn tails heal) and everything before it
+// is replayed. A journal whose create record is unreadable is rejected.
+//
+// Compaction: compact() atomically rewrites the journal as
+// {create, snapshot[, selection]} — bounded file size and recovery work for
+// arbitrarily long studies.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/tuning_driver.hpp"
+#include "service/study_spec.hpp"
+
+namespace fedtune::service {
+
+// recover()'s reconstruction of a journal: the spec, the completed steps in
+// order, and the terminal selection if the study finished.
+struct RecoveredStudy {
+  StudySpec spec;
+  std::vector<core::TrialRecord> steps;
+  bool finished = false;
+  std::int64_t best_id = -1;
+  double best_full_error = 1.0;
+  // Bytes dropped from the tail (0 for a clean shutdown) — torn frames,
+  // trailing garbage, or a dangling ask's frame.
+  std::uint64_t truncated_bytes = 0;
+};
+
+class StudyJournal {
+ public:
+  StudyJournal(StudyJournal&&) = default;
+  StudyJournal& operator=(StudyJournal&&) = default;
+
+  // Starts a new journal (header + create record). Fails if `path` exists —
+  // study names are unique per journal directory.
+  static StudyJournal create(const std::string& path, const StudySpec& spec);
+
+  // Validates the journal frame by frame, truncates the torn/corrupt tail
+  // (if any), and returns the reconstructed history. Throws
+  // std::invalid_argument when the file is missing or its create record is
+  // unreadable.
+  static RecoveredStudy recover(const std::string& path);
+
+  // Opens an existing journal for appending (call after recover()).
+  static StudyJournal append_to(const std::string& path);
+
+  // Atomically rewrites the journal as {create, snapshot[, selection]}:
+  // writes `path`.tmp, then renames over `path`. The journal must not be
+  // open for appending.
+  static void compact(const std::string& path);
+
+  static bool exists(const std::string& path);
+
+  // Appends (and flushes) one record.
+  void append_ask(const hpo::Trial& trial);
+  void append_tell(const core::TrialRecord& record);
+  void append_selection(std::int64_t best_id, double best_full_error);
+  void append_snapshot(std::span<const core::TrialRecord> steps);
+
+  bool good() const { return out_.good(); }
+
+ private:
+  explicit StudyJournal(std::ofstream out) : out_(std::move(out)) {}
+  void append_frame(const std::string& payload);
+
+  std::ofstream out_;
+};
+
+}  // namespace fedtune::service

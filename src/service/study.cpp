@@ -1,0 +1,242 @@
+#include "service/study.hpp"
+
+#include "common/check.hpp"
+#include "common/rng_salts.hpp"
+#include "hpo/bohb.hpp"
+#include "hpo/hyperband.hpp"
+#include "hpo/random_search.hpp"
+#include "hpo/successive_halving.hpp"
+#include "hpo/tpe.hpp"
+#include "sim/method_runner.hpp"
+
+namespace fedtune::service {
+
+namespace {
+
+sim::Method to_sim_method(StudyMethod m) {
+  switch (m) {
+    case StudyMethod::kRandomSearch: return sim::Method::kRandomSearch;
+    case StudyMethod::kTpe: return sim::Method::kTpe;
+    case StudyMethod::kHyperband: return sim::Method::kHyperband;
+    case StudyMethod::kBohb: return sim::Method::kBohb;
+    case StudyMethod::kSha: break;
+  }
+  FEDTUNE_CHECK_MSG(false, "no sim method for SHA");
+  return sim::Method::kRandomSearch;
+}
+
+}  // namespace
+
+std::unique_ptr<hpo::Tuner> make_study_tuner(const StudySpec& spec,
+                                             const PoolResources* pool,
+                                             Rng rng) {
+  FEDTUNE_CHECK(spec.num_configs > 0);
+  if (!spec.external) {
+    FEDTUNE_CHECK_MSG(pool != nullptr, "managed study needs a pool");
+    if (spec.method == StudyMethod::kSha) {
+      return sim::make_pool_sha_tuner(pool->configs, pool->view,
+                                      spec.num_configs, rng);
+    }
+    return sim::make_pool_tuner(to_sim_method(spec.method), pool->configs,
+                                pool->view, spec.num_configs, rng);
+  }
+
+  // External studies search the continuous Appendix-B space on the spec's
+  // fidelity grid; the tenant evaluates each trial out of process.
+  hpo::SearchSpace space = hpo::appendix_b_space();
+  switch (spec.method) {
+    case StudyMethod::kRandomSearch:
+      return std::make_unique<hpo::RandomSearch>(
+          std::move(space), spec.num_configs, spec.rounds_per_config, rng);
+    case StudyMethod::kTpe:
+      return std::make_unique<hpo::Tpe>(std::move(space), spec.num_configs,
+                                        spec.rounds_per_config,
+                                        hpo::TpeOptions{}, rng);
+    case StudyMethod::kSha: {
+      hpo::ShaBracketParams params;
+      params.n0 = spec.num_configs;
+      params.eta = 3;
+      params.r0 = spec.r0;
+      params.max_rounds = spec.max_rounds;
+      hpo::SearchSpace provider_space = space;
+      hpo::ConfigProvider provider = [provider_space](Rng& provider_rng) {
+        hpo::ConfigProposal p;
+        p.config = provider_space.sample(provider_rng);
+        return p;
+      };
+      return std::make_unique<hpo::StandaloneSha>(params, std::move(provider),
+                                                  rng);
+    }
+    case StudyMethod::kHyperband:
+      return std::make_unique<hpo::Hyperband>(
+          std::move(space), hpo::HyperbandOptions{3, spec.r0, spec.max_rounds},
+          rng);
+    case StudyMethod::kBohb: {
+      hpo::BohbOptions opts;
+      opts.hyperband = {3, spec.r0, spec.max_rounds};
+      return std::make_unique<hpo::Bohb>(std::move(space), opts, rng);
+    }
+  }
+  FEDTUNE_CHECK_MSG(false, "unknown study method");
+  return nullptr;
+}
+
+void StudySession::init_engine() {
+  const Rng base(spec_.seed);
+  tuner_ = make_study_tuner(spec_, pool_.get(), base.split(salts::kStudyTuner));
+
+  core::DriverOptions opts;
+  opts.noise = spec_.noise;
+  opts.dp_style = core::DpStyle::kPerEvaluation;
+  opts.budget_rounds = spec_.budget_rounds;
+  opts.seed = base.split(salts::kStudyDriver).seed();
+
+  if (spec_.external) {
+    session_.emplace(*tuner_, opts);
+  } else {
+    runner_.emplace(pool_->view);
+    // Pure per-eval streams: the replayability contract (journal.hpp).
+    session_.emplace(*tuner_, *runner_, opts, /*pure_eval_streams=*/true);
+  }
+}
+
+StudySession::StudySession(StudySpec spec,
+                           std::shared_ptr<const PoolResources> pool,
+                           const std::string& journal_path)
+    : spec_(std::move(spec)), pool_(std::move(pool)),
+      journal_path_(journal_path) {
+  FEDTUNE_CHECK_MSG(valid_study_name(spec_.name),
+                    "invalid study name '" << spec_.name << "'");
+  init_engine();
+  journal_ = StudyJournal::create(journal_path_, spec_);
+}
+
+StudySession::StudySession(RecoveredStudy recovered,
+                           std::shared_ptr<const PoolResources> pool,
+                           const std::string& journal_path)
+    : spec_(std::move(recovered.spec)), pool_(std::move(pool)),
+      journal_path_(journal_path) {
+  init_engine();
+  // Deterministic replay: each journaled step re-asks the tuner (verifying
+  // the journal matches), fast-forwards the evaluator, and re-applies the
+  // recorded outcome. Pool runners are stateless, so nothing is retrained.
+  for (const core::TrialRecord& rec : recovered.steps) {
+    session_->replay(rec, /*reexecute_runner=*/false);
+  }
+  journal_ = StudyJournal::append_to(journal_path_);
+  if (recovered.finished) {
+    final_ = session_->finalize();
+    state_ = StudyState::kFinished;
+  }
+}
+
+void StudySession::finish() {
+  if (state_ == StudyState::kFinished) return;
+  final_ = session_->finalize();
+  journal_->append_selection(final_.best ? final_.best->id : -1,
+                             final_.best_full_error);
+  state_ = StudyState::kFinished;
+  compact_journal();
+}
+
+void StudySession::maybe_compact() {
+  if (++steps_since_compact_ >= compact_every_) compact_journal();
+}
+
+void StudySession::compact_journal() {
+  journal_.reset();  // close the append handle before the rename
+  StudyJournal::compact(journal_path_);
+  journal_ = StudyJournal::append_to(journal_path_);
+  steps_since_compact_ = 0;
+}
+
+bool StudySession::run_one_step() {
+  FEDTUNE_CHECK_MSG(!spec_.external, "external study: drive via ask()/tell()");
+  if (state_ != StudyState::kRunning) return false;
+  const std::optional<hpo::Trial> trial = session_->ask();
+  if (!trial.has_value()) {
+    finish();
+    return false;
+  }
+  journal_->append_ask(*trial);
+  const core::TrialRecord record = session_->run_outstanding();
+  journal_->append_tell(record);
+  if (tuner_->done()) finish();
+  else maybe_compact();
+  return true;
+}
+
+std::size_t StudySession::run_slice(std::size_t rounds_budget) {
+  const std::size_t start = session_->rounds_used();
+  ++slices_used_;
+  while (state_ == StudyState::kRunning &&
+         session_->rounds_used() - start < rounds_budget) {
+    if (!run_one_step()) break;
+  }
+  return session_->rounds_used() - start;
+}
+
+std::optional<hpo::Trial> StudySession::ask() {
+  FEDTUNE_CHECK_MSG(spec_.external, "managed study: driven by the scheduler");
+  if (state_ != StudyState::kRunning) return std::nullopt;
+  if (session_->has_outstanding()) return session_->outstanding();
+  const std::optional<hpo::Trial> trial = session_->ask();
+  if (!trial.has_value()) {
+    finish();
+    return std::nullopt;
+  }
+  journal_->append_ask(*trial);
+  return trial;
+}
+
+core::TrialRecord StudySession::tell(int trial_id, double objective) {
+  FEDTUNE_CHECK_MSG(spec_.external, "managed study: driven by the scheduler");
+  FEDTUNE_CHECK_MSG(state_ == StudyState::kRunning,
+                    "study is " << state_name(state_));
+  FEDTUNE_CHECK_MSG(session_->has_outstanding(), "no outstanding trial");
+  FEDTUNE_CHECK_MSG(session_->outstanding()->id == trial_id,
+                    "tell for trial " << trial_id << " but trial "
+                                      << session_->outstanding()->id
+                                      << " is outstanding");
+  const core::TrialRecord record = session_->tell_outstanding(objective);
+  journal_->append_tell(record);
+  // The tuner may have nothing further to issue (e.g. final tell of the
+  // plan); surface completion without waiting for the next ask.
+  if (tuner_->done()) finish();
+  else maybe_compact();
+  return record;
+}
+
+void StudySession::suspend() {
+  if (state_ == StudyState::kRunning) state_ = StudyState::kSuspended;
+}
+
+void StudySession::resume_from_suspend() {
+  if (state_ == StudyState::kSuspended) {
+    state_ = StudyState::kRunning;
+    slices_used_ = 0;  // fresh deadline allowance
+  }
+}
+
+const core::TuneResult& StudySession::result() const {
+  return finished() ? final_ : session_->partial_result();
+}
+
+std::optional<std::pair<hpo::Trial, double>> StudySession::best() const {
+  if (finished()) {
+    if (!final_.best.has_value()) return std::nullopt;
+    return std::make_pair(*final_.best, final_.best_full_error);
+  }
+  const std::optional<hpo::Trial> live = tuner_->best_trial();
+  if (!live.has_value()) return std::nullopt;
+  double full_error = 1.0;
+  for (const core::TrialRecord& r : session_->partial_result().records) {
+    if (r.trial.id == live->id) {
+      full_error = r.full_error;
+      break;
+    }
+  }
+  return std::make_pair(*live, full_error);
+}
+
+}  // namespace fedtune::service

@@ -1,0 +1,137 @@
+// StudySession — one live tuning study inside the StudyService: the tuner,
+// its evaluation engine, and the write-ahead journal that makes it
+// crash-recoverable.
+//
+// Lifecycle:
+//   fresh   — constructed from a StudySpec; writes the journal's create
+//             record, then serves steps (managed) or ask/tell (external).
+//   resumed — constructed from StudyJournal::recover(): the engine is
+//             rebuilt from the spec and the journaled steps are replayed
+//             through core::TuningSession::replay(), reconstructing tuner,
+//             evaluator, and incumbent state bitwise. The session then
+//             continues exactly where the crashed process stopped.
+//   finished — the tuner is done (or the budget is exhausted); the final
+//             selection is journaled and the journal compacted.
+//
+// Managed studies evaluate trials on a registered candidate pool
+// (PoolResources) through the pure-stream NoisyEvaluator; external studies
+// hand trials to the tenant via ask() and take objectives back via tell().
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "core/pool_runner.hpp"
+#include "core/tuning_driver.hpp"
+#include "service/journal.hpp"
+#include "service/study_spec.hpp"
+
+namespace fedtune::service {
+
+// A registered candidate pool: the shared, read-only evaluation substrate
+// managed studies run against (many concurrent studies share one).
+struct PoolResources {
+  std::vector<hpo::Config> configs;
+  core::PoolEvalView view;
+};
+
+enum class StudyState : std::uint8_t {
+  kRunning = 0,
+  kSuspended = 1,
+  kFinished = 2,
+};
+
+inline const char* state_name(StudyState s) {
+  switch (s) {
+    case StudyState::kRunning: return "running";
+    case StudyState::kSuspended: return "suspended";
+    case StudyState::kFinished: return "finished";
+  }
+  return "?";
+}
+
+class StudySession {
+ public:
+  // Fresh study. `pool` is required for managed specs (null for external).
+  // Creates the journal at `journal_path` (must not exist).
+  StudySession(StudySpec spec, std::shared_ptr<const PoolResources> pool,
+               const std::string& journal_path);
+
+  // Resumed study: rebuilds state by replaying `recovered` (from
+  // StudyJournal::recover) and re-opens the journal for appending.
+  StudySession(RecoveredStudy recovered,
+               std::shared_ptr<const PoolResources> pool,
+               const std::string& journal_path);
+
+  StudySession(const StudySession&) = delete;
+  StudySession& operator=(const StudySession&) = delete;
+
+  const StudySpec& spec() const { return spec_; }
+  StudyState state() const { return state_; }
+  bool finished() const { return state_ == StudyState::kFinished; }
+  std::size_t steps() const { return session_->steps(); }
+  std::size_t rounds_used() const { return session_->rounds_used(); }
+
+  // Managed mode: one journaled ask → evaluate → tell step. Returns false
+  // once the study is finished (journaling the final selection).
+  bool run_one_step();
+
+  // Managed mode: steps until `rounds_budget` fresh training rounds are
+  // consumed (the fair-share slice) or the study finishes. Returns the
+  // rounds actually consumed. A slice is also charged against the study's
+  // deadline allowance (spec.deadline_slices).
+  std::size_t run_slice(std::size_t rounds_budget);
+  std::size_t slices_used() const { return slices_used_; }
+
+  // External mode: issue the next trial (journaled). nullopt when finished.
+  std::optional<hpo::Trial> ask();
+  // External mode: report the outstanding trial's objective (journaled).
+  core::TrialRecord tell(int trial_id, double objective);
+
+  // Scheduler hooks: suspend parks a running study (the journal already
+  // holds its full state); resume_from_suspend makes it runnable again
+  // with a fresh deadline allowance (spec.deadline_slices is in-memory
+  // admission control, not a lifetime cap).
+  void suspend();
+  void resume_from_suspend();
+
+  // The study's results so far; after finish, includes the final selection.
+  const core::TuneResult& result() const;
+
+  // Current best: the final selection once finished, otherwise the tuner's
+  // live pick with its recorded full error.
+  std::optional<std::pair<hpo::Trial, double>> best() const;
+
+  // Journal hygiene: rewrite as {create, snapshot[, selection]} — called
+  // automatically every `compact_every` steps and at finish.
+  void compact_journal();
+  void set_compact_every(std::size_t steps) { compact_every_ = steps; }
+
+ private:
+  void init_engine();
+  void finish();
+  void maybe_compact();
+
+  StudySpec spec_;
+  std::shared_ptr<const PoolResources> pool_;
+  std::string journal_path_;
+  std::unique_ptr<hpo::Tuner> tuner_;
+  std::optional<core::PoolTrialRunner> runner_;    // managed mode
+  std::optional<core::TuningSession> session_;
+  std::optional<StudyJournal> journal_;
+  StudyState state_ = StudyState::kRunning;
+  core::TuneResult final_;  // valid once finished
+  std::size_t compact_every_ = 64;
+  std::size_t steps_since_compact_ = 0;
+  std::size_t slices_used_ = 0;
+};
+
+// Tuner construction for a study (shared with tests): managed studies build
+// pool-mode tuners via sim::make_pool_tuner / make_pool_sha_tuner; external
+// studies search the Appendix-B space on the spec's fidelity grid.
+std::unique_ptr<hpo::Tuner> make_study_tuner(
+    const StudySpec& spec, const PoolResources* pool, Rng rng);
+
+}  // namespace fedtune::service

@@ -1,0 +1,212 @@
+#include "service/study_manager.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <future>
+#include <iostream>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+
+namespace fedtune::service {
+
+StudyManager::StudyManager(ManagerOptions opts) : opts_(std::move(opts)) {
+  FEDTUNE_CHECK(opts_.max_studies > 0);
+  FEDTUNE_CHECK(opts_.rounds_per_slice > 0);
+  std::filesystem::create_directories(opts_.journal_dir);
+}
+
+void StudyManager::register_pool(const std::string& name,
+                                 std::shared_ptr<const PoolResources> pool) {
+  FEDTUNE_CHECK(pool != nullptr);
+  FEDTUNE_CHECK(pool->configs.size() == pool->view.num_configs());
+  pools_[name] = std::move(pool);
+}
+
+std::shared_ptr<const PoolResources> StudyManager::pool(
+    const std::string& name) const {
+  const auto it = pools_.find(name);
+  return it == pools_.end() ? nullptr : it->second;
+}
+
+std::string StudyManager::journal_path(const std::string& name) const {
+  return opts_.journal_dir + "/" + name + ".journal";
+}
+
+StudySession& StudyManager::create_study(StudySpec spec) {
+  // Admission control: identity, capacity, budget quota, pool existence.
+  FEDTUNE_CHECK_MSG(valid_study_name(spec.name),
+                    "invalid study name '" << spec.name << "'");
+  FEDTUNE_CHECK_MSG(sessions_.find(spec.name) == sessions_.end(),
+                    "study '" << spec.name << "' already active");
+  FEDTUNE_CHECK_MSG(!StudyJournal::exists(journal_path(spec.name)),
+                    "study '" << spec.name
+                              << "' already has a journal (resume it)");
+  FEDTUNE_CHECK_MSG(sessions_.size() < opts_.max_studies,
+                    "study capacity reached (" << opts_.max_studies << ")");
+  FEDTUNE_CHECK_MSG(spec.budget_rounds > 0, "budget must be positive");
+  // An unbounded request inherits the tenant quota as its budget; an
+  // explicit budget above the quota is rejected.
+  if (spec.budget_rounds == std::numeric_limits<std::size_t>::max()) {
+    spec.budget_rounds = opts_.max_study_budget_rounds;
+  }
+  FEDTUNE_CHECK_MSG(spec.budget_rounds <= opts_.max_study_budget_rounds,
+                    "budget " << spec.budget_rounds << " exceeds the "
+                              << opts_.max_study_budget_rounds
+                              << "-round quota");
+  std::shared_ptr<const PoolResources> study_pool;
+  if (!spec.external) {
+    study_pool = pool(spec.pool);
+    FEDTUNE_CHECK_MSG(study_pool != nullptr,
+                      "unknown pool '" << spec.pool << "'");
+  }
+  const std::string name = spec.name;
+  auto session = std::make_unique<StudySession>(
+      std::move(spec), std::move(study_pool), journal_path(name));
+  session->set_compact_every(opts_.compact_every_steps);
+  StudySession& ref = *session;
+  sessions_[name] = std::move(session);
+  return ref;
+}
+
+StudySession& StudyManager::resume_study(const std::string& name) {
+  // Same identity rules as create: a protocol-supplied name with '/' must
+  // not escape the journal directory.
+  FEDTUNE_CHECK_MSG(valid_study_name(name),
+                    "invalid study name '" << name << "'");
+  FEDTUNE_CHECK_MSG(sessions_.find(name) == sessions_.end(),
+                    "study '" << name << "' already active");
+  FEDTUNE_CHECK_MSG(sessions_.size() < opts_.max_studies,
+                    "study capacity reached (" << opts_.max_studies << ")");
+  RecoveredStudy recovered = StudyJournal::recover(journal_path(name));
+  FEDTUNE_CHECK_MSG(recovered.spec.name == name,
+                    "journal for '" << recovered.spec.name
+                                    << "' found under name '" << name << "'");
+  std::shared_ptr<const PoolResources> study_pool;
+  if (!recovered.spec.external) {
+    study_pool = pool(recovered.spec.pool);
+    FEDTUNE_CHECK_MSG(study_pool != nullptr,
+                      "unknown pool '" << recovered.spec.pool << "'");
+  }
+  auto session = std::make_unique<StudySession>(
+      std::move(recovered), std::move(study_pool), journal_path(name));
+  session->set_compact_every(opts_.compact_every_steps);
+  StudySession& ref = *session;
+  sessions_[name] = std::move(session);
+  return ref;
+}
+
+std::size_t StudyManager::resume_all() {
+  std::size_t resumed = 0;
+  std::vector<std::string> names;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(opts_.journal_dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::filesystem::path& p = entry.path();
+    if (p.extension() != ".journal") continue;
+    names.push_back(p.stem().string());
+  }
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    if (sessions_.find(name) != sessions_.end()) continue;
+    if (sessions_.size() >= opts_.max_studies) break;
+    // One unrecoverable journal (e.g. a create record that never got
+    // flushed before the crash) must not keep every healthy tenant down:
+    // report it and move on.
+    try {
+      resume_study(name);
+      ++resumed;
+    } catch (const std::exception& ex) {
+      std::cerr << "[study-manager] cannot resume '" << name
+                << "': " << ex.what() << "\n";
+    }
+  }
+  return resumed;
+}
+
+void StudyManager::suspend_study(const std::string& name) {
+  const auto it = sessions_.find(name);
+  FEDTUNE_CHECK_MSG(it != sessions_.end(), "no active study '" << name << "'");
+  sessions_.erase(it);  // the journal holds the full state
+}
+
+StudySession* StudyManager::find(const std::string& name) {
+  const auto it = sessions_.find(name);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+const StudySession* StudyManager::find(const std::string& name) const {
+  const auto it = sessions_.find(name);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> StudyManager::list() const {
+  std::vector<std::string> names;
+  names.reserve(sessions_.size());
+  for (const auto& [name, session] : sessions_) names.push_back(name);
+  return names;
+}
+
+bool StudyManager::has_runnable() const {
+  for (const auto& [name, session] : sessions_) {
+    if (!session->spec().external &&
+        session->state() == StudyState::kRunning) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t StudyManager::pump() {
+  // Collect this cycle's cohort (deterministic name order), enforcing the
+  // deadline quota before granting a slice.
+  std::vector<StudySession*> cohort;
+  for (auto& [name, session] : sessions_) {
+    if (session->spec().external ||
+        session->state() != StudyState::kRunning) {
+      continue;
+    }
+    if (session->slices_used() >= session->spec().deadline_slices) {
+      session->suspend();  // deadline admission control
+      continue;
+    }
+    cohort.push_back(session.get());
+  }
+  if (cohort.empty()) return 0;
+
+  const std::size_t steps_before = [&] {
+    std::size_t n = 0;
+    for (const StudySession* s : cohort) n += s->steps();
+    return n;
+  }();
+
+  // Equal round budget per tenant, executed concurrently: studies are
+  // independent (separate tuner/evaluator/journal; the pool view is
+  // read-only), so interleaving cannot change any study's trajectory.
+  if (opts_.parallel && cohort.size() > 1) {
+    std::vector<std::future<void>> slices;
+    slices.reserve(cohort.size());
+    for (StudySession* s : cohort) {
+      slices.push_back(ThreadPool::global().submit(
+          [s, rounds = opts_.rounds_per_slice] { s->run_slice(rounds); }));
+    }
+    for (auto& f : slices) f.get();
+  } else {
+    for (StudySession* s : cohort) s->run_slice(opts_.rounds_per_slice);
+  }
+
+  std::size_t steps_after = 0;
+  for (const StudySession* s : cohort) steps_after += s->steps();
+  return steps_after - steps_before;
+}
+
+std::size_t StudyManager::run_to_completion(std::size_t max_cycles) {
+  std::size_t cycles = 0;
+  while (cycles < max_cycles && has_runnable()) {
+    ++cycles;
+    if (pump() == 0) break;  // nothing progressed (all deadline-suspended)
+  }
+  return cycles;
+}
+
+}  // namespace fedtune::service

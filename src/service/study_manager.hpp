@@ -1,0 +1,91 @@
+// StudyManager — the multi-tenant core of the StudyService: owns N
+// concurrent StudySessions, admits new studies against per-tenant quotas,
+// schedules managed studies fairly onto the shared ThreadPool, and resumes
+// crashed studies from their journals.
+//
+// Scheduling model: pump() runs one fair-share cycle — every runnable
+// managed study receives the same budget of fresh training rounds
+// (`rounds_per_slice`), executed concurrently on ThreadPool::global() (one
+// task per study; studies are independent, so parallel execution cannot
+// change any study's trajectory). A study whose granted slices reach its
+// spec's deadline_slices is suspended instead of scheduled — admission
+// control by deadline. External studies are never pumped; their tenants
+// drive them through ask/tell.
+//
+// Durability: every study lives in `journal_dir/<name>.journal`.
+// resume_study() (or resume_all() at daemon startup) reconstructs a study
+// from its journal; suspend_study() parks the in-memory session (the
+// journal already holds everything needed to come back).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/study.hpp"
+
+namespace fedtune::service {
+
+struct ManagerOptions {
+  std::string journal_dir = "fedtune_studies";
+  // Admission control.
+  std::size_t max_studies = 64;
+  std::size_t max_study_budget_rounds =
+      std::numeric_limits<std::size_t>::max();
+  // Fair-share budget (fresh training rounds) per study per pump() cycle.
+  std::size_t rounds_per_slice = 27;
+  // Journal compaction cadence handed to each session.
+  std::size_t compact_every_steps = 64;
+  // Run each cycle's slices concurrently on ThreadPool::global().
+  bool parallel = true;
+};
+
+class StudyManager {
+ public:
+  explicit StudyManager(ManagerOptions opts);
+
+  // Registers a candidate pool managed studies can reference by name.
+  void register_pool(const std::string& name,
+                     std::shared_ptr<const PoolResources> pool);
+  std::shared_ptr<const PoolResources> pool(const std::string& name) const;
+
+  // Admits and creates a study. Throws std::invalid_argument when admission
+  // fails: invalid/duplicate name, tenant capacity reached, budget above
+  // quota, or unknown pool.
+  StudySession& create_study(StudySpec spec);
+
+  // Reconstructs a study from its journal (after a crash or suspend).
+  StudySession& resume_study(const std::string& name);
+  // Resumes every journal found in journal_dir that is not already active;
+  // returns how many studies were resumed (daemon startup).
+  std::size_t resume_all();
+
+  // Parks a study: drops the in-memory session, keeps the journal.
+  void suspend_study(const std::string& name);
+
+  StudySession* find(const std::string& name);
+  const StudySession* find(const std::string& name) const;
+  std::vector<std::string> list() const;
+  std::size_t active_studies() const { return sessions_.size(); }
+
+  // One fair-share scheduling cycle; returns the trials completed across
+  // all studies (0 = nothing runnable / no progress possible).
+  std::size_t pump();
+  // Pumps until no managed study is runnable (capped at `max_cycles`);
+  // returns cycles run.
+  std::size_t run_to_completion(
+      std::size_t max_cycles = std::numeric_limits<std::size_t>::max());
+  bool has_runnable() const;
+
+  std::string journal_path(const std::string& name) const;
+  const ManagerOptions& options() const { return opts_; }
+
+ private:
+  ManagerOptions opts_;
+  std::map<std::string, std::shared_ptr<const PoolResources>> pools_;
+  // Ordered by name: the scheduler's round-robin order is deterministic.
+  std::map<std::string, std::unique_ptr<StudySession>> sessions_;
+};
+
+}  // namespace fedtune::service

@@ -4,6 +4,7 @@
 #include "hpo/bohb.hpp"
 #include "hpo/hyperband.hpp"
 #include "hpo/random_search.hpp"
+#include "hpo/successive_halving.hpp"
 #include "hpo/tpe.hpp"
 
 namespace fedtune::sim {
@@ -71,6 +72,20 @@ std::unique_ptr<hpo::Tuner> make_pool_tuner(
   }
   FEDTUNE_CHECK_MSG(false, "unknown method");
   return nullptr;
+}
+
+std::unique_ptr<hpo::Tuner> make_pool_sha_tuner(
+    const std::vector<hpo::Config>& configs, const core::PoolEvalView& view,
+    std::size_t n0, Rng rng) {
+  FEDTUNE_CHECK(configs.size() == view.num_configs());
+  FEDTUNE_CHECK(n0 > 0);
+  hpo::ShaBracketParams params;
+  params.n0 = n0;
+  params.eta = 3;
+  params.r0 = view.checkpoints().front();
+  params.max_rounds = view.checkpoints().back();
+  return std::make_unique<hpo::StandaloneSha>(
+      params, hpo::uniform_pool_provider(configs), rng);
 }
 
 core::TuneResult run_pool_method(Method method,

@@ -19,6 +19,14 @@ std::unique_ptr<hpo::Tuner> make_pool_tuner(
     Method method, const std::vector<hpo::Config>& configs,
     const core::PoolEvalView& view, std::size_t rs_configs, Rng rng);
 
+// Single SHA bracket over the pool's checkpoint grid (n0 entrants at the
+// grid's first rung, eta=3 eliminations up to its ceiling) — the fifth
+// method the StudyService offers (service/study.hpp). Self-contained: owns
+// the trial-id counter Hyperband normally shares across brackets.
+std::unique_ptr<hpo::Tuner> make_pool_sha_tuner(
+    const std::vector<hpo::Config>& configs, const core::PoolEvalView& view,
+    std::size_t n0, Rng rng);
+
 // DP style for the method (per-eval Laplace vs one-shot top-k).
 core::DpStyle dp_style_for(Method method);
 

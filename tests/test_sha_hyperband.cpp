@@ -86,7 +86,7 @@ TEST(SuccessiveHalving, PromotionFlowKeepsBestConfig) {
     by_id[t->id] = *t;
     sha.tell(*t, fidelity_objective(t->config, t->target_rounds, 9));
   }
-  const Trial winner = sha.best_trial();
+  const Trial winner = sha.best_trial().value();
   EXPECT_EQ(winner.target_rounds, 9u);
   // The winner's lineage must chain back through rungs 3 and 1.
   const Trial& parent = by_id.at(winner.parent_id);
@@ -176,7 +176,7 @@ TEST(Hyperband, RunsAllBracketsToCompletion) {
     ++evals;
   }
   EXPECT_EQ(evals, hb.planned_evaluations());
-  const Trial best = hb.best_trial();
+  const Trial best = hb.best_trial().value();
   EXPECT_LT(std::abs(best.config.at("x") - 0.4), 0.2);
 }
 
@@ -238,7 +238,7 @@ TEST(Bohb, RunsAndFindsGoodConfig) {
     ++evals;
   }
   EXPECT_EQ(evals, bohb.planned_evaluations());
-  EXPECT_LT(std::abs(bohb.best_trial().config.at("x") - 0.4), 0.2);
+  EXPECT_LT(std::abs(bohb.best_trial()->config.at("x") - 0.4), 0.2);
 }
 
 TEST(Bohb, LateProposalsConcentrateNearOptimum) {

@@ -30,7 +30,7 @@ double run_to_completion(Tuner& tuner) {
   while (auto t = tuner.ask()) {
     tuner.tell(*t, bowl(t->config));
   }
-  return bowl(tuner.best_trial().config);
+  return bowl(tuner.best_trial()->config);
 }
 
 TEST(RandomSearch, LifecycleAndCounts) {
@@ -56,12 +56,19 @@ TEST(RandomSearch, BestTrialIsArgmin) {
     best = std::min(best, obj);
     rs.tell(*t, obj);
   }
-  EXPECT_DOUBLE_EQ(bowl(rs.best_trial().config), best);
+  EXPECT_DOUBLE_EQ(bowl(rs.best_trial()->config), best);
 }
 
-TEST(RandomSearch, BestTrialBeforeAnyTellThrows) {
+TEST(RandomSearch, BestTrialBeforeAnyTellIsEmpty) {
   RandomSearch rs(simple_space(), 3, 1, Rng(3));
-  EXPECT_THROW(rs.best_trial(), std::invalid_argument);
+  EXPECT_FALSE(rs.best_trial().has_value());
+  const auto t = rs.ask();
+  ASSERT_TRUE(t.has_value());
+  // Still empty after an ask without a tell.
+  EXPECT_FALSE(rs.best_trial().has_value());
+  rs.tell(*t, 0.5);
+  ASSERT_TRUE(rs.best_trial().has_value());
+  EXPECT_EQ(rs.best_trial()->id, t->id);
 }
 
 TEST(RandomSearch, PoolModeSetsIndices) {

@@ -1,0 +1,127 @@
+// fedtune_ctl — client for the fedtune_studyd daemon: sends one protocol
+// line over the Unix socket and prints the response.
+//
+//   fedtune_ctl --socket PATH VERB [ARGS...]
+//       e.g.  fedtune_ctl --socket /tmp/studyd.sock create-study s1 \
+//                 method=rs configs=24 seed=7
+//             fedtune_ctl --socket /tmp/studyd.sock status s1
+//   fedtune_ctl --socket PATH wait NAME TIMEOUT_SECONDS
+//       polls `status NAME` until the study reports state=finished (exit 0)
+//       or the timeout expires (exit 1) — the CI smoke test's join point.
+//
+// Exit code: 0 when the daemon answered `ok ...` (or the wait succeeded),
+// 1 on `err ...`/timeout, 2 on usage or connection failure.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+// One request/response round trip; returns the response line (without the
+// trailing newline) or nullopt on connection failure.
+std::optional<std::string> roundtrip(const std::string& socket_path,
+                                     const std::string& line) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  const std::string request = line + "\n";
+  ssize_t off = 0;
+  while (off < static_cast<ssize_t>(request.size())) {
+    const ssize_t w = ::write(fd, request.data() + off, request.size() - off);
+    if (w <= 0) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    off += w;
+  }
+  std::string response;
+  char buf[4096];
+  while (response.find('\n') == std::string::npos) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t nl = response.find('\n');
+  if (nl == std::string::npos) return std::nullopt;
+  return response.substr(0, nl);
+}
+
+int wait_for_finish(const std::string& socket_path, const std::string& name,
+                    double timeout_seconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto response = roundtrip(socket_path, "status " + name);
+    if (response.has_value() &&
+        response->find("state=finished") != std::string::npos) {
+      std::cout << *response << "\n";
+      return 0;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::cerr << "error: study '" << name << "' did not finish within "
+            << timeout_seconds << "s\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::vector<std::string> words;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--socket") {
+      if (i + 1 >= argc) {
+        std::cerr << "error: --socket needs a value\n";
+        return 2;
+      }
+      socket_path = argv[++i];
+    } else if (a == "--help" || a == "-h") {
+      std::cout << "usage: fedtune_ctl --socket PATH VERB [ARGS...]\n"
+                   "       fedtune_ctl --socket PATH wait NAME TIMEOUT_SEC\n";
+      return 0;
+    } else {
+      words.push_back(a);
+    }
+  }
+  if (socket_path.empty() || words.empty()) {
+    std::cerr << "usage: fedtune_ctl --socket PATH VERB [ARGS...]\n";
+    return 2;
+  }
+  if (words[0] == "wait") {
+    if (words.size() != 3) {
+      std::cerr << "usage: fedtune_ctl --socket PATH wait NAME TIMEOUT_SEC\n";
+      return 2;
+    }
+    return wait_for_finish(socket_path, words[1], std::stod(words[2]));
+  }
+  std::string line = words[0];
+  for (std::size_t i = 1; i < words.size(); ++i) line += " " + words[i];
+  const auto response = roundtrip(socket_path, line);
+  if (!response.has_value()) {
+    std::cerr << "error: cannot reach daemon at " << socket_path << "\n";
+    return 2;
+  }
+  std::cout << *response << "\n";
+  return response->rfind("ok", 0) == 0 ? 0 : 1;
+}

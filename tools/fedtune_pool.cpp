@@ -18,6 +18,11 @@
 //       loads two monolithic pool files and checks they are bitwise
 //       identical (configs, error tensors, parameter snapshots). Exit 0 on
 //       match — used to confirm sharded == monolithic from the CLI.
+//
+//   fedtune_pool info FILE...
+//       prints each cache file's header: kind (pool/shard/view), magic +
+//       format version, config range, dataset, checkpoint grid, client
+//       count, parameter snapshot size. Exit 0 iff every file parsed.
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -66,6 +71,9 @@ void print_usage(std::ostream& os) {
         "      (default DIR/NAME.pool).\n"
         "  verify POOL_A POOL_B\n"
         "      exit 0 iff the two pool files are bitwise identical.\n"
+        "  info FILE...\n"
+        "      print each cache file's header (kind, magic/version, config\n"
+        "      range, dataset, checkpoint grid, clients, params).\n"
         "  help | --help | -h\n"
         "      print this message.\n"
         "\n"
@@ -290,6 +298,51 @@ int cmd_verify(const Args& args) {
   return 0;
 }
 
+int cmd_info(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: fedtune_pool info FILE...\n";
+    return 2;
+  }
+  int failures = 0;
+  for (const std::string& path : args.positional) {
+    const std::optional<core::PoolFileInfo> info =
+        core::inspect_pool_file(path);
+    if (!info.has_value()) {
+      std::cerr << path << ": not a pool/shard/view cache file "
+                   "(unknown magic, truncated, or trailing bytes)\n";
+      ++failures;
+      continue;
+    }
+    const char* kind = info->kind == core::PoolFileInfo::Kind::kPool ? "pool"
+                       : info->kind == core::PoolFileInfo::Kind::kShard
+                           ? "shard"
+                           : "view";
+    std::cout << path << ":\n"
+              << "  kind        " << kind << "\n"
+              << "  magic       0x" << std::hex << info->magic << std::dec
+              << " (version " << (info->magic & 0xffffffffULL) << ")\n"
+              << "  configs     [" << info->shard_lo << ", " << info->shard_hi
+              << ") of " << info->total_configs << "\n";
+    if (!info->dataset.empty()) {
+      std::cout << "  dataset     " << info->dataset << "\n";
+    }
+    std::cout << "  checkpoints {";
+    for (std::size_t i = 0; i < info->checkpoints.size(); ++i) {
+      std::cout << (i ? ", " : "") << info->checkpoints[i];
+    }
+    std::cout << "}\n"
+              << "  clients     " << info->num_clients << "\n"
+              << "  params      "
+              << (info->param_count > 0
+                      ? std::to_string(info->param_count) +
+                            " floats per (config, checkpoint)"
+                      : std::string("none"))
+              << "\n"
+              << "  file bytes  " << info->file_bytes << "\n";
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -303,7 +356,8 @@ int main(int argc, char** argv) {
     print_usage(std::cout);
     return 0;
   }
-  if (cmd != "build-shard" && cmd != "merge" && cmd != "verify") {
+  if (cmd != "build-shard" && cmd != "merge" && cmd != "verify" &&
+      cmd != "info") {
     std::cerr << "error: unknown command '" << cmd << "'\n\n";
     print_usage(std::cerr);
     return 2;
@@ -319,6 +373,7 @@ int main(int argc, char** argv) {
     }
     if (cmd == "build-shard") return cmd_build_shard(args);
     if (cmd == "merge") return cmd_merge(args);
+    if (cmd == "info") return cmd_info(args);
     return cmd_verify(args);
   } catch (const std::exception& ex) {
     std::cerr << "error: " << ex.what() << "\n";

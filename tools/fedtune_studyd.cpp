@@ -1,0 +1,436 @@
+// fedtune_studyd — the StudyService daemon: serves tuning studies over a
+// Unix domain socket with a newline-delimited request/response protocol.
+//
+//   fedtune_studyd --socket PATH [--journal-dir DIR] [--autodrive]
+//                  [--pool-configs N] [--rounds-per-slice R]
+//
+// On startup the daemon builds the deterministic "synth-small" candidate
+// pool (identical bytes on every start — the determinism contract in
+// src/README.md — so a daemon restarted after SIGKILL recovers its studies
+// against the exact same evaluation substrate), registers it, and resumes
+// every journal found in the journal directory. With --autodrive it pumps
+// one fair-share scheduler cycle per poll interval; without it, managed
+// studies advance only through explicit `drive` requests (tests).
+//
+// Protocol (one request line -> one response line, `ok ...` or `err ...`):
+//   create-study NAME [method=rs|tpe|sha|hb|bohb] [configs=N] [budget=R]
+//                [seed=S] [pool=NAME] [eval-clients=N] [epsilon=E]
+//                [bias-b=B] [deadline=N] [external]
+//   ask NAME                 next trial of an external study
+//   tell NAME TRIAL_ID OBJ   objective for an external study's trial
+//   status NAME              state/steps/rounds/best summary
+//   best NAME                current best trial
+//   suspend NAME             park the study (journal keeps its state)
+//   resume NAME              bring a journaled study back
+//   list                     active study names
+//   trace NAME               full trial trajectory, hex-float exact — the
+//                            bitwise kill/resume equivalence check in CI
+//   drive NAME STEPS         run STEPS managed steps synchronously
+//   pump                     one fair-share scheduler cycle
+//   ping | shutdown
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/config_pool.hpp"
+#include "data/synth_image.hpp"
+#include "hpo/search_space.hpp"
+#include "nn/factory.hpp"
+#include "service/study_manager.hpp"
+
+namespace {
+
+using namespace fedtune;
+
+// The daemon's built-in evaluation substrate: small enough to build in
+// well under a second, deterministic in every byte.
+std::shared_ptr<const service::PoolResources> build_synth_pool(
+    std::size_t num_configs) {
+  data::SynthImageConfig cfg;
+  cfg.name = "synth-small";
+  cfg.num_train_clients = 30;
+  cfg.num_eval_clients = 10;
+  cfg.mean_examples = 40.0;
+  cfg.input_dim = 16;
+  cfg.seed = 4;
+  const data::FederatedDataset ds = data::make_synth_image(cfg);
+  const auto arch = nn::make_default_model(ds);
+  core::PoolBuildOptions opts;
+  opts.num_configs = num_configs;
+  opts.checkpoints = {1, 3, 9};
+  opts.trainer.clients_per_round = 8;
+  opts.store_params = false;
+  const core::ConfigPool pool =
+      core::ConfigPool::build(ds, *arch, hpo::appendix_b_space(), opts);
+  auto resources = std::make_shared<service::PoolResources>();
+  resources->configs = pool.configs();
+  resources->view = pool.view();
+  return resources;
+}
+
+std::vector<std::string> split_words(const std::string& line) {
+  std::vector<std::string> words;
+  std::istringstream in(line);
+  std::string w;
+  while (in >> w) words.push_back(w);
+  return words;
+}
+
+// Hex-float (%a) round-trips doubles exactly: the trace line is a bitwise
+// fingerprint of the study's trajectory.
+std::string hex_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+class Daemon {
+ public:
+  Daemon(service::ManagerOptions opts, std::size_t pool_configs)
+      : manager_(std::move(opts)) {
+    manager_.register_pool("synth-small", build_synth_pool(pool_configs));
+    const std::size_t resumed = manager_.resume_all();
+    if (resumed > 0) {
+      std::cerr << "[studyd] resumed " << resumed << " journaled studies\n";
+    }
+  }
+
+  service::StudyManager& manager() { return manager_; }
+
+  // Handles one request line; returns the response line (without '\n').
+  // `running` is cleared by `shutdown`.
+  std::string handle(const std::string& line, bool* running) {
+    const std::vector<std::string> words = split_words(line);
+    if (words.empty()) return "err empty request";
+    const std::string& verb = words[0];
+    try {
+      if (verb == "ping") return "ok pong";
+      if (verb == "shutdown") {
+        *running = false;
+        return "ok bye";
+      }
+      if (verb == "list") {
+        std::string out = "ok";
+        for (const std::string& name : manager_.list()) out += " " + name;
+        return out;
+      }
+      if (verb == "pump") {
+        return "ok steps=" + std::to_string(manager_.pump());
+      }
+      if (verb == "create-study") return create_study(words);
+      if (words.size() < 2) return "err missing study name";
+      const std::string& name = words[1];
+      if (verb == "resume") {
+        // Two flavors: un-park an in-memory session the scheduler suspended
+        // (e.g. past its deadline — resume grants a fresh allowance), or
+        // reconstruct a journaled study that has no active session.
+        if (service::StudySession* active = manager_.find(name)) {
+          active->resume_from_suspend();
+          return "ok resumed " + name +
+                 " steps=" + std::to_string(active->steps());
+        }
+        service::StudySession& s = manager_.resume_study(name);
+        s.resume_from_suspend();
+        return "ok resumed " + name + " steps=" + std::to_string(s.steps());
+      }
+      service::StudySession* session = manager_.find(name);
+      if (session == nullptr) {
+        return "err no active study '" + name + "' (resume it?)";
+      }
+      if (verb == "status") return status(*session);
+      if (verb == "best") return best(*session);
+      if (verb == "trace") return trace(*session);
+      if (verb == "suspend") {
+        manager_.suspend_study(name);
+        return "ok suspended " + name;
+      }
+      if (verb == "ask") return ask(*session);
+      if (verb == "tell") return tell(*session, words);
+      if (verb == "drive") return drive(*session, words);
+      return "err unknown verb '" + verb + "'";
+    } catch (const std::exception& ex) {
+      // Collapse to one line: multi-line messages would break the framing.
+      std::string msg = ex.what();
+      for (char& c : msg) {
+        if (c == '\n') c = ' ';
+      }
+      return "err " + msg;
+    }
+  }
+
+ private:
+  std::string create_study(const std::vector<std::string>& words) {
+    if (words.size() < 2) return "err usage: create-study NAME [k=v...]";
+    service::StudySpec spec;
+    spec.name = words[1];
+    spec.pool = "synth-small";
+    spec.num_configs = 8;
+    for (std::size_t i = 2; i < words.size(); ++i) {
+      const std::string& w = words[i];
+      const std::size_t eq = w.find('=');
+      if (w == "external") {
+        spec.external = true;
+        continue;
+      }
+      if (eq == std::string::npos) return "err malformed option '" + w + "'";
+      const std::string key = w.substr(0, eq);
+      const std::string value = w.substr(eq + 1);
+      if (key == "method") {
+        const auto m = service::method_from_name(value);
+        if (!m.has_value()) return "err unknown method '" + value + "'";
+        spec.method = *m;
+      } else if (key == "configs") {
+        spec.num_configs = std::stoul(value);
+      } else if (key == "budget") {
+        spec.budget_rounds = std::stoul(value);
+      } else if (key == "seed") {
+        spec.seed = std::stoull(value);
+      } else if (key == "pool") {
+        spec.pool = value;
+      } else if (key == "eval-clients") {
+        spec.noise.eval_clients = std::stoul(value);
+      } else if (key == "epsilon") {
+        spec.noise.epsilon = std::stod(value);
+      } else if (key == "bias-b") {
+        spec.noise.bias_b = std::stod(value);
+      } else if (key == "deadline") {
+        spec.deadline_slices = std::stoul(value);
+      } else {
+        return "err unknown option '" + key + "'";
+      }
+    }
+    service::StudySession& s = manager_.create_study(std::move(spec));
+    return "ok created " + s.spec().name;
+  }
+
+  static std::string status(const service::StudySession& s) {
+    std::ostringstream out;
+    out << "ok state=" << service::state_name(s.state())
+        << " method=" << service::method_name(s.spec().method)
+        << " steps=" << s.steps() << " rounds=" << s.rounds_used();
+    if (s.spec().budget_rounds !=
+        std::numeric_limits<std::size_t>::max()) {
+      out << " budget=" << s.spec().budget_rounds;
+    }
+    if (const auto b = s.best()) {
+      out << " best_id=" << b->first.id << " best_error=" << b->second;
+    }
+    return out.str();
+  }
+
+  static std::string best(const service::StudySession& s) {
+    const auto b = s.best();
+    if (!b.has_value()) return "err no completed trials";
+    std::ostringstream out;
+    out << "ok id=" << b->first.id << " config_index=" << b->first.config_index
+        << " target_rounds=" << b->first.target_rounds
+        << " error=" << hex_double(b->second);
+    return out.str();
+  }
+
+  static std::string trace(const service::StudySession& s) {
+    const core::TuneResult& result = s.result();
+    std::ostringstream out;
+    out << "ok n=" << result.records.size();
+    for (const core::TrialRecord& r : result.records) {
+      out << " " << r.trial.id << ":" << r.trial.config_index << ":"
+          << r.trial.target_rounds << ":" << hex_double(r.noisy_objective)
+          << ":" << hex_double(r.full_error) << ":" << r.cumulative_rounds;
+    }
+    if (s.finished()) {
+      out << " | best=" << (result.best ? result.best->id : -1)
+          << " best_full=" << hex_double(result.best_full_error);
+    }
+    return out.str();
+  }
+
+  static std::string ask(service::StudySession& s) {
+    const std::optional<hpo::Trial> t = s.ask();
+    if (!t.has_value()) {
+      return s.finished() ? "err study finished" : "err study not running";
+    }
+    std::ostringstream out;
+    out << "ok id=" << t->id << " target_rounds=" << t->target_rounds
+        << " parent=" << t->parent_id << " config=";
+    bool first = true;
+    for (const auto& [key, value] : t->config) {
+      out << (first ? "" : ",") << key << "=" << hex_double(value);
+      first = false;
+    }
+    return out.str();
+  }
+
+  static std::string tell(service::StudySession& s,
+                          const std::vector<std::string>& words) {
+    if (words.size() != 4) return "err usage: tell NAME TRIAL_ID OBJECTIVE";
+    const int trial_id = std::stoi(words[2]);
+    const double objective = std::stod(words[3]);
+    const core::TrialRecord r = s.tell(trial_id, objective);
+    return "ok recorded trial=" + std::to_string(r.trial.id) +
+           " steps=" + std::to_string(s.steps());
+  }
+
+  static std::string drive(service::StudySession& s,
+                           const std::vector<std::string>& words) {
+    if (words.size() != 3) return "err usage: drive NAME STEPS";
+    const std::size_t steps = std::stoul(words[2]);
+    std::size_t ran = 0;
+    for (; ran < steps; ++ran) {
+      if (!s.run_one_step()) break;
+    }
+    return "ok ran=" + std::to_string(ran) +
+           " state=" + service::state_name(s.state());
+  }
+
+  service::StudyManager manager_;
+};
+
+volatile std::sig_atomic_t g_stop = 0;
+void handle_signal(int) { g_stop = 1; }
+
+int serve(const std::string& socket_path, Daemon& daemon, bool autodrive) {
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  ::unlink(socket_path.c_str());
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    std::cerr << "error: socket path too long: " << socket_path << "\n";
+    return 1;
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd, 16) < 0) {
+    std::perror("bind/listen");
+    ::close(listen_fd);
+    return 1;
+  }
+  std::cerr << "[studyd] listening on " << socket_path
+            << (autodrive ? " (autodrive)" : "") << "\n";
+
+  std::map<int, std::string> clients;  // fd -> partial input line
+  bool running = true;
+  while (running && !g_stop) {
+    std::vector<pollfd> fds;
+    fds.push_back({listen_fd, POLLIN, 0});
+    for (const auto& [fd, buf] : clients) fds.push_back({fd, POLLIN, 0});
+    // Autodrive paces the scheduler: one fair-share cycle per poll interval
+    // keeps the daemon responsive and leaves a wide window for the CI
+    // kill/resume smoke test to land mid-study.
+    const bool work = autodrive && daemon.manager().has_runnable();
+    const int timeout_ms = work ? 20 : 200;
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      std::perror("poll");
+      break;
+    }
+    for (const pollfd& p : fds) {
+      if ((p.revents & POLLIN) == 0 &&
+          (p.revents & (POLLHUP | POLLERR)) == 0) {
+        continue;
+      }
+      if (p.fd == listen_fd) {
+        const int client = ::accept(listen_fd, nullptr, nullptr);
+        if (client >= 0) clients[client] = "";
+        continue;
+      }
+      char buf[4096];
+      const ssize_t n = ::read(p.fd, buf, sizeof(buf));
+      if (n <= 0) {
+        ::close(p.fd);
+        clients.erase(p.fd);
+        continue;
+      }
+      clients[p.fd].append(buf, static_cast<std::size_t>(n));
+      std::string& pending = clients[p.fd];
+      std::size_t nl;
+      while (running && (nl = pending.find('\n')) != std::string::npos) {
+        const std::string line = pending.substr(0, nl);
+        pending.erase(0, nl + 1);
+        const std::string response = daemon.handle(line, &running) + "\n";
+        ssize_t off = 0;
+        while (off < static_cast<ssize_t>(response.size())) {
+          const ssize_t w = ::write(p.fd, response.data() + off,
+                                    response.size() - off);
+          if (w <= 0) break;
+          off += w;
+        }
+      }
+    }
+    if (work) daemon.manager().pump();
+  }
+  for (const auto& [fd, buf] : clients) ::close(fd);
+  ::close(listen_fd);
+  ::unlink(socket_path.c_str());
+  std::cerr << "[studyd] shut down\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  service::ManagerOptions opts;
+  opts.journal_dir = "fedtune_studies";
+  opts.rounds_per_slice = 9;  // one full-fidelity synth-small trial per cycle
+  bool autodrive = false;
+  std::size_t pool_configs = 8;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "error: " << a << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--socket") {
+      socket_path = next();
+    } else if (a == "--journal-dir") {
+      opts.journal_dir = next();
+    } else if (a == "--autodrive") {
+      autodrive = true;
+    } else if (a == "--pool-configs") {
+      pool_configs = std::stoul(next());
+    } else if (a == "--rounds-per-slice") {
+      opts.rounds_per_slice = std::stoul(next());
+    } else {
+      std::cerr << "usage: fedtune_studyd --socket PATH [--journal-dir DIR] "
+                   "[--autodrive] [--pool-configs N] [--rounds-per-slice R]\n";
+      return a == "--help" || a == "-h" ? 0 : 2;
+    }
+  }
+  if (socket_path.empty()) {
+    std::cerr << "error: --socket is required\n";
+    return 2;
+  }
+  std::signal(SIGTERM, handle_signal);
+  std::signal(SIGINT, handle_signal);
+  // A client that disconnects before its response is written must cost an
+  // EPIPE on that fd, not the whole multi-tenant daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+  try {
+    Daemon daemon(opts, pool_configs);
+    return serve(socket_path, daemon, autodrive);
+  } catch (const std::exception& ex) {
+    std::cerr << "fatal: " << ex.what() << "\n";
+    return 1;
+  }
+}
