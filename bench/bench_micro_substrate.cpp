@@ -483,11 +483,86 @@ int write_substrate_report(const std::string& path) {
     out << "  \"study_service\": {\"journal_appends_per_sec\": "
         << appends_per_sec << ", \"step_latency_us\": " << step_us
         << ", \"concurrent_studies\": " << kTenants
-        << ", \"scheduler_trials_per_sec\": " << trials_per_sec << "}\n}\n";
+        << ", \"scheduler_trials_per_sec\": " << trials_per_sec << "},\n";
     std::cerr << "study service: journal " << appends_per_sec
               << " appends/s, ask->tell " << step_us << " us/step, "
               << kTenants << "-tenant scheduler " << trials_per_sec
               << " trials/s\n";
+  }
+
+  // Fault recovery: the durability tax and the recovery bill. Append
+  // throughput with and without fsync-on-commit (the --fsync-on-commit
+  // daemon flag), and journal recovery latency as a function of journaled
+  // step count — what a daemon restart pays per study.
+  {
+    namespace svc = fedtune::service;
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         ("fedtune_bench_fault_" + std::to_string(::getpid())))
+            .string();
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    svc::StudySpec jspec;
+    jspec.name = "bench-fault";
+    jspec.external = true;
+    hpo::Trial jtrial;
+    jtrial.config = {{"client_lr", 0.1}, {"server_lr", 0.01}};
+    core::TrialRecord jrec;
+    jrec.trial = jtrial;
+
+    const auto append_rate = [&](bool sync_on_commit, std::size_t steps) {
+      const std::string path = dir + "/append.journal";
+      std::filesystem::remove(path);
+      const auto t0 = Clock::now();
+      svc::StudyJournal journal = svc::StudyJournal::create(
+          path, jspec, nullptr, sync_on_commit);
+      for (std::size_t i = 0; i < steps; ++i) {
+        jtrial.id = static_cast<int>(i);
+        jrec.trial.id = jtrial.id;
+        jrec.cumulative_rounds = i;
+        journal.append_ask(jtrial);
+        journal.append_tell(jrec);
+      }
+      return 2.0 * static_cast<double>(steps) / seconds_since(t0);
+    };
+    // fsync steps kept small: each append is a device round trip.
+    const double nofsync_per_sec = append_rate(false, 2000);
+    const double fsync_per_sec = append_rate(true, 200);
+
+    out << "  \"fault_recovery\": {\"append_per_sec_nofsync\": "
+        << nofsync_per_sec << ", \"append_per_sec_fsync\": " << fsync_per_sec
+        << ", \"recovery\": [\n";
+    const std::size_t recover_sizes[] = {256, 1024, 4096};
+    bool first_size = true;
+    for (const std::size_t steps : recover_sizes) {
+      const std::string path = dir + "/recover.journal";
+      std::filesystem::remove(path);
+      {
+        svc::StudyJournal journal = svc::StudyJournal::create(path, jspec);
+        for (std::size_t i = 0; i < steps; ++i) {
+          jtrial.id = static_cast<int>(i);
+          jrec.trial.id = jtrial.id;
+          jrec.cumulative_rounds = i;
+          journal.append_ask(jtrial);
+          journal.append_tell(jrec);
+        }
+      }
+      const auto r0 = Clock::now();
+      const svc::RecoveredStudy recovered = svc::StudyJournal::recover(path);
+      const double recover_ms = seconds_since(r0) * 1e3;
+      benchmark::DoNotOptimize(&recovered);
+      if (!first_size) out << ",\n";
+      first_size = false;
+      out << "    {\"steps\": " << steps << ", \"recover_ms\": " << recover_ms
+          << "}";
+      std::cerr << "fault recovery: " << steps << "-step journal recovered in "
+                << recover_ms << " ms\n";
+    }
+    out << "\n  ]}\n}\n";
+    std::filesystem::remove_all(dir);
+    std::cerr << "fault recovery: append " << nofsync_per_sec
+              << "/s buffered vs " << fsync_per_sec << "/s fsync-on-commit\n";
   }
   std::cerr << "sharded pool build: shards " << ta << "s / " << tb
             << "s, merge " << tm << "s -> est fleet wall-clock " << wall

@@ -4,9 +4,11 @@
 # config-pool build wall-clock at 1 vs N threads, sharded vs monolithic
 # pool-build wall-clock with the estimated fleet speedup, the async_overlap
 # section — sync-barrier vs pipelined eval/train rounds via
-# runtime::AsyncEvalPipeline — and the study_service section: journal
+# runtime::AsyncEvalPipeline — the study_service section: journal
 # append throughput, ask->tell step latency, and the fair-share scheduler's
-# concurrent-study trial throughput) for tracking the perf trajectory
+# concurrent-study trial throughput — and the fault_recovery section:
+# journal append throughput with and without fsync-on-commit plus recovery
+# latency per journaled step count) for tracking the perf trajectory
 # across PRs.
 #
 # Usage: scripts/bench_report.sh [build_dir] [output.json]

@@ -1,0 +1,295 @@
+#include "common/env.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "common/rng.hpp"
+#include "common/rng_salts.hpp"
+
+namespace fedtune {
+
+IoErrorKind classify_errno(int err) {
+  switch (err) {
+    case EAGAIN:
+    case EINTR:
+    case EBUSY:
+    case ENOSPC:
+    case ETIMEDOUT:
+#ifdef EDQUOT
+    case EDQUOT:
+#endif
+      return IoErrorKind::kTransient;
+    default:
+      return IoErrorKind::kPersistent;
+  }
+}
+
+IoError::IoError(IoErrorKind kind, std::string op, std::string path,
+                 const std::string& detail)
+    : std::runtime_error("io error (" +
+                         std::string(io_error_kind_name(kind)) + ") during " +
+                         op + " on " + path + ": " + detail),
+      kind_(kind), op_(std::move(op)), path_(std::move(path)) {}
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* op, const std::string& path) {
+  const int err = errno;
+  throw IoError(classify_errno(err), op, path, std::strerror(err));
+}
+
+// Unbuffered fd-backed file: every append is pushed to the OS before the
+// call returns, so a caller-visible success means the bytes survive a
+// process crash — the durability contract the study journal acks against.
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void append(std::string_view data) override {
+    const char* p = data.data();
+    std::size_t remaining = data.size();
+    while (remaining > 0) {
+      const ssize_t n = ::write(fd_, p, remaining);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("write", path_);
+      }
+      p += n;
+      remaining -= static_cast<std::size_t>(n);
+    }
+  }
+
+  void sync() override {
+    if (::fsync(fd_) != 0) throw_errno("fsync", path_);
+  }
+
+  void close() override {
+    if (fd_ < 0) return;
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) throw_errno("close", path_);
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  std::unique_ptr<WritableFile> open_writable(const std::string& path,
+                                              WriteMode mode) override {
+    const int flags = O_WRONLY | O_CREAT |
+                      (mode == WriteMode::kTruncate ? O_TRUNC : O_APPEND);
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) throw_errno("open", path);
+    return std::make_unique<PosixWritableFile>(fd, path);
+  }
+
+  std::string read_file(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) throw_errno("open", path);
+    std::string bytes;
+    char buf[1 << 16];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const int err = errno;
+        ::close(fd);
+        throw IoError(classify_errno(err), "read", path, std::strerror(err));
+      }
+      if (n == 0) break;
+      bytes.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return bytes;
+  }
+
+  bool exists(const std::string& path) override {
+    std::error_code ec;
+    return std::filesystem::exists(path, ec);
+  }
+
+  std::uint64_t file_size(const std::string& path) override {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    if (ec) {
+      throw IoError(IoErrorKind::kPersistent, "stat", path, ec.message());
+    }
+    return size;
+  }
+
+  void rename_file(const std::string& from, const std::string& to) override {
+    std::error_code ec;
+    std::filesystem::rename(from, to, ec);
+    if (ec) throw IoError(IoErrorKind::kPersistent, "rename", from, ec.message());
+  }
+
+  void remove_file(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);  // false (missing) is not an error
+    if (ec) throw IoError(IoErrorKind::kPersistent, "remove", path, ec.message());
+  }
+
+  void truncate_file(const std::string& path, std::uint64_t size) override {
+    std::error_code ec;
+    std::filesystem::resize_file(path, size, ec);
+    if (ec) {
+      throw IoError(IoErrorKind::kPersistent, "truncate", path, ec.message());
+    }
+  }
+
+  void create_directories(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::create_directories(path, ec);
+    if (ec) throw IoError(IoErrorKind::kPersistent, "mkdir", path, ec.message());
+  }
+
+  std::vector<std::string> list_dir(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::directory_iterator it(path, ec);
+    if (ec) throw IoError(IoErrorKind::kPersistent, "listdir", path, ec.message());
+    std::vector<std::string> names;
+    for (const auto& entry : it) {
+      if (entry.is_regular_file()) {
+        names.push_back(entry.path().filename().string());
+      }
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+};
+
+}  // namespace
+
+// Wraps the base file and consults the owning env's plan on every data op.
+// (Namespace-scope, not anonymous: FaultInjectingEnv befriends it by name.)
+class FaultWritableFile final : public WritableFile {
+ public:
+  FaultWritableFile(std::unique_ptr<WritableFile> base, FaultInjectingEnv* env,
+                    std::string path)
+      : base_(std::move(base)), env_(env), path_(std::move(path)) {}
+
+  void append(std::string_view data) override {
+    const auto d = env_->decide(path_, data.size(), /*is_append=*/true);
+    if (d.crash) {
+      // Torn prefix first, then die without unwinding — the bytes written so
+      // far are exactly what a SIGKILL mid-write would leave behind.
+      if (d.keep_bytes > 0) base_->append(data.substr(0, d.keep_bytes));
+      ::_exit(kFaultCrashExitCode);
+    }
+    if (d.fail) {
+      if (d.keep_bytes > 0) base_->append(data.substr(0, d.keep_bytes));
+      throw IoError(env_->plan().error_kind, "write", path_,
+                    "injected fault at op " + std::to_string(d.op) +
+                        (d.keep_bytes > 0
+                             ? " (torn after " + std::to_string(d.keep_bytes) +
+                                   " bytes)"
+                             : ""));
+    }
+    base_->append(data);
+  }
+
+  void sync() override {
+    const auto d = env_->decide(path_, 0, /*is_append=*/false);
+    if (d.crash) ::_exit(kFaultCrashExitCode);
+    if (d.fail) {
+      throw IoError(env_->plan().error_kind, "fsync", path_,
+                    "injected fault at op " + std::to_string(d.op));
+    }
+    base_->sync();
+  }
+
+  void close() override { base_->close(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  FaultInjectingEnv* env_;
+  std::string path_;
+};
+
+Env& Env::real() {
+  static PosixEnv env;
+  return env;
+}
+
+FaultInjectingEnv::FaultInjectingEnv(Env& base, FaultPlan plan)
+    : base_(base), plan_(std::move(plan)) {}
+
+std::unique_ptr<WritableFile> FaultInjectingEnv::open_writable(
+    const std::string& path, WriteMode mode) {
+  return std::make_unique<FaultWritableFile>(base_.open_writable(path, mode),
+                                             this, path);
+}
+
+std::string FaultInjectingEnv::read_file(const std::string& path) {
+  return base_.read_file(path);
+}
+bool FaultInjectingEnv::exists(const std::string& path) {
+  return base_.exists(path);
+}
+std::uint64_t FaultInjectingEnv::file_size(const std::string& path) {
+  return base_.file_size(path);
+}
+void FaultInjectingEnv::rename_file(const std::string& from,
+                                    const std::string& to) {
+  base_.rename_file(from, to);
+}
+void FaultInjectingEnv::remove_file(const std::string& path) {
+  base_.remove_file(path);
+}
+void FaultInjectingEnv::truncate_file(const std::string& path,
+                                      std::uint64_t size) {
+  base_.truncate_file(path, size);
+}
+void FaultInjectingEnv::create_directories(const std::string& path) {
+  base_.create_directories(path);
+}
+std::vector<std::string> FaultInjectingEnv::list_dir(const std::string& path) {
+  return base_.list_dir(path);
+}
+
+std::size_t FaultInjectingEnv::ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+
+FaultInjectingEnv::Decision FaultInjectingEnv::decide(const std::string& path,
+                                                      std::size_t len,
+                                                      bool is_append) {
+  if (!plan_.path_filter.empty() &&
+      path.find(plan_.path_filter) == std::string::npos) {
+    return {};
+  }
+  Decision d;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    d.op = ++ops_;
+  }
+  if (plan_.crash_at_op != 0 && d.op == plan_.crash_at_op) {
+    d.crash = true;
+  } else if (plan_.fail_from_op != 0 && d.op >= plan_.fail_from_op &&
+             d.op - plan_.fail_from_op < plan_.fail_count) {
+    d.fail = true;
+  }
+  if ((d.crash || d.fail) && is_append && plan_.torn_writes && len > 0) {
+    // Pure per-op stream: the tear length for op k is a function of
+    // (plan.seed, k) alone, never of earlier draws.
+    Rng tear = Rng(plan_.seed).split(salts::kFaultTear).split(d.op);
+    d.keep_bytes = static_cast<std::size_t>(
+        tear.uniform_int(0, static_cast<std::int64_t>(len)));
+  }
+  return d;
+}
+
+}  // namespace fedtune

@@ -1,0 +1,198 @@
+// Env — the filesystem/process environment abstraction behind every durable
+// write in fedtune, plus FaultInjectingEnv, the deterministic fault injector
+// the robustness tests are built on.
+//
+// Why an abstraction: the StudyService's durability story (service/journal.hpp)
+// is only as strong as its handling of the failure modes real disks produce —
+// short writes, EIO, ENOSPC, torn tails, crashes between any two syscalls.
+// Routing every write through Env lets tests inject exactly those failures,
+// deterministically, at every I/O boundary, while production code runs on the
+// thin POSIX implementation behind Env::real().
+//
+// IoError taxonomy: every failed operation throws IoError carrying a kind —
+//   kTransient   retryable (ENOSPC, EAGAIN, EBUSY, injected transient faults):
+//                the condition can clear; callers retry with capped
+//                exponential backoff (service/study.hpp RetryPolicy).
+//   kPersistent  fatal (EIO, EROFS, ENOENT, injected persistent faults): the
+//                operation will keep failing; callers quarantine the affected
+//                resource instead of retrying.
+//
+// FaultInjectingEnv wraps any base Env and injects faults from a FaultPlan:
+// errors (with optional torn prefix writes at byte granularity) on a
+// contiguous range of data operations, and crash-points that _exit() the
+// process mid-operation. Data operations — WritableFile::append and sync on
+// paths matching the plan's filter — are numbered 1, 2, 3, ... in execution
+// order; torn-prefix lengths are drawn from pure per-op RNG streams
+// (Rng(seed).split(salts::kFaultTear).split(op)), so a failure run is bitwise
+// reproducible from (plan, workload) alone. ops() reports how many data
+// operations a run performed, which is how the crash-point matrix in
+// tests/test_fault_injection.cpp enumerates every boundary.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fedtune {
+
+enum class IoErrorKind : std::uint8_t {
+  kTransient = 0,  // retryable: the condition can clear (ENOSPC, EAGAIN, ...)
+  kPersistent = 1  // fatal: retrying cannot help (EIO, EROFS, ENOENT, ...)
+};
+
+inline const char* io_error_kind_name(IoErrorKind k) {
+  return k == IoErrorKind::kTransient ? "transient" : "persistent";
+}
+
+// Maps an errno to the taxonomy. ENOSPC/EDQUOT are transient — an operator
+// can free space, and the retry-then-quarantine ladder bounds the damage if
+// nobody does. Everything unrecognized is persistent: retrying an unknown
+// failure is how daemons turn one bad disk into a busy-loop.
+IoErrorKind classify_errno(int err);
+
+class IoError : public std::runtime_error {
+ public:
+  IoError(IoErrorKind kind, std::string op, std::string path,
+          const std::string& detail);
+
+  IoErrorKind kind() const noexcept { return kind_; }
+  bool retryable() const noexcept { return kind_ == IoErrorKind::kTransient; }
+  const std::string& op() const noexcept { return op_; }
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  IoErrorKind kind_;
+  std::string op_;
+  std::string path_;
+};
+
+// An open append-only write handle. Every method throws IoError on failure;
+// the destructor closes silently (errors at destruction cannot be surfaced —
+// callers that need close errors call close() explicitly).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  // Writes all of `data` (short syscall writes are continued internally; a
+  // genuinely failed write throws, possibly after a prefix reached the file).
+  virtual void append(std::string_view data) = 0;
+  // fsync: data durable across machine crashes, not just process crashes.
+  virtual void sync() = 0;
+  // Idempotent; throws on close failure (first call only).
+  virtual void close() = 0;
+};
+
+class Env {
+ public:
+  enum class WriteMode : std::uint8_t { kTruncate, kAppend };
+
+  virtual ~Env() = default;
+
+  virtual std::unique_ptr<WritableFile> open_writable(const std::string& path,
+                                                      WriteMode mode) = 0;
+  // Whole-file read; throws IoError (kPersistent/ENOENT) when missing.
+  virtual std::string read_file(const std::string& path) = 0;
+  virtual bool exists(const std::string& path) = 0;
+  virtual std::uint64_t file_size(const std::string& path) = 0;
+  // Atomic within a filesystem: the rename either happened or it did not.
+  virtual void rename_file(const std::string& from, const std::string& to) = 0;
+  // Missing files are not an error (idempotent cleanup).
+  virtual void remove_file(const std::string& path) = 0;
+  virtual void truncate_file(const std::string& path, std::uint64_t size) = 0;
+  virtual void create_directories(const std::string& path) = 0;
+  // Names (not paths) of the regular files in `path`, sorted.
+  virtual std::vector<std::string> list_dir(const std::string& path) = 0;
+
+  // The process-wide POSIX environment.
+  static Env& real();
+};
+
+// nullptr-tolerant accessor: subsystems take `Env* env = nullptr` and resolve
+// it through this, so production call sites never spell out Env::real().
+inline Env& env_or_real(Env* env) { return env != nullptr ? *env : Env::real(); }
+
+// Exit code used by FaultInjectingEnv crash-points (via _exit, so no
+// destructors/flushes run — the closest portable approximation of SIGKILL
+// that a test harness can schedule deterministically).
+inline constexpr int kFaultCrashExitCode = 86;
+
+struct FaultPlan {
+  static constexpr std::size_t kForever =
+      std::numeric_limits<std::size_t>::max();
+
+  // Seeds the pure per-op RNG streams (torn-prefix lengths).
+  std::uint64_t seed = 0;
+
+  // Only operations on paths containing this substring are counted and
+  // eligible for faults; empty matches every path. This is what scopes a
+  // fault to one tenant's journal while its neighbours stay healthy.
+  std::string path_filter;
+
+  // Error injection: data ops fail_from_op .. fail_from_op + fail_count - 1
+  // (1-based) throw IoError(error_kind). 0 disables. fail_count = kForever
+  // models a disk that died; fail_count = 1 a transient blip.
+  std::size_t fail_from_op = 0;
+  std::size_t fail_count = kForever;
+  IoErrorKind error_kind = IoErrorKind::kTransient;
+
+  // When a failing/crashing op is an append, first write a prefix of the
+  // data whose length is drawn uniformly from [0, len] — a torn write at
+  // byte granularity. Off: failed appends write nothing.
+  bool torn_writes = true;
+
+  // Crash-point: _exit(kFaultCrashExitCode) during the crash_at_op-th data
+  // op (after its torn prefix, if any, reached the file). 0 disables.
+  std::size_t crash_at_op = 0;
+};
+
+// Wraps a base Env and applies a FaultPlan to its data operations. Metadata
+// operations (rename, truncate, remove, listing, reads) pass through
+// unfaulted: the plan targets the write path, and recovery code must be able
+// to heal files even while a plan is active.
+class FaultInjectingEnv : public Env {
+ public:
+  FaultInjectingEnv(Env& base, FaultPlan plan);
+
+  std::unique_ptr<WritableFile> open_writable(const std::string& path,
+                                              WriteMode mode) override;
+  std::string read_file(const std::string& path) override;
+  bool exists(const std::string& path) override;
+  std::uint64_t file_size(const std::string& path) override;
+  void rename_file(const std::string& from, const std::string& to) override;
+  void remove_file(const std::string& path) override;
+  void truncate_file(const std::string& path, std::uint64_t size) override;
+  void create_directories(const std::string& path) override;
+  std::vector<std::string> list_dir(const std::string& path) override;
+
+  // Data operations (appends + syncs on matching paths) observed so far.
+  // A no-fault plan turns this env into the boundary counter the crash-point
+  // matrix drives: run once, read ops(), then re-run with crash_at_op = k
+  // for every k in [1, ops()].
+  std::size_t ops() const;
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  friend class FaultWritableFile;
+
+  struct Decision {
+    bool crash = false;
+    bool fail = false;
+    std::size_t op = 0;
+    std::size_t keep_bytes = 0;  // torn prefix written before failing
+  };
+  // Counts the op and decides its fate. `len` is the append length (0 for
+  // sync, whose "torn prefix" is meaningless).
+  Decision decide(const std::string& path, std::size_t len, bool is_append);
+
+  Env& base_;
+  FaultPlan plan_;
+  mutable std::mutex mu_;
+  std::size_t ops_ = 0;
+};
+
+}  // namespace fedtune

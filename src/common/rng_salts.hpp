@@ -61,6 +61,12 @@ inline constexpr std::uint64_t kRunnerScheduler = 0x72736368ULL;  // "rsch"
 // replay can fast-forward the eval counter without re-running evaluations.
 inline constexpr std::uint64_t kEvalCall = 0x6576616cULL;  // "eval"
 
+// --- common/env.cpp (FaultInjectingEnv) ------------------------------------
+// Torn-write prefix lengths: tear_rng = Rng(plan.seed).split(kFaultTear)
+// .split(op_index). Pure per-op streams — the tear at op k is a function of
+// (plan seed, k) alone, so every failure run is bitwise reproducible.
+inline constexpr std::uint64_t kFaultTear = 0x74656172ULL;  // "tear"
+
 // --- service/study.cpp -----------------------------------------------------
 // Study streams derived from the study seed: the tuner is constructed with
 // Rng(spec.seed).split(kStudyTuner); the driver/evaluator seed is
@@ -68,5 +74,9 @@ inline constexpr std::uint64_t kEvalCall = 0x6576616cULL;  // "eval"
 // journal-recovered study re-derives identical streams.
 inline constexpr std::uint64_t kStudyTuner = 0x73747564ULL;   // "stud"
 inline constexpr std::uint64_t kStudyDriver = 0x73647276ULL;  // "sdrv"
+// Retry-backoff jitter for transient journal I/O errors:
+// jitter_rng = Rng(spec.seed).split(kStudyRetryJitter). Seeded off the spec
+// so degraded-mode runs are as reproducible as healthy ones.
+inline constexpr std::uint64_t kStudyRetryJitter = 0x726a7469ULL;  // "rjti"
 
 }  // namespace fedtune::salts

@@ -19,20 +19,36 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/env.hpp"
 
 namespace fedtune {
 
+// File writer over Env (common/env.hpp): write failures surface as IoError
+// instead of silently poisoning a stream, and tests can route pool/view
+// writers through a FaultInjectingEnv. Writes are buffered; close() flushes
+// and throws on failure, the destructor flushes best-effort — callers that
+// need the error (all the save() paths) must close() explicitly.
 class BinaryWriter {
  public:
-  explicit BinaryWriter(const std::string& path)
-      : out_(path, std::ios::binary) {
-    FEDTUNE_CHECK_MSG(out_.good(), "cannot open " << path << " for writing");
+  explicit BinaryWriter(const std::string& path, Env* env = nullptr)
+      : file_(env_or_real(env).open_writable(path, Env::WriteMode::kTruncate)) {
+    buf_.reserve(kFlushThreshold);
   }
+
+  ~BinaryWriter() {
+    try {
+      close();
+    } catch (const IoError&) {  // destructor cannot surface the failure
+    }
+  }
+
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
 
   template <typename T>
   void write_scalar(T v) {
     static_assert(std::is_trivially_copyable_v<T>);
-    out_.write(reinterpret_cast<const char*>(&v), sizeof(T));
+    append(reinterpret_cast<const char*>(&v), sizeof(T));
   }
 
   void write_u64(std::uint64_t v) { write_scalar(v); }
@@ -42,25 +58,52 @@ class BinaryWriter {
 
   void write_string(const std::string& s) {
     write_u64(s.size());
-    out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+    append(s.data(), s.size());
   }
 
   template <typename T>
   void write_vector(std::span<const T> v) {
     static_assert(std::is_trivially_copyable_v<T>);
     write_u64(v.size());
-    out_.write(reinterpret_cast<const char*>(v.data()),
-               static_cast<std::streamsize>(v.size() * sizeof(T)));
+    append(reinterpret_cast<const char*>(v.data()), v.size() * sizeof(T));
   }
   template <typename T>
   void write_vector(const std::vector<T>& v) {
     write_vector(std::span<const T>(v));
   }
 
-  bool good() const { return out_.good(); }
+  // Flushes and closes; idempotent. Throws IoError on write/close failure.
+  void close() {
+    if (file_ == nullptr) return;
+    flush();
+    auto file = std::move(file_);
+    file->close();
+  }
+
+  bool good() const { return file_ != nullptr; }
 
  private:
-  std::ofstream out_;
+  static constexpr std::size_t kFlushThreshold = 1u << 16;
+
+  void append(const char* data, std::size_t n) {
+    FEDTUNE_CHECK_MSG(file_ != nullptr, "write after close");
+    if (buf_.size() + n >= kFlushThreshold) flush();
+    if (n >= kFlushThreshold) {
+      file_->append(std::string_view(data, n));
+    } else {
+      buf_.append(data, n);
+    }
+  }
+
+  void flush() {
+    if (!buf_.empty()) {
+      file_->append(buf_);
+      buf_.clear();
+    }
+  }
+
+  std::unique_ptr<WritableFile> file_;
+  std::string buf_;
 };
 
 class BinaryReader {

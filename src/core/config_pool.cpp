@@ -95,14 +95,16 @@ double PoolEvalView::min_client_error(std::size_t config,
   return static_cast<double>(*std::min_element(e.begin(), e.end()));
 }
 
-void PoolEvalView::save(const std::string& path) const {
-  BinaryWriter w(path);
+void PoolEvalView::save(const std::string& path, Env* env) const {
+  const std::string tmp = path + ".tmp";
+  BinaryWriter w(tmp, env);
   w.write_u64(kViewMagic);
   w.write_u64(num_configs_);
   w.write_vector<std::size_t>(checkpoints_);
   w.write_vector<double>(client_weights_);
   w.write_vector<float>(errors_);
-  FEDTUNE_CHECK_MSG(w.good(), "failed writing view to " << path);
+  w.close();
+  env_or_real(env).rename_file(tmp, path);
 }
 
 std::optional<PoolEvalView> PoolEvalView::load(const std::string& path) {
@@ -402,14 +404,16 @@ ConfigPool ConfigPool::read_payload(BinaryReader& r,
   return pool;
 }
 
-void ConfigPool::save(const std::string& path) const {
+void ConfigPool::save(const std::string& path, Env* env) const {
   FEDTUNE_CHECK_MSG(!is_shard(),
                     "partial pool [" << shard_lo() << ", " << shard_hi()
                                      << "): use save_shard()");
-  BinaryWriter w(path);
+  const std::string tmp = path + ".tmp";
+  BinaryWriter w(tmp, env);
   w.write_u64(kPoolMagic);
   write_payload(w);
-  FEDTUNE_CHECK_MSG(w.good(), "failed writing pool to " << path);
+  w.close();
+  env_or_real(env).rename_file(tmp, path);
 }
 
 std::optional<ConfigPool> ConfigPool::load(const std::string& path) {
@@ -423,14 +427,16 @@ std::optional<ConfigPool> ConfigPool::load(const std::string& path) {
   }
 }
 
-void ConfigPool::save_shard(const std::string& path) const {
-  BinaryWriter w(path);
+void ConfigPool::save_shard(const std::string& path, Env* env) const {
+  const std::string tmp = path + ".tmp";
+  BinaryWriter w(tmp, env);
   w.write_u64(kShardMagic);
   w.write_u64(shard_lo_);
   w.write_u64(shard_hi());
   w.write_u64(configs_.size());
   write_payload(w);
-  FEDTUNE_CHECK_MSG(w.good(), "failed writing shard to " << path);
+  w.close();
+  env_or_real(env).rename_file(tmp, path);
 }
 
 std::optional<ConfigPool> ConfigPool::load_shard(const std::string& path) {

@@ -29,6 +29,7 @@
 namespace fedtune {
 class BinaryReader;
 class BinaryWriter;
+class Env;
 }
 
 namespace fedtune::core {
@@ -65,7 +66,10 @@ class PoolEvalView {
 
   // Standalone (de)serialization — derived views (e.g. Fig. 4's
   // repartitioned eval clients) are cached without the parameter snapshots.
-  void save(const std::string& path) const;
+  // Saves write path + ".tmp" then rename, so a crashed save never leaves a
+  // half-written cache under the final name. `env` routes the write for
+  // fault-injection tests; nullptr = Env::real().
+  void save(const std::string& path, Env* env = nullptr) const;
   static std::optional<PoolEvalView> load(const std::string& path);
 
  private:
@@ -149,14 +153,15 @@ class ConfigPool {
                            std::size_t num_threads = 0) const;
 
   // Monolithic pool files (.pool). save() rejects shards — their error
-  // blocks cover only a subrange; use save_shard().
-  void save(const std::string& path) const;
+  // blocks cover only a subrange; use save_shard(). Both savers are
+  // tmp-write + atomic-rename (see PoolEvalView::save).
+  void save(const std::string& path, Env* env = nullptr) const;
   static std::optional<ConfigPool> load(const std::string& path);
 
   // Shard files: a versioned magic plus a [lo, hi, total) range header on
   // top of the monolithic payload (full config list; errors/params for the
   // local range only). A monolithic pool may be saved as its trivial shard.
-  void save_shard(const std::string& path) const;
+  void save_shard(const std::string& path, Env* env = nullptr) const;
   static std::optional<ConfigPool> load_shard(const std::string& path);
 
  private:

@@ -110,6 +110,7 @@ double NoisyEvaluator::evaluate_with(std::span<const double> all_client_errors,
     accountant_.charge(noise_.epsilon / static_cast<double>(planned_evals_));
   }
   ++evals_;
+  ++live_evals_;
   return value;
 }
 

@@ -52,6 +52,11 @@ class NoisyEvaluator {
   const std::vector<std::size_t>& last_sample() const { return last_sample_; }
 
   std::size_t evals_performed() const { return evals_; }
+  // Evaluations actually computed by this instance — excludes
+  // skip_evaluation() fast-forwards. Recovery tests use this to prove a
+  // resumed study replays its history without re-running a single
+  // evaluation.
+  std::size_t live_evals_performed() const { return live_evals_; }
   const privacy::BasicCompositionAccountant& accountant() const {
     return accountant_;
   }
@@ -67,6 +72,7 @@ class NoisyEvaluator {
   privacy::BasicCompositionAccountant accountant_;
   std::vector<std::size_t> last_sample_;
   std::size_t evals_ = 0;
+  std::size_t live_evals_ = 0;
 };
 
 }  // namespace fedtune::core

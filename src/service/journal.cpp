@@ -1,8 +1,6 @@
 #include "service/journal.hpp"
 
 #include <cstring>
-#include <filesystem>
-#include <iterator>
 
 #include "common/check.hpp"
 #include "common/crc32.hpp"
@@ -124,47 +122,96 @@ StudySpec read_spec(BufferReader& r) {
 
 }  // namespace
 
-bool StudyJournal::exists(const std::string& path) {
-  return std::filesystem::exists(path);
+bool StudyJournal::exists(const std::string& path, Env* env) {
+  return env_or_real(env).exists(path);
 }
 
 StudyJournal StudyJournal::create(const std::string& path,
-                                  const StudySpec& spec) {
-  FEDTUNE_CHECK_MSG(!exists(path), "journal already exists: " << path);
-  std::ofstream out(path, std::ios::binary);
-  FEDTUNE_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
-  const std::uint64_t magic = kJournalMagic;
-  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
-  StudyJournal journal(std::move(out));
-  BufferWriter payload;
-  payload.write_u8(kCreate);
-  write_spec(payload, spec);
-  journal.append_frame(payload.bytes());
-  return journal;
+                                  const StudySpec& spec, Env* env,
+                                  bool sync_on_commit) {
+  Env& e = env_or_real(env);
+  FEDTUNE_CHECK_MSG(!e.exists(path), "journal already exists: " << path);
+  try {
+    StudyJournal journal(e, path, e.open_writable(path, Env::WriteMode::kTruncate),
+                         /*durable=*/0, sync_on_commit);
+    const std::uint64_t magic = kJournalMagic;
+    journal.file_->append(
+        std::string_view(reinterpret_cast<const char*>(&magic), sizeof(magic)));
+    journal.durable_ = sizeof(magic);
+    BufferWriter payload;
+    payload.write_u8(kCreate);
+    write_spec(payload, spec);
+    journal.append_frame(payload.bytes());
+    return journal;
+  } catch (const IoError&) {
+    // A failed create must not leave a stub claiming the study name: the
+    // spec was never acknowledged, so there is nothing worth recovering.
+    try {
+      e.remove_file(path);
+    } catch (const IoError&) {
+    }
+    throw;
+  }
 }
 
-StudyJournal StudyJournal::append_to(const std::string& path) {
-  {
-    std::ifstream in(path, std::ios::binary);
-    std::uint64_t magic = 0;
-    in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-    FEDTUNE_CHECK_MSG(in.good() && magic == kJournalMagic,
-                      "not a study journal: " << path);
+StudyJournal StudyJournal::append_to(const std::string& path, Env* env,
+                                     bool sync_on_commit) {
+  Env& e = env_or_real(env);
+  FEDTUNE_CHECK_MSG(e.exists(path), "no journal at " << path);
+  const std::uint64_t size = e.file_size(path);
+  std::uint64_t magic = 0;
+  if (size >= sizeof(magic)) {
+    const std::string bytes = e.read_file(path);
+    std::memcpy(&magic, bytes.data(), sizeof(magic));
   }
-  std::ofstream out(path, std::ios::binary | std::ios::app);
-  FEDTUNE_CHECK_MSG(out.good(), "cannot open " << path << " for appending");
-  return StudyJournal(std::move(out));
+  FEDTUNE_CHECK_MSG(magic == kJournalMagic, "not a study journal: " << path);
+  // The caller ran recover() first, so everything on disk is a valid frame
+  // prefix — the current size is the durable boundary.
+  return StudyJournal(e, path, e.open_writable(path, Env::WriteMode::kAppend),
+                      size, sync_on_commit);
 }
 
 void StudyJournal::append_frame(const std::string& payload) {
   FEDTUNE_CHECK(payload.size() <= kMaxPayloadBytes);
+  if (broken_ || file_ == nullptr) {
+    throw IoError(IoErrorKind::kPersistent, "append", path_,
+                  "journal is broken (an earlier failure could not be healed)");
+  }
   const auto size = static_cast<std::uint32_t>(payload.size());
   const std::uint32_t crc = crc32(payload.data(), payload.size());
-  out_.write(reinterpret_cast<const char*>(&size), sizeof(size));
-  out_.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
-  out_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-  out_.flush();
-  FEDTUNE_CHECK_MSG(out_.good(), "journal append failed");
+  // One contiguous append per frame: the OS sees frame-at-a-time writes, so
+  // only injected faults (or a mid-write crash) can tear a frame.
+  std::string frame;
+  frame.reserve(2 * sizeof(std::uint32_t) + payload.size());
+  frame.append(reinterpret_cast<const char*>(&size), sizeof(size));
+  frame.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  frame.append(payload);
+  try {
+    file_->append(frame);
+    if (sync_on_commit_) file_->sync();
+  } catch (const IoError&) {
+    heal_to_durable();
+    throw;
+  }
+  durable_ += frame.size();
+}
+
+void StudyJournal::heal_to_durable() {
+  try {
+    if (file_ != nullptr) {
+      try {
+        file_->close();
+      } catch (const IoError&) {  // close error does not block the truncate
+      }
+      file_.reset();
+    }
+    env_->truncate_file(path_, durable_);
+    file_ = env_->open_writable(path_, Env::WriteMode::kAppend);
+  } catch (const IoError&) {
+    // Could not restore a clean frame boundary; refuse further appends. The
+    // on-disk prefix is still recoverable — recover() truncates the tail.
+    broken_ = true;
+  }
 }
 
 void StudyJournal::append_ask(const hpo::Trial& trial) {
@@ -198,12 +245,10 @@ void StudyJournal::append_snapshot(std::span<const core::TrialRecord> steps) {
   append_frame(payload.bytes());
 }
 
-RecoveredStudy StudyJournal::recover(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  FEDTUNE_CHECK_MSG(in.is_open(), "no journal at " << path);
-  const std::string bytes((std::istreambuf_iterator<char>(in)),
-                          std::istreambuf_iterator<char>());
-  in.close();
+RecoveredStudy StudyJournal::recover(const std::string& path, Env* env) {
+  Env& e = env_or_real(env);
+  FEDTUNE_CHECK_MSG(e.exists(path), "no journal at " << path);
+  const std::string bytes = e.read_file(path);
 
   FEDTUNE_CHECK_MSG(bytes.size() >= sizeof(std::uint64_t),
                     "journal too short for header: " << path);
@@ -309,23 +354,25 @@ RecoveredStudy StudyJournal::recover(const std::string& path) {
   // recovery simply ignores it and the resumed tuner re-issues the trial.
   study.truncated_bytes = bytes.size() - valid_end;
   if (study.truncated_bytes > 0) {
-    std::filesystem::resize_file(path, valid_end);
+    e.truncate_file(path, valid_end);
   }
   return study;
 }
 
-void StudyJournal::compact(const std::string& path) {
-  const RecoveredStudy study = recover(path);
+void StudyJournal::compact(const std::string& path, Env* env,
+                           bool sync_on_commit) {
+  Env& e = env_or_real(env);
+  const RecoveredStudy study = recover(path, env);
   const std::string tmp = path + ".tmp";
-  std::filesystem::remove(tmp);
+  e.remove_file(tmp);
   {
-    StudyJournal journal = create(tmp, study.spec);
+    StudyJournal journal = create(tmp, study.spec, env, sync_on_commit);
     journal.append_snapshot(study.steps);
     if (study.finished) {
       journal.append_selection(study.best_id, study.best_full_error);
     }
   }
-  std::filesystem::rename(tmp, path);
+  e.rename_file(tmp, path);
 }
 
 }  // namespace fedtune::service

@@ -28,30 +28,45 @@
 //   snapshot  — all completed TrialRecords in one compact record; written
 //               by compact(), replaces the ask/tell prefix
 //
-// Durability: every append is length-prefixed, checksummed, and flushed to
-// the OS before the service acknowledges the step. This makes journals
-// durable across PROCESS crashes (SIGKILL, OOM-kill, aborts) — the
-// contract the tests and CI enforce. Machine-level crashes (power loss)
-// can still lose page-cache tails; per-append fsync would cost orders of
-// magnitude in append throughput, so that boundary is accepted and
+// I/O goes through Env (common/env.hpp): write failures surface as IoError
+// (transient vs persistent — the study layer's retry/quarantine ladder keys
+// off the kind), and tests route journals through a FaultInjectingEnv to
+// exercise every failure mode deterministically.
+//
+// Durability: every append pushes a whole frame to the OS in one Env append
+// before the service acknowledges the step — durable across PROCESS crashes
+// (SIGKILL, OOM-kill, aborts), the contract the tests and CI enforce.
+// Machine-level crashes (power loss) can still lose page-cache tails unless
+// sync_on_commit is set, which fsyncs after every frame (orders of magnitude
+// slower; bench/bench_micro_substrate.cpp measures the gap). Either way,
 // recovery's tail-truncation handles whatever the filesystem preserved.
 // On recovery, the first unreadable frame — short header, short payload,
 // CRC mismatch, malformed or over-long payload — ends the valid prefix;
 // the file is truncated there (torn tails heal) and everything before it
 // is replayed. A journal whose create record is unreadable is rejected.
 //
+// Failed appends heal in place: the journal tracks the durable byte boundary
+// (end of the last acknowledged frame) and, when an append or sync throws,
+// truncates the file back to it before rethrowing — a torn partial frame
+// never survives into the next attempt, so retrying the append after a
+// transient error is safe. If the heal itself fails the journal marks itself
+// broken (good() == false) and every later append throws a persistent
+// IoError; the on-disk prefix stays recoverable.
+//
 // Compaction: compact() atomically rewrites the journal as
 // {create, snapshot[, selection]} — bounded file size and recovery work for
-// arbitrarily long studies.
+// arbitrarily long studies. The whole sequence (recover, tmp write, rename)
+// is idempotent: it can crash or fail at any point and simply be re-run.
 #pragma once
 
 #include <cstdint>
-#include <fstream>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/env.hpp"
 #include "core/tuning_driver.hpp"
 #include "service/study_spec.hpp"
 
@@ -76,38 +91,60 @@ class StudyJournal {
   StudyJournal& operator=(StudyJournal&&) = default;
 
   // Starts a new journal (header + create record). Fails if `path` exists —
-  // study names are unique per journal directory.
-  static StudyJournal create(const std::string& path, const StudySpec& spec);
+  // study names are unique per journal directory. A create that fails
+  // partway removes the partial file before rethrowing, so the name is not
+  // left claimed by an unrecoverable stub.
+  static StudyJournal create(const std::string& path, const StudySpec& spec,
+                             Env* env = nullptr, bool sync_on_commit = false);
 
   // Validates the journal frame by frame, truncates the torn/corrupt tail
   // (if any), and returns the reconstructed history. Throws
   // std::invalid_argument when the file is missing or its create record is
   // unreadable.
-  static RecoveredStudy recover(const std::string& path);
+  static RecoveredStudy recover(const std::string& path, Env* env = nullptr);
 
   // Opens an existing journal for appending (call after recover()).
-  static StudyJournal append_to(const std::string& path);
+  static StudyJournal append_to(const std::string& path, Env* env = nullptr,
+                                bool sync_on_commit = false);
 
   // Atomically rewrites the journal as {create, snapshot[, selection]}:
   // writes `path`.tmp, then renames over `path`. The journal must not be
-  // open for appending.
-  static void compact(const std::string& path);
+  // open for appending. Safe to re-run after any partial failure.
+  static void compact(const std::string& path, Env* env = nullptr,
+                      bool sync_on_commit = false);
 
-  static bool exists(const std::string& path);
+  static bool exists(const std::string& path, Env* env = nullptr);
 
-  // Appends (and flushes) one record.
+  // Appends one record as a single frame-sized Env append (plus an fsync
+  // when sync_on_commit). Throws IoError on failure after healing the file
+  // back to the durable boundary.
   void append_ask(const hpo::Trial& trial);
   void append_tell(const core::TrialRecord& record);
   void append_selection(std::int64_t best_id, double best_full_error);
   void append_snapshot(std::span<const core::TrialRecord> steps);
 
-  bool good() const { return out_.good(); }
+  // False once a failed append could not be healed; appends then throw.
+  bool good() const { return !broken_ && file_ != nullptr; }
+
+  // End of the last acknowledged frame — the recovery point.
+  std::uint64_t durable_bytes() const { return durable_; }
 
  private:
-  explicit StudyJournal(std::ofstream out) : out_(std::move(out)) {}
-  void append_frame(const std::string& payload);
+  StudyJournal(Env& env, std::string path, std::unique_ptr<WritableFile> file,
+               std::uint64_t durable, bool sync_on_commit)
+      : env_(&env), path_(std::move(path)), file_(std::move(file)),
+        durable_(durable), sync_on_commit_(sync_on_commit) {}
 
-  std::ofstream out_;
+  void append_frame(const std::string& payload);
+  // Close + truncate to durable_ + reopen; marks broken_ if that fails.
+  void heal_to_durable();
+
+  Env* env_;
+  std::string path_;
+  std::unique_ptr<WritableFile> file_;
+  std::uint64_t durable_ = 0;
+  bool sync_on_commit_ = false;
+  bool broken_ = false;
 };
 
 }  // namespace fedtune::service

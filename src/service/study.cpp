@@ -1,5 +1,9 @@
 #include "service/study.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "common/check.hpp"
 #include "common/rng_salts.hpp"
 #include "hpo/bohb.hpp"
@@ -102,20 +106,25 @@ void StudySession::init_engine() {
 
 StudySession::StudySession(StudySpec spec,
                            std::shared_ptr<const PoolResources> pool,
-                           const std::string& journal_path)
+                           const std::string& journal_path,
+                           SessionOptions options)
     : spec_(std::move(spec)), pool_(std::move(pool)),
-      journal_path_(journal_path) {
+      journal_path_(journal_path), options_(std::move(options)),
+      jitter_rng_(Rng(spec_.seed).split(salts::kStudyRetryJitter)) {
   FEDTUNE_CHECK_MSG(valid_study_name(spec_.name),
                     "invalid study name '" << spec_.name << "'");
   init_engine();
-  journal_ = StudyJournal::create(journal_path_, spec_);
+  journal_ = StudyJournal::create(journal_path_, spec_, options_.env,
+                                  options_.sync_on_commit);
 }
 
 StudySession::StudySession(RecoveredStudy recovered,
                            std::shared_ptr<const PoolResources> pool,
-                           const std::string& journal_path)
+                           const std::string& journal_path,
+                           SessionOptions options)
     : spec_(std::move(recovered.spec)), pool_(std::move(pool)),
-      journal_path_(journal_path) {
+      journal_path_(journal_path), options_(std::move(options)),
+      jitter_rng_(Rng(spec_.seed).split(salts::kStudyRetryJitter)) {
   init_engine();
   // Deterministic replay: each journaled step re-asks the tuner (verifying
   // the journal matches), fast-forwards the evaluator, and re-applies the
@@ -123,20 +132,68 @@ StudySession::StudySession(RecoveredStudy recovered,
   for (const core::TrialRecord& rec : recovered.steps) {
     session_->replay(rec, /*reexecute_runner=*/false);
   }
-  journal_ = StudyJournal::append_to(journal_path_);
+  journal_ = StudyJournal::append_to(journal_path_, options_.env,
+                                     options_.sync_on_commit);
   if (recovered.finished) {
     final_ = session_->finalize();
     state_ = StudyState::kFinished;
   }
 }
 
+std::size_t StudySession::live_evaluations() const {
+  const core::NoisyEvaluator* e = session_->evaluator();
+  return e != nullptr ? e->live_evals_performed() : 0;
+}
+
+void StudySession::quarantine(const IoError& e, const char* what) {
+  last_error_ = std::string(what) + ": " + e.what();
+  // A failure in post-finish hygiene (compaction) must not demote a study
+  // whose selection is already durable.
+  if (state_ != StudyState::kFinished) state_ = StudyState::kQuarantined;
+}
+
+void StudySession::with_journal_retry(const char* what,
+                                      const std::function<void()>& fn) {
+  const RetryPolicy& p = options_.retry;
+  const std::size_t max_attempts = std::max<std::size_t>(p.max_attempts, 1);
+  for (std::size_t attempt = 1;; ++attempt) {
+    try {
+      fn();
+      return;
+    } catch (const IoError& e) {
+      if (!e.retryable() || attempt >= max_attempts) {
+        quarantine(e, what);
+        throw;
+      }
+      ++io_retries_;
+      double delay =
+          p.base_delay_ms * static_cast<double>(1ULL << (attempt - 1));
+      delay = std::min(delay, p.max_delay_ms);
+      delay *= 1.0 + p.jitter * jitter_rng_.uniform(-1.0, 1.0);
+      if (p.sleep_ms) {
+        p.sleep_ms(delay);
+      } else {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(delay));
+      }
+    }
+  }
+}
+
 void StudySession::finish() {
   if (state_ == StudyState::kFinished) return;
   final_ = session_->finalize();
-  journal_->append_selection(final_.best ? final_.best->id : -1,
-                             final_.best_full_error);
+  with_journal_retry("append selection", [&] {
+    journal_->append_selection(final_.best ? final_.best->id : -1,
+                               final_.best_full_error);
+  });
   state_ = StudyState::kFinished;
-  compact_journal();
+  try {
+    compact_journal();
+  } catch (const IoError&) {
+    // The selection is durable and the study is finished; the uncompacted
+    // journal stays recoverable. quarantine() already noted the error.
+  }
 }
 
 void StudySession::maybe_compact() {
@@ -145,24 +202,38 @@ void StudySession::maybe_compact() {
 
 void StudySession::compact_journal() {
   journal_.reset();  // close the append handle before the rename
-  StudyJournal::compact(journal_path_);
-  journal_ = StudyJournal::append_to(journal_path_);
+  // The whole sequence (recover, tmp write, rename, reopen) is idempotent,
+  // so a transient failure at any point can simply retry it from the top.
+  with_journal_retry("compact", [&] {
+    StudyJournal::compact(journal_path_, options_.env,
+                          options_.sync_on_commit);
+    journal_ = StudyJournal::append_to(journal_path_, options_.env,
+                                       options_.sync_on_commit);
+  });
   steps_since_compact_ = 0;
 }
 
 bool StudySession::run_one_step() {
   FEDTUNE_CHECK_MSG(!spec_.external, "external study: drive via ask()/tell()");
   if (state_ != StudyState::kRunning) return false;
-  const std::optional<hpo::Trial> trial = session_->ask();
-  if (!trial.has_value()) {
-    finish();
+  try {
+    const std::optional<hpo::Trial> trial = session_->ask();
+    if (!trial.has_value()) {
+      finish();
+      return false;
+    }
+    with_journal_retry("append ask", [&] { journal_->append_ask(*trial); });
+    const core::TrialRecord record = session_->run_outstanding();
+    with_journal_retry("append tell", [&] { journal_->append_tell(record); });
+    if (tuner_->done()) finish();
+    else maybe_compact();
+  } catch (const IoError&) {
+    // Quarantined (state/last_error already record why). Absorb the throw:
+    // the scheduler treats it as "no progress" and other tenants keep
+    // running. The in-memory engine may be ahead of the journal now, which
+    // is why resume rebuilds from the journal instead of reusing *this.
     return false;
   }
-  journal_->append_ask(*trial);
-  const core::TrialRecord record = session_->run_outstanding();
-  journal_->append_tell(record);
-  if (tuner_->done()) finish();
-  else maybe_compact();
   return true;
 }
 
@@ -185,7 +256,7 @@ std::optional<hpo::Trial> StudySession::ask() {
     finish();
     return std::nullopt;
   }
-  journal_->append_ask(*trial);
+  with_journal_retry("append ask", [&] { journal_->append_ask(*trial); });
   return trial;
 }
 
@@ -199,7 +270,7 @@ core::TrialRecord StudySession::tell(int trial_id, double objective) {
                                       << session_->outstanding()->id
                                       << " is outstanding");
   const core::TrialRecord record = session_->tell_outstanding(objective);
-  journal_->append_tell(record);
+  with_journal_retry("append tell", [&] { journal_->append_tell(record); });
   // The tuner may have nothing further to issue (e.g. final tell of the
   // plan); surface completion without waiting for the next ask.
   if (tuner_->done()) finish();

@@ -16,13 +16,33 @@
 // Managed studies evaluate trials on a registered candidate pool
 // (PoolResources) through the pure-stream NoisyEvaluator; external studies
 // hand trials to the tenant via ask() and take objectives back via tell().
+//
+// Failure handling (the graceful-degradation ladder):
+//   transient IoError  — every journal append retries under RetryPolicy:
+//                        capped exponential backoff with seeded jitter
+//                        (Rng(spec.seed).split(kStudyRetryJitter), so even
+//                        degraded runs are reproducible). Success after
+//                        retries marks the study kDegraded in health().
+//   persistent IoError — (or retries exhausted) the study is QUARANTINED:
+//                        state becomes kQuarantined, the error is recorded,
+//                        and the step reports failure instead of throwing
+//                        through the scheduler — other tenants keep running
+//                        and the daemon stays up. A quarantined study's
+//                        journal still holds every acknowledged step; once
+//                        the fault clears it is resumed by rebuilding from
+//                        the journal (StudyManager::resume_study), not by
+//                        flipping the state back — the in-memory engine may
+//                        be ahead of the durable history.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <utility>
 
+#include "common/env.hpp"
+#include "common/rng.hpp"
 #include "core/pool_runner.hpp"
 #include "core/tuning_driver.hpp"
 #include "service/journal.hpp"
@@ -41,6 +61,10 @@ enum class StudyState : std::uint8_t {
   kRunning = 0,
   kSuspended = 1,
   kFinished = 2,
+  // Suspended-with-error: journal I/O failed persistently (or transient
+  // retries were exhausted). The durable history is intact; resume rebuilds
+  // the session from the journal.
+  kQuarantined = 3,
 };
 
 inline const char* state_name(StudyState s) {
@@ -48,22 +72,62 @@ inline const char* state_name(StudyState s) {
     case StudyState::kRunning: return "running";
     case StudyState::kSuspended: return "suspended";
     case StudyState::kFinished: return "finished";
+    case StudyState::kQuarantined: return "quarantined";
   }
   return "?";
 }
+
+// Operator-facing health summary, orthogonal to the scheduling state:
+// degraded = the study hit transient I/O errors but recovered via retries.
+enum class StudyHealth : std::uint8_t {
+  kHealthy = 0,
+  kDegraded = 1,
+  kQuarantined = 2,
+};
+
+inline const char* health_name(StudyHealth h) {
+  switch (h) {
+    case StudyHealth::kHealthy: return "healthy";
+    case StudyHealth::kDegraded: return "degraded";
+    case StudyHealth::kQuarantined: return "quarantined";
+  }
+  return "?";
+}
+
+// Backoff schedule for transient journal I/O errors: attempt k sleeps
+// base_delay_ms * 2^(k-1), capped at max_delay_ms, scaled by a seeded
+// jitter factor in [1 - jitter, 1 + jitter]. `sleep_ms` is injectable so
+// tests retry without wall-clock delays.
+struct RetryPolicy {
+  std::size_t max_attempts = 4;  // 1 = no retries
+  double base_delay_ms = 2.0;
+  double max_delay_ms = 250.0;
+  double jitter = 0.25;
+  // nullptr = std::this_thread::sleep_for.
+  std::function<void(double)> sleep_ms;
+};
+
+// Knobs threaded from the manager into every session. Defaults are the
+// production configuration: the real Env, OS-flush durability, and a small
+// backoff ladder.
+struct SessionOptions {
+  Env* env = nullptr;            // nullptr = Env::real()
+  bool sync_on_commit = false;   // fsync after every journal frame
+  RetryPolicy retry;
+};
 
 class StudySession {
  public:
   // Fresh study. `pool` is required for managed specs (null for external).
   // Creates the journal at `journal_path` (must not exist).
   StudySession(StudySpec spec, std::shared_ptr<const PoolResources> pool,
-               const std::string& journal_path);
+               const std::string& journal_path, SessionOptions options = {});
 
   // Resumed study: rebuilds state by replaying `recovered` (from
   // StudyJournal::recover) and re-opens the journal for appending.
   StudySession(RecoveredStudy recovered,
                std::shared_ptr<const PoolResources> pool,
-               const std::string& journal_path);
+               const std::string& journal_path, SessionOptions options = {});
 
   StudySession(const StudySession&) = delete;
   StudySession& operator=(const StudySession&) = delete;
@@ -71,11 +135,29 @@ class StudySession {
   const StudySpec& spec() const { return spec_; }
   StudyState state() const { return state_; }
   bool finished() const { return state_ == StudyState::kFinished; }
+  bool quarantined() const { return state_ == StudyState::kQuarantined; }
   std::size_t steps() const { return session_->steps(); }
   std::size_t rounds_used() const { return session_->rounds_used(); }
 
+  // Health reporting (fedtune_studyd status/list).
+  StudyHealth health() const {
+    if (state_ == StudyState::kQuarantined) return StudyHealth::kQuarantined;
+    return io_retries_ > 0 ? StudyHealth::kDegraded : StudyHealth::kHealthy;
+  }
+  // Message of the error that quarantined the study (empty if none).
+  const std::string& last_error() const { return last_error_; }
+  // Transient journal I/O failures absorbed by retries so far.
+  std::size_t io_retries() const { return io_retries_; }
+
+  // Evaluations computed live by this session's evaluator — excludes replay
+  // fast-forwards, so a freshly resumed study reports 0 (managed mode only;
+  // external studies evaluate out of process).
+  std::size_t live_evaluations() const;
+
   // Managed mode: one journaled ask → evaluate → tell step. Returns false
-  // once the study is finished (journaling the final selection).
+  // once the study is finished (journaling the final selection) — or
+  // quarantined: journal failures are absorbed here (state() tells which),
+  // so a scheduler driving many tenants never unwinds through this call.
   bool run_one_step();
 
   // Managed mode: steps until `rounds_budget` fresh training rounds are
@@ -86,8 +168,12 @@ class StudySession {
   std::size_t slices_used() const { return slices_used_; }
 
   // External mode: issue the next trial (journaled). nullopt when finished.
+  // Journal failures quarantine the study and then THROW IoError — the
+  // tenant issued this request and must see the failure (unlike scheduler
+  // steps, which only observe the state change).
   std::optional<hpo::Trial> ask();
   // External mode: report the outstanding trial's objective (journaled).
+  // Same failure contract as ask().
   core::TrialRecord tell(int trial_id, double objective);
 
   // Scheduler hooks: suspend parks a running study (the journal already
@@ -114,9 +200,17 @@ class StudySession {
   void finish();
   void maybe_compact();
 
+  // Runs `fn` (a journal write) under the retry policy: transient IoErrors
+  // back off and retry; a persistent error or exhausted attempts quarantine
+  // the study and rethrow. `what` labels the operation in last_error().
+  void with_journal_retry(const char* what, const std::function<void()>& fn);
+  void quarantine(const IoError& e, const char* what);
+
   StudySpec spec_;
   std::shared_ptr<const PoolResources> pool_;
   std::string journal_path_;
+  SessionOptions options_;
+  Rng jitter_rng_{0};  // seeded from the spec in the constructors
   std::unique_ptr<hpo::Tuner> tuner_;
   std::optional<core::PoolTrialRunner> runner_;    // managed mode
   std::optional<core::TuningSession> session_;
@@ -126,6 +220,8 @@ class StudySession {
   std::size_t compact_every_ = 64;
   std::size_t steps_since_compact_ = 0;
   std::size_t slices_used_ = 0;
+  std::size_t io_retries_ = 0;
+  std::string last_error_;
 };
 
 // Tuner construction for a study (shared with tests): managed studies build

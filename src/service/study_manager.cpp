@@ -1,9 +1,9 @@
 #include "service/study_manager.hpp"
 
 #include <algorithm>
-#include <filesystem>
 #include <future>
 #include <iostream>
+#include <string_view>
 
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
@@ -13,7 +13,7 @@ namespace fedtune::service {
 StudyManager::StudyManager(ManagerOptions opts) : opts_(std::move(opts)) {
   FEDTUNE_CHECK(opts_.max_studies > 0);
   FEDTUNE_CHECK(opts_.rounds_per_slice > 0);
-  std::filesystem::create_directories(opts_.journal_dir);
+  env_or_real(opts_.env).create_directories(opts_.journal_dir);
 }
 
 void StudyManager::register_pool(const std::string& name,
@@ -39,7 +39,7 @@ StudySession& StudyManager::create_study(StudySpec spec) {
                     "invalid study name '" << spec.name << "'");
   FEDTUNE_CHECK_MSG(sessions_.find(spec.name) == sessions_.end(),
                     "study '" << spec.name << "' already active");
-  FEDTUNE_CHECK_MSG(!StudyJournal::exists(journal_path(spec.name)),
+  FEDTUNE_CHECK_MSG(!StudyJournal::exists(journal_path(spec.name), opts_.env),
                     "study '" << spec.name
                               << "' already has a journal (resume it)");
   FEDTUNE_CHECK_MSG(sessions_.size() < opts_.max_studies,
@@ -62,7 +62,8 @@ StudySession& StudyManager::create_study(StudySpec spec) {
   }
   const std::string name = spec.name;
   auto session = std::make_unique<StudySession>(
-      std::move(spec), std::move(study_pool), journal_path(name));
+      std::move(spec), std::move(study_pool), journal_path(name),
+      session_options());
   session->set_compact_every(opts_.compact_every_steps);
   StudySession& ref = *session;
   sessions_[name] = std::move(session);
@@ -78,7 +79,8 @@ StudySession& StudyManager::resume_study(const std::string& name) {
                     "study '" << name << "' already active");
   FEDTUNE_CHECK_MSG(sessions_.size() < opts_.max_studies,
                     "study capacity reached (" << opts_.max_studies << ")");
-  RecoveredStudy recovered = StudyJournal::recover(journal_path(name));
+  RecoveredStudy recovered =
+      StudyJournal::recover(journal_path(name), opts_.env);
   FEDTUNE_CHECK_MSG(recovered.spec.name == name,
                     "journal for '" << recovered.spec.name
                                     << "' found under name '" << name << "'");
@@ -89,7 +91,8 @@ StudySession& StudyManager::resume_study(const std::string& name) {
                       "unknown pool '" << recovered.spec.pool << "'");
   }
   auto session = std::make_unique<StudySession>(
-      std::move(recovered), std::move(study_pool), journal_path(name));
+      std::move(recovered), std::move(study_pool), journal_path(name),
+      session_options());
   session->set_compact_every(opts_.compact_every_steps);
   StudySession& ref = *session;
   sessions_[name] = std::move(session);
@@ -99,14 +102,13 @@ StudySession& StudyManager::resume_study(const std::string& name) {
 std::size_t StudyManager::resume_all() {
   std::size_t resumed = 0;
   std::vector<std::string> names;
-  for (const auto& entry :
-       std::filesystem::directory_iterator(opts_.journal_dir)) {
-    if (!entry.is_regular_file()) continue;
-    const std::filesystem::path& p = entry.path();
-    if (p.extension() != ".journal") continue;
-    names.push_back(p.stem().string());
+  static constexpr std::string_view kExt = ".journal";
+  for (const std::string& fname :
+       env_or_real(opts_.env).list_dir(opts_.journal_dir)) {
+    if (fname.size() <= kExt.size() || !fname.ends_with(kExt)) continue;
+    names.push_back(fname.substr(0, fname.size() - kExt.size()));
   }
-  std::sort(names.begin(), names.end());
+  // list_dir returns sorted names, so the resume order is deterministic.
   for (const std::string& name : names) {
     if (sessions_.find(name) != sessions_.end()) continue;
     if (sessions_.size() >= opts_.max_studies) break;

@@ -39,6 +39,12 @@ struct ManagerOptions {
   std::size_t compact_every_steps = 64;
   // Run each cycle's slices concurrently on ThreadPool::global().
   bool parallel = true;
+  // I/O plumbing handed to each session (study.hpp SessionOptions): the Env
+  // journals are written through (nullptr = Env::real()), per-frame fsync,
+  // and the transient-error retry ladder.
+  Env* env = nullptr;
+  bool sync_on_commit = false;
+  RetryPolicy retry;
 };
 
 class StudyManager {
@@ -82,6 +88,10 @@ class StudyManager {
   const ManagerOptions& options() const { return opts_; }
 
  private:
+  SessionOptions session_options() const {
+    return SessionOptions{opts_.env, opts_.sync_on_commit, opts_.retry};
+  }
+
   ManagerOptions opts_;
   std::map<std::string, std::shared_ptr<const PoolResources>> pools_;
   // Ordered by name: the scheduler's round-robin order is deterministic.

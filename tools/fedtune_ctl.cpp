@@ -1,24 +1,34 @@
 // fedtune_ctl — client for the fedtune_studyd daemon: sends one protocol
 // line over the Unix socket and prints the response.
 //
-//   fedtune_ctl --socket PATH VERB [ARGS...]
-//       e.g.  fedtune_ctl --socket /tmp/studyd.sock create-study s1 \
+//   fedtune_ctl --socket PATH [--timeout SEC] VERB [ARGS...]
+//       e.g.  fedtune_ctl --socket /tmp/studyd.sock create-study s1
 //                 method=rs configs=24 seed=7
 //             fedtune_ctl --socket /tmp/studyd.sock status s1
 //   fedtune_ctl --socket PATH wait NAME TIMEOUT_SECONDS
 //       polls `status NAME` until the study reports state=finished (exit 0)
 //       or the timeout expires (exit 1) — the CI smoke test's join point.
 //
+// Connection failures retry with jittered exponential backoff until the
+// --timeout deadline (default 5 s) — a daemon that is restarting (e.g.
+// replaying journals after a crash) looks like a connect failure for a
+// moment, and a control plane that gives up on the first ECONNREFUSED turns
+// every recovery into an outage. The jitter decorrelates concurrent clients
+// hammering a freshly bound socket.
+//
 // Exit code: 0 when the daemon answered `ok ...` (or the wait succeeded),
-// 1 on `err ...`/timeout, 2 on usage or connection failure.
+// 1 on `err ...`/timeout, 2 on usage or connection failure past the
+// deadline.
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <iostream>
 #include <optional>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -65,6 +75,35 @@ std::optional<std::string> roundtrip(const std::string& socket_path,
   return response.substr(0, nl);
 }
 
+// roundtrip() with jittered exponential-backoff retries on connection
+// failure, bounded by `timeout_seconds`. One attempt is always made, so a
+// zero/negative timeout degrades to plain roundtrip().
+std::optional<std::string> roundtrip_retry(const std::string& socket_path,
+                                           const std::string& line,
+                                           double timeout_seconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_seconds);
+  // Jitter decorrelates concurrent clients; it is seeded per process, not
+  // deterministically — this is politeness, not replay.
+  std::minstd_rand jitter_rng(
+      static_cast<unsigned>(::getpid()) * 2654435761u + 1u);
+  double delay_ms = 10.0;
+  for (;;) {
+    const auto response = roundtrip(socket_path, line);
+    if (response.has_value()) return response;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return std::nullopt;
+    const double remaining_ms =
+        std::chrono::duration<double, std::milli>(deadline - now).count();
+    const double factor =
+        0.5 + static_cast<double>(jitter_rng() % 1000u) / 1000.0;
+    const double sleep_ms = std::min(delay_ms * factor, remaining_ms);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(sleep_ms));
+    delay_ms = std::min(delay_ms * 2.0, 500.0);
+  }
+}
+
 int wait_for_finish(const std::string& socket_path, const std::string& name,
                     double timeout_seconds) {
   const auto deadline = std::chrono::steady_clock::now() +
@@ -87,25 +126,30 @@ int wait_for_finish(const std::string& socket_path, const std::string& name,
 
 int main(int argc, char** argv) {
   std::string socket_path;
+  double timeout_seconds = 5.0;
   std::vector<std::string> words;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a == "--socket") {
+    if (a == "--socket" || a == "--timeout") {
       if (i + 1 >= argc) {
-        std::cerr << "error: --socket needs a value\n";
+        std::cerr << "error: " << a << " needs a value\n";
         return 2;
       }
-      socket_path = argv[++i];
+      if (a == "--socket") socket_path = argv[++i];
+      else timeout_seconds = std::stod(argv[++i]);
     } else if (a == "--help" || a == "-h") {
-      std::cout << "usage: fedtune_ctl --socket PATH VERB [ARGS...]\n"
-                   "       fedtune_ctl --socket PATH wait NAME TIMEOUT_SEC\n";
+      std::cout
+          << "usage: fedtune_ctl --socket PATH [--timeout SEC] VERB "
+             "[ARGS...]\n"
+             "       fedtune_ctl --socket PATH wait NAME TIMEOUT_SEC\n";
       return 0;
     } else {
       words.push_back(a);
     }
   }
   if (socket_path.empty() || words.empty()) {
-    std::cerr << "usage: fedtune_ctl --socket PATH VERB [ARGS...]\n";
+    std::cerr << "usage: fedtune_ctl --socket PATH [--timeout SEC] VERB "
+                 "[ARGS...]\n";
     return 2;
   }
   if (words[0] == "wait") {
@@ -117,9 +161,10 @@ int main(int argc, char** argv) {
   }
   std::string line = words[0];
   for (std::size_t i = 1; i < words.size(); ++i) line += " " + words[i];
-  const auto response = roundtrip(socket_path, line);
+  const auto response = roundtrip_retry(socket_path, line, timeout_seconds);
   if (!response.has_value()) {
-    std::cerr << "error: cannot reach daemon at " << socket_path << "\n";
+    std::cerr << "error: cannot reach daemon at " << socket_path << " within "
+              << timeout_seconds << "s\n";
     return 2;
   }
   std::cout << *response << "\n";

@@ -3,6 +3,7 @@
 //
 //   fedtune_studyd --socket PATH [--journal-dir DIR] [--autodrive]
 //                  [--pool-configs N] [--rounds-per-slice R]
+//                  [--fsync-on-commit]
 //
 // On startup the daemon builds the deterministic "synth-small" candidate
 // pool (identical bytes on every start — the determinism contract in
@@ -18,11 +19,15 @@
 //                [bias-b=B] [deadline=N] [external]
 //   ask NAME                 next trial of an external study
 //   tell NAME TRIAL_ID OBJ   objective for an external study's trial
-//   status NAME              state/steps/rounds/best summary
+//   status NAME              state/health/steps/rounds/best summary; a
+//                            degraded or quarantined study also reports
+//                            retries= and last_error=
 //   best NAME                current best trial
 //   suspend NAME             park the study (journal keeps its state)
-//   resume NAME              bring a journaled study back
-//   list                     active study names
+//   resume NAME              bring a journaled study back; a quarantined
+//                            study is rebuilt from its journal (the durable
+//                            history), clearing the quarantine
+//   list                     active studies as NAME:STATE:HEALTH
 //   trace NAME               full trial trajectory, hex-float exact — the
 //                            bitwise kill/resume equivalence check in CI
 //   drive NAME STEPS         run STEPS managed steps synchronously
@@ -123,7 +128,11 @@ class Daemon {
       }
       if (verb == "list") {
         std::string out = "ok";
-        for (const std::string& name : manager_.list()) out += " " + name;
+        for (const std::string& name : manager_.list()) {
+          const service::StudySession* s = manager_.find(name);
+          out += " " + name + ":" + service::state_name(s->state()) + ":" +
+                 service::health_name(s->health());
+        }
         return out;
       }
       if (verb == "pump") {
@@ -133,10 +142,20 @@ class Daemon {
       if (words.size() < 2) return "err missing study name";
       const std::string& name = words[1];
       if (verb == "resume") {
-        // Two flavors: un-park an in-memory session the scheduler suspended
-        // (e.g. past its deadline — resume grants a fresh allowance), or
+        // Three flavors: un-park an in-memory session the scheduler
+        // suspended (e.g. past its deadline — resume grants a fresh
+        // allowance), rebuild a QUARANTINED session from its journal (the
+        // in-memory engine may be ahead of the durable history after a
+        // failed append, so flipping the state back would be wrong), or
         // reconstruct a journaled study that has no active session.
         if (service::StudySession* active = manager_.find(name)) {
+          if (active->quarantined()) {
+            manager_.suspend_study(name);  // drop the session, keep journal
+            service::StudySession& rebuilt = manager_.resume_study(name);
+            return "ok resumed " + name +
+                   " steps=" + std::to_string(rebuilt.steps()) +
+                   " health=" + service::health_name(rebuilt.health());
+          }
           active->resume_from_suspend();
           return "ok resumed " + name +
                  " steps=" + std::to_string(active->steps());
@@ -218,6 +237,7 @@ class Daemon {
   static std::string status(const service::StudySession& s) {
     std::ostringstream out;
     out << "ok state=" << service::state_name(s.state())
+        << " health=" << service::health_name(s.health())
         << " method=" << service::method_name(s.spec().method)
         << " steps=" << s.steps() << " rounds=" << s.rounds_used();
     if (s.spec().budget_rounds !=
@@ -226,6 +246,15 @@ class Daemon {
     }
     if (const auto b = s.best()) {
       out << " best_id=" << b->first.id << " best_error=" << b->second;
+    }
+    if (s.io_retries() > 0) out << " retries=" << s.io_retries();
+    if (!s.last_error().empty()) {
+      // Last key on the line, spaces collapsed so the value stays one token.
+      std::string msg = s.last_error();
+      for (char& c : msg) {
+        if (c == ' ' || c == '\n') c = '_';
+      }
+      out << " last_error=" << msg;
     }
     return out.str();
   }
@@ -411,9 +440,13 @@ int main(int argc, char** argv) {
       pool_configs = std::stoul(next());
     } else if (a == "--rounds-per-slice") {
       opts.rounds_per_slice = std::stoul(next());
+    } else if (a == "--fsync-on-commit") {
+      // Machine-crash durability: fsync after every journal frame.
+      opts.sync_on_commit = true;
     } else {
       std::cerr << "usage: fedtune_studyd --socket PATH [--journal-dir DIR] "
-                   "[--autodrive] [--pool-configs N] [--rounds-per-slice R]\n";
+                   "[--autodrive] [--pool-configs N] [--rounds-per-slice R] "
+                   "[--fsync-on-commit]\n";
       return a == "--help" || a == "-h" ? 0 : 2;
     }
   }
