@@ -11,8 +11,11 @@
 //       config-pool build wall-clock at 1 vs N threads (monolithic and
 //       sharded), the eval/train async-overlap speedup, and the
 //       study_service section (journal append throughput, ask->tell step
-//       latency, concurrent-study scheduler throughput) — and writes it as
-//       machine-readable JSON (consumed by scripts/bench_report.sh).
+//       latency, concurrent-study scheduler throughput), the
+//       shared_eval_cache section (8-tenant trials/s uncached vs cold vs
+//       warm shared cache, hit rates), and the fault_recovery section —
+//       and writes it as machine-readable JSON (consumed by
+//       scripts/bench_report.sh).
 #include <benchmark/benchmark.h>
 
 #include <unistd.h>
@@ -22,6 +25,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <span>
 #include <string>
 #include <thread>
 
@@ -488,6 +492,114 @@ int write_substrate_report(const std::string& path) {
               << " appends/s, ask->tell " << step_us << " us/step, "
               << kTenants << "-tenant scheduler " << trials_per_sec
               << " trials/s\n";
+  }
+
+  // Shared evaluation cache: 8 tenants on one pool through the
+  // CachingTuner/EvalCache stack (src/README.md §Tuner middleware). Three
+  // arms on a fabricated wide pool (one checkpoint, thousands of eval
+  // clients, so a live evaluation carries real aggregation work):
+  // uncached, cold cache (first tenants in — their run warms it), and warm
+  // (the same tenant workload re-admitted under fresh names; admission IS
+  // the warm start).
+  {
+    namespace svc = fedtune::service;
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         ("fedtune_bench_cache_" + std::to_string(::getpid())))
+            .string();
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    constexpr std::size_t kCacheTenants = 8;
+    constexpr std::size_t kCacheTrials = 24;  // per tenant
+    constexpr std::size_t kCacheConfigs = 48;
+    constexpr std::size_t kCacheClients = 8192;
+
+    // Synthetic substrate: the error surface is an arbitrary deterministic
+    // function — this measures serving cost, not tuning quality.
+    hpo::SearchSpace cache_space = hpo::appendix_b_space();
+    Rng cache_rng(21);
+    auto cache_resources = std::make_shared<svc::PoolResources>();
+    for (std::size_t c = 0; c < kCacheConfigs; ++c) {
+      cache_resources->configs.push_back(cache_space.sample(cache_rng));
+    }
+    cache_resources->view = core::PoolEvalView(
+        {9}, std::vector<double>(kCacheClients, 1.0), kCacheConfigs);
+    for (std::size_t c = 0; c < kCacheConfigs; ++c) {
+      const std::span<float> e = cache_resources->view.errors(c, 0);
+      for (std::size_t k = 0; k < kCacheClients; ++k) {
+        e[k] = 0.05f +
+               0.9f * static_cast<float>((c * 131 + k * 31) % 997) / 997.0f;
+      }
+    }
+
+    // One arm: admit kCacheTenants studies named <stem>0..7 (identical
+    // seeds across arms, so every arm asks the same trial sequences), run
+    // to completion, return aggregate trials/s plus cache counters.
+    const auto run_tenants = [&](const std::string& journal_dir,
+                                 const std::string& eval_cache_dir,
+                                 const std::string& stem, std::size_t* hits,
+                                 std::size_t* misses) {
+      svc::ManagerOptions copts;
+      copts.journal_dir = journal_dir;
+      copts.rounds_per_slice = 9;
+      copts.eval_cache_dir = eval_cache_dir;
+      svc::StudyManager mgr(copts);
+      mgr.register_pool("p", cache_resources);
+      for (std::size_t i = 0; i < kCacheTenants; ++i) {
+        svc::StudySpec spec;
+        spec.name = stem + std::to_string(i);
+        spec.pool = "p";
+        spec.num_configs = kCacheTrials;
+        spec.seed = 100 + i;
+        spec.noise.eval_clients = kCacheClients / 2;
+        mgr.create_study(spec);
+      }
+      const auto t0 = Clock::now();
+      mgr.run_to_completion();
+      const double elapsed = seconds_since(t0);
+      std::size_t trials = 0;
+      *hits = 0;
+      *misses = 0;
+      for (const std::string& name : mgr.list()) {
+        const svc::StudySession* s = mgr.find(name);
+        trials += s->steps();
+        *hits += s->cache_hits();
+        *misses += s->cache_misses();
+      }
+      return static_cast<double>(trials) / elapsed;
+    };
+
+    std::size_t h0 = 0, m0 = 0, h1 = 0, m1 = 0, h2 = 0, m2 = 0;
+    const double uncached_tps =
+        run_tenants(dir + "/uncached", "", "base", &h0, &m0);
+    const double cold_tps =
+        run_tenants(dir + "/cold", dir + "/cache", "cold", &h1, &m1);
+    const double warm_tps =
+        run_tenants(dir + "/warm", dir + "/cache", "warm", &h2, &m2);
+    const auto hit_rate = [](std::size_t h, std::size_t m) {
+      return h + m == 0 ? 0.0
+                        : static_cast<double>(h) / static_cast<double>(h + m);
+    };
+    std::filesystem::remove_all(dir);
+
+    out << "  \"shared_eval_cache\": {\"tenants\": " << kCacheTenants
+        << ", \"trials_per_tenant\": " << kCacheTrials
+        << ", \"pool_configs\": " << kCacheConfigs
+        << ", \"eval_clients\": " << kCacheClients / 2
+        << ", \"uncached_trials_per_sec\": " << uncached_tps
+        << ", \"cold_trials_per_sec\": " << cold_tps
+        << ", \"cold_hit_rate\": " << hit_rate(h1, m1)
+        << ", \"warm_trials_per_sec\": " << warm_tps
+        << ", \"warm_hit_rate\": " << hit_rate(h2, m2)
+        << ", \"warm_speedup_vs_uncached\": " << warm_tps / uncached_tps
+        << "},\n";
+    std::cerr << "shared eval cache: " << kCacheTenants << " tenants, "
+              << "uncached " << uncached_tps << " trials/s, cold "
+              << cold_tps << " trials/s (hit rate " << hit_rate(h1, m1)
+              << "), warm " << warm_tps << " trials/s (hit rate "
+              << hit_rate(h2, m2) << ", " << warm_tps / uncached_tps
+              << "x vs uncached)\n";
   }
 
   // Fault recovery: the durability tax and the recovery bill. Append

@@ -6,10 +6,11 @@
 # section — sync-barrier vs pipelined eval/train rounds via
 # runtime::AsyncEvalPipeline — the study_service section: journal
 # append throughput, ask->tell step latency, and the fair-share scheduler's
-# concurrent-study trial throughput — and the fault_recovery section:
-# journal append throughput with and without fsync-on-commit plus recovery
-# latency per journaled step count) for tracking the perf trajectory
-# across PRs.
+# concurrent-study trial throughput — the shared_eval_cache section:
+# 8-tenant trials/s uncached vs cold vs warm shared evaluation cache with
+# hit rates — and the fault_recovery section: journal append throughput
+# with and without fsync-on-commit plus recovery latency per journaled
+# step count) for tracking the perf trajectory across PRs.
 #
 # Usage: scripts/bench_report.sh [build_dir] [output.json]
 set -euo pipefail

@@ -1,6 +1,8 @@
 #include "core/hp_mapping.hpp"
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 
 #include "common/check.hpp"
 
@@ -33,6 +35,47 @@ fl::FedHyperParams to_fed_hyperparams(const hpo::Config& config) {
   FEDTUNE_CHECK(hps.server_lr > 0.0 && hps.client_lr > 0.0);
   FEDTUNE_CHECK(hps.batch_size > 0 && hps.local_epochs > 0);
   return hps;
+}
+
+namespace {
+
+// FNV-1a over the knobs' bit patterns — stable across runs and platforms
+// (no std::hash, whose value is unspecified).
+inline std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffULL;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline std::uint64_t bits_of(double d) {
+  std::uint64_t u;
+  static_assert(sizeof(u) == sizeof(d));
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+}  // namespace
+
+std::uint64_t noise_signature(const NoiseModel& noise,
+                              std::size_t planned_evals,
+                              const std::string& scope) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = fnv_mix(h, static_cast<std::uint64_t>(noise.eval_clients));
+  h = fnv_mix(h, bits_of(noise.bias_b));
+  h = fnv_mix(h, bits_of(noise.bias_delta));
+  h = fnv_mix(h, bits_of(noise.epsilon));
+  h = fnv_mix(h, bits_of(noise.eval_dropout));
+  h = fnv_mix(h, static_cast<std::uint64_t>(noise.effective_weighting()));
+  if (noise.is_private()) {
+    h = fnv_mix(h, static_cast<std::uint64_t>(planned_evals));
+  }
+  for (const char c : scope) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
 }
 
 hpo::Config from_fed_hyperparams(const fl::FedHyperParams& hps) {

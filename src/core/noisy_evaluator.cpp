@@ -55,6 +55,16 @@ void NoisyEvaluator::skip_evaluation() {
   ++evals_;
 }
 
+void NoisyEvaluator::serve_cached() {
+  FEDTUNE_CHECK_MSG(pure_eval_streams_,
+                    "serve_cached requires pure per-eval streams");
+  if (noise_.is_private()) {
+    accountant_.charge(noise_.epsilon / static_cast<double>(planned_evals_));
+  }
+  ++evals_;
+  ++cache_hits_;
+}
+
 double NoisyEvaluator::evaluate_with(std::span<const double> all_client_errors,
                                      Rng& rng) {
   FEDTUNE_CHECK(all_client_errors.size() == client_weights_.size());

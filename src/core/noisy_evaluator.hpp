@@ -44,6 +44,18 @@ class NoisyEvaluator {
   // consuming its stream. last_sample() is unspecified afterwards.
   void skip_evaluation();
 
+  // Evaluation-cache accounting (pure streams only). A cache hit is a real
+  // evaluation for budget purposes — it advances the eval counter and
+  // charges the privacy accountant exactly like skip_evaluation() (the
+  // cached value was privatized by its first writer; serving it re-uses
+  // that one release, but this study's plan M already paid for the slot) —
+  // it just never computes anything. A recorded miss only bumps the
+  // counter pair used for hit-rate reporting.
+  void serve_cached();
+  void record_cache_miss() { ++cache_misses_; }
+  std::size_t cache_hits() const { return cache_hits_; }
+  std::size_t cache_misses() const { return cache_misses_; }
+
   // Ground truth: full-pool aggregate under the noise model's weighting
   // (no subsampling, no DP noise).
   double full_error(std::span<const double> all_client_errors) const;
@@ -73,6 +85,8 @@ class NoisyEvaluator {
   std::vector<std::size_t> last_sample_;
   std::size_t evals_ = 0;
   std::size_t live_evals_ = 0;
+  std::size_t cache_hits_ = 0;
+  std::size_t cache_misses_ = 0;
 };
 
 }  // namespace fedtune::core

@@ -102,11 +102,58 @@ TrialRecord TuningSession::apply_outcome(const hpo::Trial& trial,
   return record;
 }
 
+void TuningSession::set_eval_cache(hpo::EvalStore* store,
+                                   std::uint64_t noise_signature) {
+  FEDTUNE_CHECK_MSG(store == nullptr || runner_ != nullptr,
+                    "eval cache requires a managed session");
+  eval_cache_ = store;
+  cache_signature_ = noise_signature;
+}
+
+hpo::EvalKey TuningSession::cache_key_for(const hpo::Trial& trial) const {
+  return hpo::EvalKey{hpo::config_fingerprint(trial.config),
+                      static_cast<std::uint64_t>(trial.target_rounds),
+                      cache_signature_};
+}
+
+void TuningSession::commit_cache_insert() {
+  if (!pending_insert_.has_value()) return;
+  if (eval_cache_ != nullptr) {
+    eval_cache_->insert(pending_insert_->first, pending_insert_->second);
+  }
+  pending_insert_.reset();
+}
+
 TrialRecord TuningSession::run_outstanding() {
   FEDTUNE_CHECK_MSG(outstanding_.has_value(), "no outstanding trial");
   FEDTUNE_CHECK_MSG(runner_ != nullptr,
                     "external session: use tell_outstanding()");
   const hpo::Trial trial = *outstanding_;
+
+  if (eval_cache_ != nullptr) {
+    const hpo::EvalKey key = cache_key_for(trial);
+    if (const std::optional<hpo::EvalOutcome> hit = eval_cache_->lookup(key)) {
+      // Hit: the stored outcome is what a live evaluation at this fidelity
+      // would have produced (first writer's draw). Zero rounds consumed —
+      // that is the entire throughput win — and the evaluator charges the
+      // budget/privacy slot without computing anything.
+      evaluator_->serve_cached();
+      return apply_outcome(trial, hit->noisy_objective, hit->full_error,
+                           result_.rounds_used);
+    }
+    evaluator_->record_cache_miss();
+    const std::vector<double> errors = runner_->run(trial);
+    const std::size_t cumulative =
+        result_.rounds_used + runner_->rounds_consumed(trial);
+    const double noisy = evaluator_->evaluate(errors);
+    const double full = evaluator_->full_error(errors);
+    // Stage the insert; it lands only once the caller confirms the tell is
+    // durable (commit_cache_insert) so the shared store never learns of a
+    // step a crash could erase.
+    pending_insert_ = {key, hpo::EvalOutcome{noisy, full}};
+    return apply_outcome(trial, noisy, full, cumulative);
+  }
+
   const std::vector<double> errors = runner_->run(trial);
   const std::size_t cumulative =
       result_.rounds_used + runner_->rounds_consumed(trial);
@@ -159,6 +206,17 @@ void TuningSession::replay(const TrialRecord& record, bool reexecute_runner) {
     runner_->run(*trial);
   }
   if (evaluator_) evaluator_->skip_evaluation();
+  // Re-insert the journaled outcome into the cache (first write wins, so
+  // this is a no-op when the entry survived). Replay never CONSULTS the
+  // cache — the journal is authoritative — but re-inserting makes the
+  // cache state this study observes a pure function of (cache at admission,
+  // durable journal prefix), so post-replay hit/miss decisions match the
+  // uninterrupted run.
+  if (eval_cache_ != nullptr) {
+    eval_cache_->insert(cache_key_for(*trial),
+                        hpo::EvalOutcome{record.noisy_objective,
+                                         record.full_error});
+  }
   apply_outcome(*trial, record.noisy_objective, record.full_error,
                 record.cumulative_rounds);
 }

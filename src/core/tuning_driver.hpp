@@ -15,6 +15,7 @@
 #include "core/noise_model.hpp"
 #include "core/noisy_evaluator.hpp"
 #include "core/trial_runner.hpp"
+#include "hpo/middleware.hpp"
 #include "hpo/tuner.hpp"
 
 namespace fedtune::core {
@@ -108,7 +109,25 @@ class TuningSession {
   // the recorded outcome. `reexecute_runner` re-runs the trial on the
   // runner first — required for live runners whose in-memory checkpoints
   // future promotions resume from; pool runners are stateless, skip it.
+  // With a cache installed, the journaled outcome is re-inserted into the
+  // store (first write wins), so the cache state the study observes after
+  // replay matches what the uninterrupted run had observed.
   void replay(const TrialRecord& record, bool reexecute_runner = false);
+
+  // Evaluation cache (managed mode with pure eval streams only). When set,
+  // run_outstanding() consults the store before scheduling an evaluation:
+  // a hit at (fingerprint, target_rounds, noise_signature) is applied as
+  // the recorded outcome with ZERO rounds consumed and zero live
+  // evaluations (the evaluator charges budget/privacy as if it evaluated —
+  // see NoisyEvaluator::serve_cached). A miss evaluates live and stages the
+  // outcome; the caller commits it with commit_cache_insert() once the tell
+  // is durable (see the contract note in hpo/tuner.hpp — inserting before
+  // durability would let an unjournaled step leak into the shared store and
+  // change hit/miss decisions across a crash). Driverless callers commit
+  // immediately after each step.
+  void set_eval_cache(hpo::EvalStore* store, std::uint64_t noise_signature);
+  // Inserts the staged (key, outcome) of the last miss, if any. Idempotent.
+  void commit_cache_insert();
 
   // Result so far (records, incumbent curve, rounds). finalize() appends
   // the tuner's final selection and returns the completed result.
@@ -125,11 +144,17 @@ class TuningSession {
   TrialRecord apply_outcome(const hpo::Trial& trial, double noisy_objective,
                             double full_error, std::size_t cumulative_rounds);
 
+  hpo::EvalKey cache_key_for(const hpo::Trial& trial) const;
+
   hpo::Tuner* tuner_;
   TrialRunner* runner_ = nullptr;  // null in external mode
   DriverOptions opts_;
   std::optional<Rng> selector_rng_;          // outlives the DP selector
   std::optional<NoisyEvaluator> evaluator_;  // managed mode only
+  hpo::EvalStore* eval_cache_ = nullptr;
+  std::uint64_t cache_signature_ = 0;
+  // Last miss's outcome, staged until the caller confirms the tell durable.
+  std::optional<std::pair<hpo::EvalKey, hpo::EvalOutcome>> pending_insert_;
   TuneResult result_;
   double best_noisy_ = std::numeric_limits<double>::infinity();
   std::optional<hpo::Trial> outstanding_;

@@ -45,6 +45,24 @@ TopKSelector exact_top_k_selector();
 // other input outside those two; the service recovers a crashed study by
 // re-constructing the tuner and replaying its journaled tell values, and
 // the result must be bitwise identical to the uninterrupted run.
+//
+// Evaluation-cache interaction (hpo/middleware.hpp, core/eval_cache.hpp):
+// a shared cross-tenant cache is MUTABLE global state, so it must never
+// influence the replayed prefix. The service keeps the contract by making
+// hits indistinguishable from evaluations after the fact:
+//   - A cache hit is journaled as an ordinary tell (the served objective is
+//     the recorded value); replay applies journaled objectives and never
+//     consults the cache, so the replayed trial/tell sequence is exact even
+//     if the shared cache advanced concurrently.
+//   - An entry is keyed (config fingerprint, fidelity, noise signature) and
+//     only served at matching fidelity, so a hit's objective is bitwise the
+//     value a live evaluation at that fidelity would have produced.
+//   - A miss's outcome is inserted into the cache only AFTER its tell is
+//     durable in the journal, and replay re-inserts journaled outcomes
+//     (first write wins), so the cache state a study observes at step k is
+//     a function of (cache at admission, durable journal prefix) — hit/miss
+//     decisions, and therefore round accounting, match the uninterrupted
+//     run exactly across kill/resume.
 class Tuner {
  public:
   virtual ~Tuner() = default;

@@ -10,9 +10,10 @@ namespace fedtune::service {
 
 namespace {
 
-// v1 of the journal format. Bump the low word on any layout change —
-// recovery rejects unknown magic rather than misreading stale journals.
-constexpr std::uint64_t kJournalMagic = 0xfed75d0a00000001ULL;
+// v2 of the journal format (v2 appended the eval-cache/limit spec fields).
+// Bump the low word on any layout change — recovery rejects unknown magic
+// rather than misreading stale journals.
+constexpr std::uint64_t kJournalMagic = 0xfed75d0a00000002ULL;
 
 enum RecordType : std::uint8_t {
   kCreate = 1,
@@ -96,6 +97,9 @@ void write_spec(BufferWriter& w, const StudySpec& spec) {
   w.write_f64(spec.noise.epsilon);
   w.write_f64(spec.noise.eval_dropout);
   w.write_u8(static_cast<std::uint8_t>(spec.noise.weighting));
+  w.write_u8(spec.use_eval_cache ? 1 : 0);
+  w.write_u8(spec.warm_start ? 1 : 0);
+  w.write_u64(spec.max_trials);
 }
 
 StudySpec read_spec(BufferReader& r) {
@@ -117,6 +121,9 @@ StudySpec read_spec(BufferReader& r) {
   spec.noise.epsilon = r.read_f64();
   spec.noise.eval_dropout = r.read_f64();
   spec.noise.weighting = static_cast<fl::Weighting>(r.read_u8());
+  spec.use_eval_cache = r.read_u8() != 0;
+  spec.warm_start = r.read_u8() != 0;
+  spec.max_trials = r.read_u64();
   return spec;
 }
 

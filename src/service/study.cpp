@@ -6,7 +6,9 @@
 
 #include "common/check.hpp"
 #include "common/rng_salts.hpp"
+#include "core/hp_mapping.hpp"
 #include "hpo/bohb.hpp"
+#include "hpo/middleware.hpp"
 #include "hpo/hyperband.hpp"
 #include "hpo/random_search.hpp"
 #include "hpo/successive_halving.hpp"
@@ -89,6 +91,32 @@ void StudySession::init_engine() {
   const Rng base(spec_.seed);
   tuner_ = make_study_tuner(spec_, pool_.get(), base.split(salts::kStudyTuner));
 
+  // Middleware stack, innermost-out: LimitTuner (spec cap on trials) then
+  // CachingTuner in surface mode (the session consults the store itself; the
+  // wrapper keeps the composition explicit and the forwarding contract —
+  // set_selector to the innermost tuner, planned_evaluations unchanged —
+  // test-enforced). Both wrappers are pure functions of the spec, so a
+  // resumed study rebuilds the identical stack.
+  if (spec_.max_trials != std::numeric_limits<std::size_t>::max()) {
+    hpo::LimitOptions limits;
+    limits.max_trials = spec_.max_trials;
+    tuner_ = std::make_unique<hpo::LimitTuner>(std::move(tuner_), limits);
+  }
+  const bool cache_wired =
+      !spec_.external && spec_.use_eval_cache && options_.eval_cache != nullptr;
+  std::uint64_t signature = 0;
+  if (cache_wired) {
+    // M (the Laplace split) is part of the noise namespace under DP, so the
+    // signature is computed over the fully wrapped stack's plan. A study
+    // that opts out of warm starts scopes its entries to its own name.
+    signature = core::noise_signature(
+        spec_.noise, tuner_->planned_evaluations(),
+        spec_.warm_start ? std::string() : spec_.name);
+    tuner_ = std::make_unique<hpo::CachingTuner>(
+        std::move(tuner_), options_.eval_cache.get(), signature,
+        hpo::CachingTuner::Mode::kSurface);
+  }
+
   core::DriverOptions opts;
   opts.noise = spec_.noise;
   opts.dp_style = core::DpStyle::kPerEvaluation;
@@ -101,6 +129,10 @@ void StudySession::init_engine() {
     runner_.emplace(pool_->view);
     // Pure per-eval streams: the replayability contract (journal.hpp).
     session_.emplace(*tuner_, *runner_, opts, /*pure_eval_streams=*/true);
+    if (cache_wired) {
+      session_->set_eval_cache(options_.eval_cache.get(), signature);
+      cache_active_ = true;
+    }
   }
 }
 
@@ -143,6 +175,16 @@ StudySession::StudySession(RecoveredStudy recovered,
 std::size_t StudySession::live_evaluations() const {
   const core::NoisyEvaluator* e = session_->evaluator();
   return e != nullptr ? e->live_evals_performed() : 0;
+}
+
+std::size_t StudySession::cache_hits() const {
+  const core::NoisyEvaluator* e = session_->evaluator();
+  return e != nullptr ? e->cache_hits() : 0;
+}
+
+std::size_t StudySession::cache_misses() const {
+  const core::NoisyEvaluator* e = session_->evaluator();
+  return e != nullptr ? e->cache_misses() : 0;
 }
 
 void StudySession::quarantine(const IoError& e, const char* what) {
@@ -225,6 +267,12 @@ bool StudySession::run_one_step() {
     with_journal_retry("append ask", [&] { journal_->append_ask(*trial); });
     const core::TrialRecord record = session_->run_outstanding();
     with_journal_retry("append tell", [&] { journal_->append_tell(record); });
+    // The tell is durable; only now may a miss's outcome reach the shared
+    // cache (hpo/tuner.hpp contract — an insert before durability could
+    // outlive a crash that erases its step and skew resumed hit/miss
+    // decisions). A failed append leaves the insert staged and the study
+    // quarantined; the resumed session re-derives it from the journal.
+    session_->commit_cache_insert();
     if (tuner_->done()) finish();
     else maybe_compact();
   } catch (const IoError&) {

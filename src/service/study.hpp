@@ -114,6 +114,10 @@ struct SessionOptions {
   Env* env = nullptr;            // nullptr = Env::real()
   bool sync_on_commit = false;   // fsync after every journal frame
   RetryPolicy retry;
+  // The pool's shared evaluation cache (usually the manager-owned
+  // core::EvalCache; tests may pass a MemoryEvalStore). Consulted only when
+  // the spec opts in (spec.use_eval_cache) and the study is managed.
+  std::shared_ptr<hpo::EvalStore> eval_cache;
 };
 
 class StudySession {
@@ -153,6 +157,11 @@ class StudySession {
   // fast-forwards, so a freshly resumed study reports 0 (managed mode only;
   // external studies evaluate out of process).
   std::size_t live_evaluations() const;
+
+  // Per-study evaluation-cache counters (0 when no cache is wired).
+  std::size_t cache_hits() const;
+  std::size_t cache_misses() const;
+  bool cache_active() const { return cache_active_; }
 
   // Managed mode: one journaled ask → evaluate → tell step. Returns false
   // once the study is finished (journaling the final selection) — or
@@ -222,6 +231,7 @@ class StudySession {
   std::size_t slices_used_ = 0;
   std::size_t io_retries_ = 0;
   std::string last_error_;
+  bool cache_active_ = false;
 };
 
 // Tuner construction for a study (shared with tests): managed studies build

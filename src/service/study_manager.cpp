@@ -21,12 +21,44 @@ void StudyManager::register_pool(const std::string& name,
   FEDTUNE_CHECK(pool != nullptr);
   FEDTUNE_CHECK(pool->configs.size() == pool->view.num_configs());
   pools_[name] = std::move(pool);
+  if (!opts_.eval_cache_dir.empty() && caches_.find(name) == caches_.end()) {
+    // One shared cache per pool, all tenants. A cache that cannot open must
+    // not take the pool down — studies just run uncached.
+    Env& e = env_or_real(opts_.env);
+    try {
+      e.create_directories(opts_.eval_cache_dir);
+      caches_[name] = core::EvalCache::open(
+          opts_.eval_cache_dir + "/" + name + ".evalcache", opts_.env);
+    } catch (const std::exception& ex) {
+      std::cerr << "[study-manager] eval cache for pool '" << name
+                << "' unavailable: " << ex.what() << "\n";
+    }
+  }
+}
+
+std::shared_ptr<core::EvalCache> StudyManager::eval_cache(
+    const std::string& pool) const {
+  const auto it = caches_.find(pool);
+  return it == caches_.end() ? nullptr : it->second;
+}
+
+SessionOptions StudyManager::session_options(const std::string& pool) const {
+  SessionOptions options{opts_.env, opts_.sync_on_commit, opts_.retry, {}};
+  options.eval_cache = eval_cache(pool);
+  return options;
 }
 
 std::shared_ptr<const PoolResources> StudyManager::pool(
     const std::string& name) const {
   const auto it = pools_.find(name);
   return it == pools_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> StudyManager::pool_names() const {
+  std::vector<std::string> names;
+  names.reserve(pools_.size());
+  for (const auto& [name, pool] : pools_) names.push_back(name);
+  return names;
 }
 
 std::string StudyManager::journal_path(const std::string& name) const {
@@ -61,9 +93,10 @@ StudySession& StudyManager::create_study(StudySpec spec) {
                       "unknown pool '" << spec.pool << "'");
   }
   const std::string name = spec.name;
+  const std::string pool_name = spec.pool;
   auto session = std::make_unique<StudySession>(
       std::move(spec), std::move(study_pool), journal_path(name),
-      session_options());
+      session_options(pool_name));
   session->set_compact_every(opts_.compact_every_steps);
   StudySession& ref = *session;
   sessions_[name] = std::move(session);
@@ -90,9 +123,10 @@ StudySession& StudyManager::resume_study(const std::string& name) {
     FEDTUNE_CHECK_MSG(study_pool != nullptr,
                       "unknown pool '" << recovered.spec.pool << "'");
   }
+  const std::string pool_name = recovered.spec.pool;
   auto session = std::make_unique<StudySession>(
       std::move(recovered), std::move(study_pool), journal_path(name),
-      session_options());
+      session_options(pool_name));
   session->set_compact_every(opts_.compact_every_steps);
   StudySession& ref = *session;
   sessions_[name] = std::move(session);

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "core/eval_cache.hpp"
 #include "service/study.hpp"
 
 namespace fedtune::service {
@@ -45,6 +46,12 @@ struct ManagerOptions {
   Env* env = nullptr;
   bool sync_on_commit = false;
   RetryPolicy retry;
+  // Shared cross-tenant evaluation caches (core/eval_cache.hpp): when
+  // non-empty, register_pool() opens <eval_cache_dir>/<pool>.evalcache and
+  // every cache-opted study on that pool shares it — admission IS the warm
+  // start (a new tenant's first lookups hit outcomes its predecessors paid
+  // for). Empty disables caching service-wide.
+  std::string eval_cache_dir;
 };
 
 class StudyManager {
@@ -55,6 +62,7 @@ class StudyManager {
   void register_pool(const std::string& name,
                      std::shared_ptr<const PoolResources> pool);
   std::shared_ptr<const PoolResources> pool(const std::string& name) const;
+  std::vector<std::string> pool_names() const;
 
   // Admits and creates a study. Throws std::invalid_argument when admission
   // fails: invalid/duplicate name, tenant capacity reached, budget above
@@ -87,13 +95,19 @@ class StudyManager {
   std::string journal_path(const std::string& name) const;
   const ManagerOptions& options() const { return opts_; }
 
+  // The shared evaluation cache of a registered pool (nullptr when caching
+  // is disabled or the pool has none) — stats surface through studyd's
+  // cache-stats verb.
+  std::shared_ptr<core::EvalCache> eval_cache(const std::string& pool) const;
+
  private:
-  SessionOptions session_options() const {
-    return SessionOptions{opts_.env, opts_.sync_on_commit, opts_.retry};
-  }
+  // Per-study session options: the I/O plumbing plus the study's pool cache.
+  SessionOptions session_options(const std::string& pool) const;
 
   ManagerOptions opts_;
   std::map<std::string, std::shared_ptr<const PoolResources>> pools_;
+  // Per-pool shared evaluation caches, opened at register_pool().
+  std::map<std::string, std::shared_ptr<core::EvalCache>> caches_;
   // Ordered by name: the scheduler's round-robin order is deterministic.
   std::map<std::string, std::unique_ptr<StudySession>> sessions_;
 };

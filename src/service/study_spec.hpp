@@ -84,6 +84,17 @@ struct StudySpec {
 
   // Evaluation-noise model for managed studies (§2.2 knobs).
   core::NoiseModel noise;
+
+  // Evaluation-cache knobs (managed studies; see core/eval_cache.hpp).
+  // use_eval_cache: consult/populate the pool's shared cache when the
+  // manager has one configured. warm_start: share the cross-tenant
+  // namespace — false scopes this study's entries to itself (its own
+  // kill/resume still benefits, but it neither reads nor seeds other
+  // tenants' outcomes). max_trials: LimitTuner cap on trials issued
+  // (SIZE_MAX = uncapped).
+  bool use_eval_cache = true;
+  bool warm_start = true;
+  std::size_t max_trials = std::numeric_limits<std::size_t>::max();
 };
 
 // True iff the name is usable as a study id (non-empty, [A-Za-z0-9_.-]).

@@ -605,7 +605,8 @@ TEST_F(FaultFixture, TornTailFuzzEveryByteOffsetOfLastTwoFrames) {
 // crash run: create the study and step it to completion. Compaction every 4
 // steps puts compact-path writes inside the matrix too.
 void drive_workload(const StudySpec& spec, const std::string& dir,
-                    std::shared_ptr<const PoolResources> pool, Env* env) {
+                    std::shared_ptr<const PoolResources> pool, Env* env,
+                    const std::string& eval_cache_dir = {}) {
   ManagerOptions opts;
   opts.journal_dir = dir;
   opts.rounds_per_slice = 9;
@@ -613,6 +614,7 @@ void drive_workload(const StudySpec& spec, const std::string& dir,
   opts.parallel = false;
   opts.env = env;
   opts.sync_on_commit = true;  // fsync boundaries join the matrix
+  opts.eval_cache_dir = eval_cache_dir;  // "" = uncached (the classic matrix)
   StudyManager mgr(opts);
   mgr.register_pool("p", std::move(pool));
   StudySession& s = mgr.create_study(spec);
@@ -699,6 +701,134 @@ TEST_F(CrashMatrix, ShaSurvivesEveryWriteBoundary) {
 
 TEST_F(CrashMatrix, TpeSurvivesEveryWriteBoundary) {
   run_matrix(StudyMethod::kTpe, "tpe");
+}
+
+// ------------------------------------ cached-stack crash-point matrix
+
+// The wrapped stack CachingTuner(LimitTuner(StandaloneSha)) behind a
+// partially-warm SHARED evaluation cache: a producer study with the same
+// noise namespace seeds outcomes the victim's bracket overlaps, the fault
+// plan's empty path filter puts the .evalcache appends into the op matrix
+// alongside the journal's, and every boundary is crashed, recovered, and
+// checked bitwise — with zero re-evaluations of journaled OR cached work.
+class CachedCrashMatrix : public FaultFixture {
+ protected:
+  // Copies the warmed shared cache so every crash run starts from the same
+  // admission-time state (the reference and the crashes must not advance
+  // each other's cache).
+  std::string clone_cache_dir(const std::string& from) {
+    const std::string to = fresh_dir();
+    for (const auto& entry : std::filesystem::directory_iterator(from)) {
+      std::filesystem::copy_file(entry.path(),
+                                 to + "/" + entry.path().filename().string());
+    }
+    return to;
+  }
+};
+
+TEST_F(CachedCrashMatrix, WrappedShaSurvivesEveryWriteBoundaryOnWarmCache) {
+  StudySpec spec = managed_spec("csha", StudyMethod::kSha, 5);
+  spec.seed = 23;
+  // Non-binding trial cap: wires LimitTuner into the stack without bending
+  // the trajectory, so the matrix runs through both wrapper layers.
+  spec.max_trials = 64;
+
+  // Warm the shared cache with a different-seed producer: same noise knobs
+  // and same planned M, so the namespaces match but the overlap is partial.
+  const std::string warm_dir = fresh_dir();
+  {
+    StudySpec producer = managed_spec("warmsrc", StudyMethod::kSha, 5);
+    producer.seed = 77;
+    ManagerOptions opts = manager_options(fresh_dir());
+    opts.eval_cache_dir = warm_dir;
+    StudyManager mgr(opts);
+    mgr.register_pool("p", pool_);
+    StudySession& s = mgr.create_study(producer);
+    while (s.run_one_step()) {
+    }
+    ASSERT_TRUE(s.finished());
+  }
+
+  // Reference trajectory on a pristine clone of the warm cache.
+  core::TuneResult reference;
+  std::size_t reference_hits = 0;
+  std::size_t reference_misses = 0;
+  {
+    ManagerOptions opts = manager_options(fresh_dir());
+    opts.eval_cache_dir = clone_cache_dir(warm_dir);
+    StudyManager mgr(opts);
+    mgr.register_pool("p", pool_);
+    StudySession& s = mgr.create_study(spec);
+    while (s.run_one_step()) {
+    }
+    ASSERT_TRUE(s.finished());
+    reference = s.result();
+    reference_hits = s.cache_hits();
+    reference_misses = s.cache_misses();
+  }
+  // Both cache paths are live in this workload: served warm outcomes AND
+  // fresh evaluations whose inserts hit the matrix.
+  ASSERT_GE(reference_hits, 1u);
+  ASSERT_GE(reference_misses, 1u);
+
+  // Count the write/fsync boundaries of an uninterrupted cached run.
+  const std::string count_dir = fresh_dir();
+  FaultInjectingEnv counter(Env::real(), FaultPlan{});
+  drive_workload(spec, count_dir, pool_, &counter, clone_cache_dir(warm_dir));
+  const std::size_t total_ops = counter.ops();
+  ASSERT_GT(total_ops, 10u);
+
+  for (std::size_t k = 1; k <= total_ops; ++k) {
+    const std::string dir = fresh_dir();
+    const std::string cache_dir = clone_cache_dir(warm_dir);
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0) << "fork failed at op " << k;
+    if (pid == 0) {
+      FaultPlan plan;
+      plan.seed = 2000 + k;
+      plan.crash_at_op = k;
+      FaultInjectingEnv env(Env::real(), plan);
+      try {
+        drive_workload(spec, dir, pool_, &env, cache_dir);
+      } catch (...) {
+        ::_exit(97);  // no exception may preempt the scheduled crash
+      }
+      ::_exit(98);  // ran to completion: the crash never fired
+    }
+
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status)) << "op " << k;
+    ASSERT_EQ(WEXITSTATUS(status), kFaultCrashExitCode) << "op " << k;
+
+    // Recover on the real Env with the crashed cache state as-is: a torn
+    // cache tail heals at open, and replay re-inserts journaled outcomes.
+    ManagerOptions opts = manager_options(dir);
+    opts.eval_cache_dir = cache_dir;
+    StudyManager mgr(opts);
+    mgr.register_pool("p", pool_);
+    StudySession* session = nullptr;
+    try {
+      session = &mgr.resume_study("csha");
+    } catch (const std::exception&) {
+      // Crash before the create record was durable: start over, the name
+      // was never acknowledged.
+      Env::real().remove_file(mgr.journal_path("csha"));
+      session = &mgr.create_study(spec);
+    }
+    EXPECT_EQ(session->live_evaluations(), 0u)
+        << "op " << k << ": resume re-ran an evaluation";
+    while (session->run_one_step()) {
+    }
+    ASSERT_TRUE(session->finished()) << "op " << k;
+    // Zero re-evaluations: live work after resume is exactly the post-crash
+    // cache misses — journaled steps replay, warm outcomes serve.
+    EXPECT_EQ(session->live_evaluations(), session->cache_misses())
+        << "op " << k;
+    expect_bitwise_equal(session->result(), reference);
+
+    std::filesystem::remove_all(dir);
+  }
 }
 
 }  // namespace

@@ -5,6 +5,9 @@
 //       e.g.  fedtune_ctl --socket /tmp/studyd.sock create-study s1
 //                 method=rs configs=24 seed=7
 //             fedtune_ctl --socket /tmp/studyd.sock status s1
+//             fedtune_ctl --socket /tmp/studyd.sock cache-stats
+//       (cache-stats reports the shared evaluation caches per pool:
+//        entries, hits, misses, hit rate — daemon must run --eval-cache)
 //   fedtune_ctl --socket PATH wait NAME TIMEOUT_SECONDS
 //       polls `status NAME` until the study reports state=finished (exit 0)
 //       or the timeout expires (exit 1) — the CI smoke test's join point.
@@ -141,7 +144,9 @@ int main(int argc, char** argv) {
       std::cout
           << "usage: fedtune_ctl --socket PATH [--timeout SEC] VERB "
              "[ARGS...]\n"
-             "       fedtune_ctl --socket PATH wait NAME TIMEOUT_SEC\n";
+             "       fedtune_ctl --socket PATH wait NAME TIMEOUT_SEC\n"
+             "verbs: list, create-study, resume-study, suspend-study,\n"
+             "       status, best, ask, tell, pump, run, cache-stats\n";
       return 0;
     } else {
       words.push_back(a);

@@ -3,7 +3,7 @@
 //
 //   fedtune_studyd --socket PATH [--journal-dir DIR] [--autodrive]
 //                  [--pool-configs N] [--rounds-per-slice R]
-//                  [--fsync-on-commit]
+//                  [--fsync-on-commit] [--eval-cache DIR]
 //
 // On startup the daemon builds the deterministic "synth-small" candidate
 // pool (identical bytes on every start — the determinism contract in
@@ -16,12 +16,17 @@
 // Protocol (one request line -> one response line, `ok ...` or `err ...`):
 //   create-study NAME [method=rs|tpe|sha|hb|bohb] [configs=N] [budget=R]
 //                [seed=S] [pool=NAME] [eval-clients=N] [epsilon=E]
-//                [bias-b=B] [deadline=N] [external]
+//                [bias-b=B] [deadline=N] [external] [cache=on|off]
+//                [warm=on|off] [max-trials=N]
 //   ask NAME                 next trial of an external study
 //   tell NAME TRIAL_ID OBJ   objective for an external study's trial
 //   status NAME              state/health/steps/rounds/best summary; a
 //                            degraded or quarantined study also reports
-//                            retries= and last_error=
+//                            retries= and last_error=; with the eval cache
+//                            wired, cache_hits=/cache_misses=
+//   cache-stats              pool-wide eval-cache counters per pool
+//                            (entries/hits/misses/hit-rate; needs
+//                            --eval-cache)
 //   best NAME                current best trial
 //   suspend NAME             park the study (journal keeps its state)
 //   resume NAME              bring a journaled study back; a quarantined
@@ -138,6 +143,7 @@ class Daemon {
       if (verb == "pump") {
         return "ok steps=" + std::to_string(manager_.pump());
       }
+      if (verb == "cache-stats") return cache_stats();
       if (verb == "create-study") return create_study(words);
       if (words.size() < 2) return "err missing study name";
       const std::string& name = words[1];
@@ -190,6 +196,30 @@ class Daemon {
   }
 
  private:
+  std::string cache_stats() {
+    std::ostringstream out;
+    out << "ok";
+    bool any = false;
+    for (const std::string& pool : manager_.pool_names()) {
+      const auto cache = manager_.eval_cache(pool);
+      if (cache == nullptr) continue;
+      any = true;
+      const std::size_t hits = cache->hits();
+      const std::size_t misses = cache->misses();
+      const std::size_t lookups = hits + misses;
+      char rate[32];
+      std::snprintf(rate, sizeof(rate), "%.3f",
+                    lookups == 0 ? 0.0
+                                 : static_cast<double>(hits) /
+                                       static_cast<double>(lookups));
+      out << " " << pool << ":entries=" << cache->entries()
+          << ",hits=" << hits << ",misses=" << misses << ",hit_rate=" << rate
+          << (cache->degraded() ? ",degraded" : "");
+    }
+    if (!any) return "ok no eval caches (start with --eval-cache DIR)";
+    return out.str();
+  }
+
   std::string create_study(const std::vector<std::string>& words) {
     if (words.size() < 2) return "err usage: create-study NAME [k=v...]";
     service::StudySpec spec;
@@ -226,6 +256,18 @@ class Daemon {
         spec.noise.bias_b = std::stod(value);
       } else if (key == "deadline") {
         spec.deadline_slices = std::stoul(value);
+      } else if (key == "cache") {
+        if (value != "on" && value != "off") {
+          return "err cache must be on|off";
+        }
+        spec.use_eval_cache = value == "on";
+      } else if (key == "warm") {
+        if (value != "on" && value != "off") {
+          return "err warm must be on|off";
+        }
+        spec.warm_start = value == "on";
+      } else if (key == "max-trials") {
+        spec.max_trials = std::stoul(value);
       } else {
         return "err unknown option '" + key + "'";
       }
@@ -246,6 +288,10 @@ class Daemon {
     }
     if (const auto b = s.best()) {
       out << " best_id=" << b->first.id << " best_error=" << b->second;
+    }
+    if (s.cache_active()) {
+      out << " cache_hits=" << s.cache_hits()
+          << " cache_misses=" << s.cache_misses();
     }
     if (s.io_retries() > 0) out << " retries=" << s.io_retries();
     if (!s.last_error().empty()) {
@@ -443,10 +489,13 @@ int main(int argc, char** argv) {
     } else if (a == "--fsync-on-commit") {
       // Machine-crash durability: fsync after every journal frame.
       opts.sync_on_commit = true;
+    } else if (a == "--eval-cache") {
+      // Shared cross-tenant evaluation caches, one per pool, in this dir.
+      opts.eval_cache_dir = next();
     } else {
       std::cerr << "usage: fedtune_studyd --socket PATH [--journal-dir DIR] "
                    "[--autodrive] [--pool-configs N] [--rounds-per-slice R] "
-                   "[--fsync-on-commit]\n";
+                   "[--fsync-on-commit] [--eval-cache DIR]\n";
       return a == "--help" || a == "-h" ? 0 : 2;
     }
   }
