@@ -39,6 +39,7 @@
 #include "nn/factory.hpp"
 #include "nn/mlp.hpp"
 #include "nn/text_models.hpp"
+#include "obs/metrics.hpp"
 #include "privacy/laplace.hpp"
 #include "runtime/async_eval.hpp"
 #include "sampling/client_sampler.hpp"
@@ -402,6 +403,17 @@ int write_substrate_report(const std::string& path) {
     std::filesystem::remove_all(dir);
     std::filesystem::create_directories(dir);
 
+    // The service layers observe into the same registry histograms the
+    // daemon exposes; windowed snapshot deltas isolate each bench section
+    // (obs/metrics.hpp HistogramSnapshot::operator-).
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    obs::Histogram& append_hist =
+        reg.histogram("fedtune_journal_append_seconds");
+    obs::Histogram& ask_tell_hist = reg.histogram(
+        "fedtune_study_ask_tell_seconds", {{"study", "bench-latency"}});
+    const obs::HistogramSnapshot append_before = append_hist.snapshot();
+    const obs::HistogramSnapshot ask_tell_before = ask_tell_hist.snapshot();
+
     // Journal appends: one framed+flushed ask/tell pair per step.
     svc::StudySpec jspec;
     jspec.name = "bench-journal";
@@ -426,6 +438,8 @@ int write_substrate_report(const std::string& path) {
     const double journal_s = seconds_since(j0);
     const double appends_per_sec =
         2.0 * static_cast<double>(kJournalSteps) / journal_s;
+    const obs::HistogramSnapshot append_win =
+        append_hist.snapshot() - append_before;
 
     // A small shared pool for the service benches (same substrate the
     // pool_build section measures).
@@ -457,6 +471,8 @@ int write_substrate_report(const std::string& path) {
       }
       step_us = seconds_since(t0) * 1e6 / static_cast<double>(s.steps());
     }
+    const obs::HistogramSnapshot ask_tell_win =
+        ask_tell_hist.snapshot() - ask_tell_before;
 
     // Concurrent-study scheduler throughput: 8 tenants, fair-share slices
     // on the shared thread pool.
@@ -486,12 +502,17 @@ int write_substrate_report(const std::string& path) {
 
     out << "  \"study_service\": {\"journal_appends_per_sec\": "
         << appends_per_sec << ", \"step_latency_us\": " << step_us
+        << ", \"journal_append_p50_us\": " << append_win.quantile(0.5) * 1e6
+        << ", \"journal_append_p99_us\": " << append_win.quantile(0.99) * 1e6
+        << ", \"ask_tell_p50_us\": " << ask_tell_win.quantile(0.5) * 1e6
+        << ", \"ask_tell_p99_us\": " << ask_tell_win.quantile(0.99) * 1e6
         << ", \"concurrent_studies\": " << kTenants
         << ", \"scheduler_trials_per_sec\": " << trials_per_sec << "},\n";
     std::cerr << "study service: journal " << appends_per_sec
-              << " appends/s, ask->tell " << step_us << " us/step, "
-              << kTenants << "-tenant scheduler " << trials_per_sec
-              << " trials/s\n";
+              << " appends/s (p99 " << append_win.quantile(0.99) * 1e6
+              << " us), ask->tell " << step_us << " us/step (p99 "
+              << ask_tell_win.quantile(0.99) * 1e6 << " us), " << kTenants
+              << "-tenant scheduler " << trials_per_sec << " trials/s\n";
   }
 
   // Shared evaluation cache: 8 tenants on one pool through the

@@ -12,11 +12,19 @@
 # with and without fsync-on-commit plus recovery latency per journaled
 # step count) for tracking the perf trajectory across PRs.
 #
-# Usage: scripts/bench_report.sh [build_dir] [output.json]
+# After writing the snapshot, diffs it against the previous one (newest
+# bench/snapshots/BENCH_*.json, or an explicit third argument) and prints
+# regressions in the headline series: GEMM GFLOP/s, journal append
+# throughput, and ask->tell p99 latency. The diff is informational — perf
+# on shared CI runners is too noisy to gate on — but it makes a perf
+# regression visible in the PR log instead of three PRs later.
+#
+# Usage: scripts/bench_report.sh [build_dir] [output.json] [baseline.json]
 set -euo pipefail
 
 build_dir="${1:-build}"
 out="${2:-BENCH_substrate.json}"
+baseline="${3:-}"
 bin="$build_dir/bench_micro_substrate"
 
 if [[ ! -x "$bin" ]]; then
@@ -28,3 +36,72 @@ fi
 "$bin" --substrate_json="$out"
 echo "wrote $out"
 cat "$out"
+
+# Pick the newest committed snapshot as the baseline when none was given
+# (skipping the snapshot we just wrote, so regenerating BENCH_prN.json in
+# place still diffs against pr(N-1)).
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+if [[ -z "$baseline" ]]; then
+  for cand in $(ls -r "$repo_root"/bench/snapshots/BENCH_*.json 2>/dev/null); do
+    if [[ "$(readlink -f "$cand")" != "$(readlink -f "$out")" ]]; then
+      baseline="$cand"
+      break
+    fi
+  done
+fi
+if [[ -z "$baseline" || ! -f "$baseline" ]]; then
+  echo "no baseline snapshot to diff against (bench/snapshots/ is empty)"
+  exit 0
+fi
+
+echo
+echo "=== diff vs $(basename "$baseline") ==="
+python3 - "$baseline" "$out" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f: base = json.load(f)
+with open(sys.argv[2]) as f: cur = json.load(f)
+
+def get(d, *path):
+    for k in path:
+        if not isinstance(d, dict) or k not in d: return None
+        d = d[k]
+    return d
+
+def gemm_blocked(d, size):
+    for entry in d.get("gemm", []):
+        if entry.get("size") == size:
+            return entry.get("blocked_gflops")
+    return None
+
+# (label, getter, higher_is_better)
+SERIES = [
+    ("gemm 256 blocked GFLOP/s", lambda d: gemm_blocked(d, 256), True),
+    ("journal appends/s",
+     lambda d: get(d, "study_service", "journal_appends_per_sec"), True),
+    ("ask->tell p99 us",
+     lambda d: get(d, "study_service", "ask_tell_p99_us"), False),
+    ("ask->tell step us",
+     lambda d: get(d, "study_service", "step_latency_us"), False),
+    ("scheduler trials/s",
+     lambda d: get(d, "study_service", "scheduler_trials_per_sec"), True),
+]
+
+THRESHOLD = 0.10  # flag >10% moves in the bad direction
+regressions = 0
+for label, getter, higher_better in SERIES:
+    b, c = getter(base), getter(cur)
+    if b is None or c is None or not b:
+        print(f"  {label:28s} (not in both snapshots)")
+        continue
+    change = (c - b) / abs(b)
+    worse = -change if higher_better else change
+    tag = ""
+    if worse > THRESHOLD:
+        tag = "  <-- REGRESSION"
+        regressions += 1
+    print(f"  {label:28s} {b:12.2f} -> {c:12.2f}  ({change:+.1%}){tag}")
+
+if regressions:
+    print(f"{regressions} series regressed >{THRESHOLD:.0%} (informational, not gating)")
+EOF

@@ -2,12 +2,42 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <memory>
+
+#include "obs/metrics.hpp"
 
 namespace fedtune {
 
 namespace {
+
+// Pool-wide series shared by every ThreadPool instance (in practice the
+// global() pool dominates; per-pool labels would be unbounded for tests
+// that construct throwaway pools).
+obs::Gauge& pool_queue_depth() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::global().gauge("fedtune_pool_queue_depth");
+  return g;
+}
+
+obs::Histogram& pool_task_wait_seconds() {
+  static obs::Histogram& h = obs::MetricsRegistry::global().histogram(
+      "fedtune_pool_task_wait_seconds");
+  return h;
+}
+
+obs::Histogram& pool_task_run_seconds() {
+  static obs::Histogram& h = obs::MetricsRegistry::global().histogram(
+      "fedtune_pool_task_run_seconds");
+  return h;
+}
+
+double monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 // Depth of parallel_for nesting on this thread (across all pools). Non-zero
 // means a parallel_for issued here must run inline — the hardware is already
@@ -138,9 +168,19 @@ std::future<void> ThreadPool::submit(std::function<void()> fn) {
     (*task)();
     return future;
   }
+  // Latency accounting covers submit() tasks only — run_batch chunks are
+  // too fine-grained to pay a histogram observation each.
+  const double enqueued_s = monotonic_seconds();
+  pool_queue_depth().add(1.0);
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    tasks_.push([task] { (*task)(); });
+    tasks_.push([task, enqueued_s] {
+      const double start_s = monotonic_seconds();
+      pool_queue_depth().add(-1.0);
+      pool_task_wait_seconds().observe(start_s - enqueued_s);
+      (*task)();
+      pool_task_run_seconds().observe(monotonic_seconds() - start_s);
+    });
   }
   cv_.notify_one();
   return future;

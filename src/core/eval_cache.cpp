@@ -5,10 +5,41 @@
 #include "common/check.hpp"
 #include "common/crc32.hpp"
 #include "common/serialize.hpp"
+#include "obs/metrics.hpp"
 
 namespace fedtune::core {
 
 namespace {
+
+// Cache-wide counters, labeled by the cache file's stem (the pool name in
+// the StudyManager layout <dir>/<pool>.evalcache) — one cache per pool, so
+// the label set is bounded by the registered pools.
+struct CacheMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* inserts;
+  obs::Counter* compactions;
+  obs::Gauge* entries;
+};
+
+CacheMetrics make_cache_metrics(const std::string& path) {
+  std::string stem = path;
+  if (const std::size_t slash = stem.find_last_of('/');
+      slash != std::string::npos) {
+    stem = stem.substr(slash + 1);
+  }
+  if (const std::size_t dot = stem.find_last_of('.');
+      dot != std::string::npos && dot > 0) {
+    stem = stem.substr(0, dot);
+  }
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  const obs::LabelSet labels = {{"cache", stem}};
+  return {&reg.counter("fedtune_evalcache_hits_total", labels),
+          &reg.counter("fedtune_evalcache_misses_total", labels),
+          &reg.counter("fedtune_evalcache_inserts_total", labels),
+          &reg.counter("fedtune_evalcache_compactions_total", labels),
+          &reg.gauge("fedtune_evalcache_entries", labels)};
+}
 
 // v1 of the cache format. Bump the low word on any layout change — open()
 // rejects unknown magic rather than misreading a stale cache.
@@ -52,7 +83,14 @@ EvalCache::EvalCache(Env& env, std::string path,
       path_(std::move(path)),
       file_(std::move(file)),
       durable_(durable),
-      sync_on_commit_(sync_on_commit) {}
+      sync_on_commit_(sync_on_commit) {
+  const CacheMetrics m = make_cache_metrics(path_);
+  hits_counter_ = m.hits;
+  misses_counter_ = m.misses;
+  inserts_counter_ = m.inserts;
+  compactions_counter_ = m.compactions;
+  entries_gauge_ = m.entries;
+}
 
 std::unique_ptr<EvalCache> EvalCache::open(const std::string& path, Env* env,
                                            bool sync_on_commit) {
@@ -122,9 +160,11 @@ std::optional<hpo::EvalOutcome> EvalCache::lookup(const hpo::EvalKey& key) {
   const auto it = map_.find(key);
   if (it == map_.end()) {
     ++misses_;
+    misses_counter_->add(1);
     return std::nullopt;
   }
   ++hits_;
+  hits_counter_->add(1);
   return it->second;
 }
 
@@ -132,6 +172,8 @@ bool EvalCache::insert(const hpo::EvalKey& key,
                        const hpo::EvalOutcome& outcome) {
   std::lock_guard<std::mutex> lock(mu_);
   if (!map_.emplace(key, outcome).second) return false;
+  inserts_counter_->add(1);
+  entries_gauge_->set(static_cast<double>(map_.size()));
   // The in-memory map is the logical store; the append is best-effort
   // persistence (failures degrade, never refuse the insert).
   append_entry(key, outcome);
@@ -220,6 +262,7 @@ void EvalCache::compact() {
   file_ = env_->open_writable(path_, Env::WriteMode::kAppend);
   degraded_ = false;
   broken_ = false;
+  compactions_counter_->add(1);
 }
 
 std::vector<std::pair<hpo::EvalKey, hpo::EvalOutcome>> EvalCache::snapshot()

@@ -37,6 +37,11 @@
 #include "common/env.hpp"
 #include "hpo/middleware.hpp"
 
+namespace fedtune::obs {
+class Counter;
+class Gauge;
+}
+
 namespace fedtune::core {
 
 class EvalCache : public hpo::EvalStore {
@@ -88,6 +93,14 @@ class EvalCache : public hpo::EvalStore {
   std::map<hpo::EvalKey, hpo::EvalOutcome> map_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
+
+  // fedtune_evalcache_*{cache=<file stem>} registry series, resolved once
+  // at open() — one cache per pool keeps the label set bounded.
+  obs::Counter* hits_counter_ = nullptr;
+  obs::Counter* misses_counter_ = nullptr;
+  obs::Counter* inserts_counter_ = nullptr;
+  obs::Counter* compactions_counter_ = nullptr;
+  obs::Gauge* entries_gauge_ = nullptr;
 };
 
 }  // namespace fedtune::core

@@ -4,10 +4,24 @@
 
 #include "common/check.hpp"
 #include "common/rng_salts.hpp"
+#include "obs/metrics.hpp"
 #include "privacy/laplace.hpp"
 #include "sampling/client_sampler.hpp"
 
 namespace fedtune::core {
+
+std::string noise_source_label(const NoiseModel& noise) {
+  std::string label;
+  const auto append = [&label](const char* source) {
+    if (!label.empty()) label += "+";
+    label += source;
+  };
+  if (!noise.is_full_eval()) append("subsample");
+  if (noise.bias_b > 0.0) append("bias");
+  if (noise.eval_dropout > 0.0) append("dropout");
+  if (noise.is_private()) append("dp");
+  return label.empty() ? "clean" : label;
+}
 
 NoisyEvaluator::NoisyEvaluator(const NoiseModel& noise,
                                std::vector<double> client_weights,
@@ -22,6 +36,16 @@ NoisyEvaluator::NoisyEvaluator(const NoiseModel& noise,
                 noise_.eval_clients <= client_weights_.size());
   FEDTUNE_CHECK(noise_.eval_clients > 0);
   FEDTUNE_CHECK(noise_.eval_dropout >= 0.0 && noise_.eval_dropout < 1.0);
+  // The `source` label is a bounded set (2^4 combinations), so evaluator
+  // instances across studies and experiments share these series.
+  const std::string source = noise_source_label(noise_);
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  live_counter_ = &reg.counter("fedtune_evals_total",
+                               {{"kind", "live"}, {"source", source}});
+  replayed_counter_ = &reg.counter("fedtune_evals_total",
+                                   {{"kind", "replayed"}, {"source", source}});
+  cached_counter_ = &reg.counter("fedtune_evals_total",
+                                 {{"kind", "cached"}, {"source", source}});
 }
 
 double NoisyEvaluator::full_error(
@@ -53,6 +77,7 @@ void NoisyEvaluator::skip_evaluation() {
     accountant_.charge(noise_.epsilon / static_cast<double>(planned_evals_));
   }
   ++evals_;
+  replayed_counter_->add(1);
 }
 
 void NoisyEvaluator::serve_cached() {
@@ -63,6 +88,7 @@ void NoisyEvaluator::serve_cached() {
   }
   ++evals_;
   ++cache_hits_;
+  cached_counter_->add(1);
 }
 
 double NoisyEvaluator::evaluate_with(std::span<const double> all_client_errors,
@@ -121,6 +147,7 @@ double NoisyEvaluator::evaluate_with(std::span<const double> all_client_errors,
   }
   ++evals_;
   ++live_evals_;
+  live_counter_->add(1);
   return value;
 }
 

@@ -9,13 +9,23 @@
 #pragma once
 
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "core/noise_model.hpp"
 #include "privacy/accountant.hpp"
 
+namespace fedtune::obs {
+class Counter;
+}
+
 namespace fedtune::core {
+
+// Human-readable summary of the active noise sources ("clean",
+// "subsample+dp", ...) — the bounded `source` label on the evaluator's
+// fedtune_evals_total counters.
+std::string noise_source_label(const NoiseModel& noise);
 
 class NoisyEvaluator {
  public:
@@ -87,6 +97,11 @@ class NoisyEvaluator {
   std::size_t live_evals_ = 0;
   std::size_t cache_hits_ = 0;
   std::size_t cache_misses_ = 0;
+  // fedtune_evals_total{kind=live|replayed|cached, source=...} — shared
+  // registry counters (bounded label set), resolved once per evaluator.
+  obs::Counter* live_counter_ = nullptr;
+  obs::Counter* replayed_counter_ = nullptr;
+  obs::Counter* cached_counter_ = nullptr;
 };
 
 }  // namespace fedtune::core

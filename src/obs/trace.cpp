@@ -1,0 +1,235 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+
+namespace fedtune::obs {
+
+namespace {
+
+std::uint64_t next_recorder_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t steady_now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void append_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';  // control chars would need \uXXXX; spans never carry them
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t ring_capacity)
+    : id_(next_recorder_id()),
+      ring_capacity_(std::max<std::size_t>(ring_capacity, 16)),
+      t0_us_(steady_now_us()) {}
+
+void TraceRecorder::set_clock(Clock now_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_ = std::move(now_us);
+}
+
+std::uint64_t TraceRecorder::now_us() const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (clock_) return clock_();
+  }
+  return steady_now_us() - t0_us_;
+}
+
+TraceRecorder::Ring& TraceRecorder::this_thread_ring() {
+  // One-entry cache keyed on the process-unique recorder id (never on the
+  // address — a later recorder constructed where a destroyed one lived must
+  // miss, not dereference the dead ring). The common case is a thread
+  // repeatedly tracing into one recorder (the global); a thread alternating
+  // between recorders re-registers a fresh ring per switch, which costs
+  // memory but never correctness (export merges all rings).
+  thread_local std::uint64_t cached_owner_id = 0;
+  thread_local Ring* cached_ring = nullptr;
+  if (cached_owner_id == id_ && cached_ring != nullptr) return *cached_ring;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto ring = std::make_unique<Ring>();
+  ring->slots.resize(ring_capacity_);
+  ring->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+  Ring* raw = ring.get();
+  rings_.push_back(std::move(ring));
+  cached_owner_id = id_;
+  cached_ring = raw;
+  return *raw;
+}
+
+void TraceRecorder::record(TracePhase phase, const char* name,
+                           const char* cat, std::uint64_t ts_us,
+                           std::uint64_t dur_us) {
+  Ring& ring = this_thread_ring();
+  std::lock_guard<std::mutex> lock(ring.mu);  // uncontended except vs export
+  Event& e = ring.slots[ring.next % ring.slots.size()];
+  if (ring.next >= ring.slots.size()) ++ring.dropped;
+  e.name = name;
+  e.cat = cat;
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  e.phase = phase;
+  ++ring.next;
+}
+
+void TraceRecorder::begin(const char* name, const char* cat) {
+  if (!enabled()) return;
+  record(TracePhase::kBegin, name, cat, now_us(), 0);
+}
+
+void TraceRecorder::end(const char* name, const char* cat) {
+  if (!enabled()) return;
+  record(TracePhase::kEnd, name, cat, now_us(), 0);
+}
+
+void TraceRecorder::instant(const char* name, const char* cat) {
+  if (!enabled()) return;
+  record(TracePhase::kInstant, name, cat, now_us(), 0);
+}
+
+void TraceRecorder::complete(const char* name, const char* cat,
+                             std::uint64_t ts_us, std::uint64_t dur_us) {
+  if (!enabled()) return;
+  record(TracePhase::kComplete, name, cat, ts_us, dur_us);
+}
+
+const char* TraceRecorder::intern(const std::string& s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& existing : interned_) {
+    if (*existing == s) return existing->c_str();
+  }
+  interned_.push_back(std::make_unique<std::string>(s));
+  return interned_.back()->c_str();
+}
+
+std::size_t TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    n += static_cast<std::size_t>(
+        std::min<std::uint64_t>(ring->next, ring->slots.size()));
+  }
+  return n;
+}
+
+std::size_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    n += static_cast<std::size_t>(ring->dropped);
+  }
+  return n;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    ring->next = 0;
+    ring->dropped = 0;
+  }
+}
+
+std::string TraceRecorder::chrome_trace_json() const {
+  struct Exported {
+    Event event;
+    std::uint32_t tid;
+  };
+  std::vector<Exported> all;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& ring : rings_) {
+      std::lock_guard<std::mutex> ring_lock(ring->mu);
+      const std::uint64_t n =
+          std::min<std::uint64_t>(ring->next, ring->slots.size());
+      for (std::uint64_t i = 0; i < n; ++i) {
+        all.push_back({ring->slots[i], ring->tid});
+      }
+    }
+  }
+  // (ts, seq) order: stable, deterministic for a deterministic clock.
+  std::sort(all.begin(), all.end(), [](const Exported& a, const Exported& b) {
+    if (a.event.ts_us != b.event.ts_us) return a.event.ts_us < b.event.ts_us;
+    return a.event.seq < b.event.seq;
+  });
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Exported& x : all) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":\"";
+    append_escaped(out, x.event.name);
+    out += "\",\"cat\":\"";
+    append_escaped(out, x.event.cat);
+    out += "\",\"ph\":\"";
+    out += static_cast<char>(x.event.phase);
+    out += "\",\"ts\":" + std::to_string(x.event.ts_us);
+    if (x.event.phase == TracePhase::kComplete) {
+      out += ",\"dur\":" + std::to_string(x.event.dur_us);
+    }
+    if (x.event.phase == TracePhase::kInstant) {
+      out += ",\"s\":\"t\"";  // thread-scoped instant
+    }
+    out += ",\"pid\":1,\"tid\":" + std::to_string(x.tid) + "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool TraceRecorder::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  const std::string json = chrome_trace_json();
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  return static_cast<bool>(out);
+}
+
+TraceRecorder& TraceRecorder::global() {
+  // Leaked for the same shutdown-order reason as MetricsRegistry::global().
+  static auto* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+TraceSpan::TraceSpan(const char* name, const char* cat,
+                     TraceRecorder* recorder)
+    : recorder_(recorder != nullptr ? recorder : &TraceRecorder::global()),
+      name_(name), cat_(cat) {
+  if (recorder_->enabled()) {
+    start_us_ = recorder_->now_us();
+    armed_ = true;
+  }
+}
+
+TraceSpan::~TraceSpan() {
+  if (!armed_ || !recorder_->enabled()) return;
+  const std::uint64_t end_us = recorder_->now_us();
+  recorder_->complete(name_, cat_, start_us_,
+                      end_us > start_us_ ? end_us - start_us_ : 0);
+}
+
+}  // namespace fedtune::obs

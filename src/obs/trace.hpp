@@ -1,0 +1,150 @@
+// TraceRecorder — per-thread ring-buffered span recording with
+// Chrome/Perfetto trace_event JSON export.
+//
+// Recording model: each thread writes begin/end/instant/complete events into
+// its own fixed-capacity ring buffer (registered with the recorder on first
+// use). The hot path touches only thread-local state plus the ring's own
+// uncontended mutex — no global lock, no allocation after the ring exists.
+// When a ring wraps, the oldest events are overwritten and counted in
+// dropped(); export never blocks recording correctness.
+//
+// Timestamps come from an injectable clock (microseconds, monotone). The
+// default is steady_clock relative to recorder construction; under SysSim
+// the caller installs a clock reading runtime::EventClock::now(), and tests
+// install counters — so the SAME trace code yields deterministic timelines
+// in simulation and wall-clock timelines in the daemon.
+//
+// Export: chrome_trace_json() merges every ring, sorts by (timestamp,
+// sequence), and emits the Chrome trace_event JSON array format —
+// loadable directly in Perfetto (ui.perfetto.dev) or chrome://tracing.
+// Span taxonomy and category conventions: src/README.md §Observability.
+//
+// Determinism contract: like metrics, tracing is observational only —
+// enabling it must not perturb any study trajectory (test-enforced).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fedtune::obs {
+
+// Chrome trace_event phases used here: B/E (begin/end pairs), i (instant),
+// X (complete: ts + dur in one event).
+enum class TracePhase : std::uint8_t {
+  kBegin = 'B',
+  kEnd = 'E',
+  kInstant = 'i',
+  kComplete = 'X',
+};
+
+class TraceRecorder {
+ public:
+  // Microsecond clock; must be monotone non-decreasing per thread.
+  using Clock = std::function<std::uint64_t()>;
+
+  explicit TraceRecorder(std::size_t ring_capacity = 16384);
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // Disabled recorders drop events at the call site (one relaxed load).
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // nullptr restores the default steady_clock-since-construction source.
+  void set_clock(Clock now_us);
+  std::uint64_t now_us() const;
+
+  // `name` and `cat` must outlive the recorder: pass string literals, or
+  // intern() dynamic strings (per-study names) once and reuse the pointer.
+  void begin(const char* name, const char* cat = "fedtune");
+  void end(const char* name, const char* cat = "fedtune");
+  void instant(const char* name, const char* cat = "fedtune");
+  void complete(const char* name, const char* cat, std::uint64_t ts_us,
+                std::uint64_t dur_us);
+
+  // Returns a stable pointer for a dynamic name (deduplicated; the string
+  // lives as long as the recorder). Slow path — call once per entity, not
+  // per event.
+  const char* intern(const std::string& s);
+
+  // Chrome trace_event JSON ({"traceEvents":[...]}). Safe to call while
+  // other threads record; events written during export may or may not be
+  // included.
+  std::string chrome_trace_json() const;
+  // Writes chrome_trace_json() to `path`; false on I/O failure.
+  bool write_chrome_trace(const std::string& path) const;
+
+  // Events recorded (and retained) across all rings, and events lost to
+  // ring wrap-around.
+  std::size_t events() const;
+  std::size_t dropped() const;
+  void clear();
+
+  static TraceRecorder& global();
+
+ private:
+  struct Event {
+    const char* name = nullptr;
+    const char* cat = nullptr;
+    std::uint64_t ts_us = 0;
+    std::uint64_t dur_us = 0;  // kComplete only
+    std::uint64_t seq = 0;     // global order tie-break for equal ts
+    TracePhase phase = TracePhase::kInstant;
+  };
+  struct Ring {
+    // The mutex is per-ring and all writers are the owning thread, so the
+    // hot path never contends; export takes each ring's mutex briefly.
+    std::mutex mu;
+    std::vector<Event> slots;
+    std::uint64_t next = 0;     // total events ever written
+    std::uint64_t dropped = 0;  // events overwritten before export
+    std::uint32_t tid = 0;
+  };
+
+  Ring& this_thread_ring();
+  void record(TracePhase phase, const char* name, const char* cat,
+              std::uint64_t ts_us, std::uint64_t dur_us);
+
+  std::atomic<bool> enabled_{false};
+  // Process-unique, never reused: the per-thread ring cache keys on this id
+  // rather than the recorder address, so a new recorder allocated where a
+  // destroyed one lived can never resurrect a dangling cached ring.
+  const std::uint64_t id_;
+  std::size_t ring_capacity_;
+  std::uint64_t t0_us_;  // steady_clock epoch for the default clock
+
+  mutable std::mutex mu_;  // guards rings_, clock_, interned_
+  std::vector<std::unique_ptr<Ring>> rings_;
+  Clock clock_;
+  std::vector<std::unique_ptr<std::string>> interned_;
+  std::atomic<std::uint64_t> next_seq_{0};
+  std::atomic<std::uint32_t> next_tid_{1};
+};
+
+// RAII complete-span: captures the clock at construction and emits one "X"
+// event at destruction. Nothing is recorded when the recorder is disabled
+// at construction time.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* cat = "fedtune",
+                     TraceRecorder* recorder = nullptr);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceRecorder* recorder_;
+  const char* name_;
+  const char* cat_;
+  std::uint64_t start_us_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace fedtune::obs

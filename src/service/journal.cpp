@@ -1,14 +1,57 @@
 #include "service/journal.hpp"
 
+#include <chrono>
 #include <cstring>
 
 #include "common/check.hpp"
 #include "common/crc32.hpp"
 #include "common/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace fedtune::service {
 
 namespace {
+
+// Journal metrics are service-wide (no per-study label): the journal layer
+// sees paths, not tenant identities, and per-path labels would make series
+// cardinality track journal-directory history. Per-tenant latency lives one
+// layer up in fedtune_study_ask_tell_seconds (src/README.md §Observability).
+obs::Histogram& append_seconds() {
+  static obs::Histogram& h = obs::MetricsRegistry::global().histogram(
+      "fedtune_journal_append_seconds");
+  return h;
+}
+obs::Histogram& fsync_seconds() {
+  static obs::Histogram& h = obs::MetricsRegistry::global().histogram(
+      "fedtune_journal_fsync_seconds");
+  return h;
+}
+obs::Counter& append_bytes_total() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "fedtune_journal_append_bytes_total");
+  return c;
+}
+obs::Counter& append_failures_total() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "fedtune_journal_append_failures_total");
+  return c;
+}
+obs::Histogram& recover_seconds() {
+  static obs::Histogram& h = obs::MetricsRegistry::global().histogram(
+      "fedtune_journal_recover_seconds");
+  return h;
+}
+obs::Counter& recover_truncated_bytes_total() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "fedtune_journal_recover_truncated_bytes_total");
+  return c;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
 
 // v2 of the journal format (v2 appended the eval-cache/limit spec fields).
 // Bump the low word on any layout change — recovery rejects unknown magic
@@ -194,9 +237,18 @@ void StudyJournal::append_frame(const std::string& payload) {
   frame.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
   frame.append(payload);
   try {
+    obs::TraceSpan span("journal.append", "journal");
+    const auto t0 = std::chrono::steady_clock::now();
     file_->append(frame);
-    if (sync_on_commit_) file_->sync();
+    append_seconds().observe(seconds_since(t0));
+    if (sync_on_commit_) {
+      const auto s0 = std::chrono::steady_clock::now();
+      file_->sync();
+      fsync_seconds().observe(seconds_since(s0));
+    }
+    append_bytes_total().add(frame.size());
   } catch (const IoError&) {
+    append_failures_total().add(1);
     heal_to_durable();
     throw;
   }
@@ -253,6 +305,8 @@ void StudyJournal::append_snapshot(std::span<const core::TrialRecord> steps) {
 }
 
 RecoveredStudy StudyJournal::recover(const std::string& path, Env* env) {
+  obs::TraceSpan span("journal.recover", "journal");
+  const auto t0 = std::chrono::steady_clock::now();
   Env& e = env_or_real(env);
   FEDTUNE_CHECK_MSG(e.exists(path), "no journal at " << path);
   const std::string bytes = e.read_file(path);
@@ -362,7 +416,9 @@ RecoveredStudy StudyJournal::recover(const std::string& path, Env* env) {
   study.truncated_bytes = bytes.size() - valid_end;
   if (study.truncated_bytes > 0) {
     e.truncate_file(path, valid_end);
+    recover_truncated_bytes_total().add(study.truncated_bytes);
   }
+  recover_seconds().observe(seconds_since(t0));
   return study;
 }
 

@@ -13,11 +13,19 @@
 #include "hpo/random_search.hpp"
 #include "hpo/successive_halving.hpp"
 #include "hpo/tpe.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/method_runner.hpp"
 
 namespace fedtune::service {
 
 namespace {
+
+double monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 sim::Method to_sim_method(StudyMethod m) {
   switch (m) {
@@ -136,6 +144,19 @@ void StudySession::init_engine() {
   }
 }
 
+void StudySession::init_metrics() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  const obs::LabelSet labels = {{"study", spec_.name}};
+  ask_tell_hist_ = &reg.histogram("fedtune_study_ask_tell_seconds", labels);
+  steps_counter_ = &reg.counter("fedtune_study_steps_total", labels);
+  retries_counter_ = &reg.counter("fedtune_study_io_retries_total", labels);
+  quarantines_counter_ =
+      &reg.counter("fedtune_study_quarantines_total", labels);
+  epsilon_gauge_ = &reg.gauge("fedtune_study_epsilon_spent", labels);
+  trace_name_ =
+      obs::TraceRecorder::global().intern("study.step:" + spec_.name);
+}
+
 StudySession::StudySession(StudySpec spec,
                            std::shared_ptr<const PoolResources> pool,
                            const std::string& journal_path,
@@ -145,6 +166,7 @@ StudySession::StudySession(StudySpec spec,
       jitter_rng_(Rng(spec_.seed).split(salts::kStudyRetryJitter)) {
   FEDTUNE_CHECK_MSG(valid_study_name(spec_.name),
                     "invalid study name '" << spec_.name << "'");
+  init_metrics();
   init_engine();
   journal_ = StudyJournal::create(journal_path_, spec_, options_.env,
                                   options_.sync_on_commit);
@@ -157,6 +179,7 @@ StudySession::StudySession(RecoveredStudy recovered,
     : spec_(std::move(recovered.spec)), pool_(std::move(pool)),
       journal_path_(journal_path), options_(std::move(options)),
       jitter_rng_(Rng(spec_.seed).split(salts::kStudyRetryJitter)) {
+  init_metrics();
   init_engine();
   // Deterministic replay: each journaled step re-asks the tuner (verifying
   // the journal matches), fast-forwards the evaluator, and re-applies the
@@ -191,7 +214,11 @@ void StudySession::quarantine(const IoError& e, const char* what) {
   last_error_ = std::string(what) + ": " + e.what();
   // A failure in post-finish hygiene (compaction) must not demote a study
   // whose selection is already durable.
-  if (state_ != StudyState::kFinished) state_ = StudyState::kQuarantined;
+  if (state_ != StudyState::kFinished) {
+    state_ = StudyState::kQuarantined;
+    quarantines_counter_->add(1);
+    obs::TraceRecorder::global().instant(trace_name_, "quarantine");
+  }
 }
 
 void StudySession::with_journal_retry(const char* what,
@@ -208,6 +235,7 @@ void StudySession::with_journal_retry(const char* what,
         throw;
       }
       ++io_retries_;
+      retries_counter_->add(1);
       double delay =
           p.base_delay_ms * static_cast<double>(1ULL << (attempt - 1));
       delay = std::min(delay, p.max_delay_ms);
@@ -258,6 +286,8 @@ void StudySession::compact_journal() {
 bool StudySession::run_one_step() {
   FEDTUNE_CHECK_MSG(!spec_.external, "external study: drive via ask()/tell()");
   if (state_ != StudyState::kRunning) return false;
+  obs::TraceSpan span(trace_name_, "study");
+  const double t0 = monotonic_seconds();
   try {
     const std::optional<hpo::Trial> trial = session_->ask();
     if (!trial.has_value()) {
@@ -273,6 +303,11 @@ bool StudySession::run_one_step() {
     // decisions). A failed append leaves the insert staged and the study
     // quarantined; the resumed session re-derives it from the journal.
     session_->commit_cache_insert();
+    ask_tell_hist_->observe(monotonic_seconds() - t0);
+    steps_counter_->add(1);
+    if (const core::NoisyEvaluator* e = session_->evaluator()) {
+      epsilon_gauge_->set(e->accountant().spent());
+    }
     if (tuner_->done()) finish();
     else maybe_compact();
   } catch (const IoError&) {
@@ -305,6 +340,8 @@ std::optional<hpo::Trial> StudySession::ask() {
     return std::nullopt;
   }
   with_journal_retry("append ask", [&] { journal_->append_ask(*trial); });
+  ask_armed_at_s_ = monotonic_seconds();
+  obs::TraceRecorder::global().instant(trace_name_, "ask");
   return trial;
 }
 
@@ -319,6 +356,12 @@ core::TrialRecord StudySession::tell(int trial_id, double objective) {
                                       << " is outstanding");
   const core::TrialRecord record = session_->tell_outstanding(objective);
   with_journal_retry("append tell", [&] { journal_->append_tell(record); });
+  if (ask_armed_at_s_ >= 0.0) {
+    ask_tell_hist_->observe(monotonic_seconds() - ask_armed_at_s_);
+    ask_armed_at_s_ = -1.0;
+  }
+  steps_counter_->add(1);
+  obs::TraceRecorder::global().instant(trace_name_, "tell");
   // The tuner may have nothing further to issue (e.g. final tell of the
   // plan); surface completion without waiting for the next ask.
   if (tuner_->done()) finish();

@@ -48,6 +48,12 @@
 #include "service/journal.hpp"
 #include "service/study_spec.hpp"
 
+namespace fedtune::obs {
+class Counter;
+class Gauge;
+class Histogram;
+}
+
 namespace fedtune::service {
 
 // A registered candidate pool: the shared, read-only evaluation substrate
@@ -206,6 +212,7 @@ class StudySession {
 
  private:
   void init_engine();
+  void init_metrics();
   void finish();
   void maybe_compact();
 
@@ -232,6 +239,19 @@ class StudySession {
   std::size_t io_retries_ = 0;
   std::string last_error_;
   bool cache_active_ = false;
+
+  // Per-study registry series, labeled {study=<name>} — the only layer
+  // allowed a per-tenant label (src/README.md §Observability cardinality
+  // rules). Resolved once by init_metrics() in both constructors.
+  obs::Histogram* ask_tell_hist_ = nullptr;
+  obs::Counter* steps_counter_ = nullptr;
+  obs::Counter* retries_counter_ = nullptr;
+  obs::Counter* quarantines_counter_ = nullptr;
+  obs::Gauge* epsilon_gauge_ = nullptr;
+  const char* trace_name_ = nullptr;  // interned "study.step:<name>"
+  // External mode: wall-clock of the outstanding ask, so tell() can observe
+  // the tenant-visible ask→tell latency.
+  double ask_armed_at_s_ = -1.0;
 };
 
 // Tuner construction for a study (shared with tests): managed studies build

@@ -1,14 +1,55 @@
 #include "service/study_manager.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <future>
 #include <iostream>
 #include <string_view>
 
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace fedtune::service {
+
+namespace {
+
+// Scheduler-wide series (no per-study label; per-tenant latency lives in
+// the study layer's fedtune_study_ask_tell_seconds).
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::global().gauge("fedtune_scheduler_queue_depth");
+  return g;
+}
+
+obs::Counter& cycles_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("fedtune_scheduler_cycles_total");
+  return c;
+}
+
+obs::Histogram& cycle_seconds() {
+  static obs::Histogram& h = obs::MetricsRegistry::global().histogram(
+      "fedtune_scheduler_cycle_seconds");
+  return h;
+}
+
+// Fair-share wait: how long each tenant's slice sat queued behind the pool
+// before its first instruction ran.
+obs::Histogram& wait_seconds() {
+  static obs::Histogram& h = obs::MetricsRegistry::global().histogram(
+      "fedtune_scheduler_wait_seconds");
+  return h;
+}
+
+double monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 StudyManager::StudyManager(ManagerOptions opts) : opts_(std::move(opts)) {
   FEDTUNE_CHECK(opts_.max_studies > 0);
@@ -208,7 +249,12 @@ std::size_t StudyManager::pump() {
     }
     cohort.push_back(session.get());
   }
+  queue_depth_gauge().set(static_cast<double>(cohort.size()));
   if (cohort.empty()) return 0;
+
+  obs::TraceSpan pump_span("scheduler.pump", "scheduler");
+  cycles_counter().add(1);
+  const double cycle_t0 = monotonic_seconds();
 
   const std::size_t steps_before = [&] {
     std::size_t n = 0;
@@ -223,8 +269,12 @@ std::size_t StudyManager::pump() {
     std::vector<std::future<void>> slices;
     slices.reserve(cohort.size());
     for (StudySession* s : cohort) {
+      const double submit_s = monotonic_seconds();
       slices.push_back(ThreadPool::global().submit(
-          [s, rounds = opts_.rounds_per_slice] { s->run_slice(rounds); }));
+          [s, submit_s, rounds = opts_.rounds_per_slice] {
+            wait_seconds().observe(monotonic_seconds() - submit_s);
+            s->run_slice(rounds);
+          }));
     }
     for (auto& f : slices) f.get();
   } else {
@@ -233,6 +283,7 @@ std::size_t StudyManager::pump() {
 
   std::size_t steps_after = 0;
   for (const StudySession* s : cohort) steps_after += s->steps();
+  cycle_seconds().observe(monotonic_seconds() - cycle_t0);
   return steps_after - steps_before;
 }
 

@@ -19,9 +19,15 @@
 // every recovery into an outage. The jitter decorrelates concurrent clients
 // hammering a freshly bound socket.
 //
-// Exit code: 0 when the daemon answered `ok ...` (or the wait succeeded),
-// 1 on `err ...`/timeout, 2 on usage or connection failure past the
-// deadline.
+// Responses are one line except `metrics`, which answers `ok lines=N`
+// followed by N raw Prometheus exposition lines; the client prints all of
+// them.
+//
+// Exit codes (distinct, for scripting):
+//   0  the daemon answered `ok ...` (or the wait succeeded)
+//   1  the daemon answered `err ...`, or a wait timed out
+//   2  usage error (bad flags/arguments)
+//   3  connection failure past the --timeout deadline (daemon unreachable)
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -38,8 +44,21 @@
 
 namespace {
 
-// One request/response round trip; returns the response line (without the
-// trailing newline) or nullopt on connection failure.
+// Number of body lines following the header when the response is the
+// protocol's one multi-line answer (`ok lines=N`); 0 otherwise.
+std::size_t body_lines_of(const std::string& header) {
+  constexpr const char* kPrefix = "ok lines=";
+  if (header.rfind(kPrefix, 0) != 0) return 0;
+  try {
+    return std::stoul(header.substr(std::strlen(kPrefix)));
+  } catch (const std::exception&) {
+    return 0;
+  }
+}
+
+// One request/response round trip; returns the full response (without the
+// trailing newline — possibly multi-line for `metrics`) or nullopt on
+// connection failure.
 std::optional<std::string> roundtrip(const std::string& socket_path,
                                      const std::string& line) {
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
@@ -72,9 +91,29 @@ std::optional<std::string> roundtrip(const std::string& socket_path,
     if (n <= 0) break;
     response.append(buf, static_cast<std::size_t>(n));
   }
+  std::size_t nl = response.find('\n');
+  if (nl == std::string::npos) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  // Multi-line answer: keep reading until the announced body has arrived.
+  const std::size_t body_lines = body_lines_of(response.substr(0, nl));
+  std::size_t have =
+      static_cast<std::size_t>(std::count(response.begin(), response.end(),
+                                          '\n'));
+  while (have < body_lines + 1) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+    have = static_cast<std::size_t>(std::count(response.begin(),
+                                               response.end(), '\n'));
+  }
   ::close(fd);
-  const std::size_t nl = response.find('\n');
-  if (nl == std::string::npos) return std::nullopt;
+  if (body_lines > 0) {
+    // Return header + body; trim one trailing newline if present.
+    if (!response.empty() && response.back() == '\n') response.pop_back();
+    return response;
+  }
   return response.substr(0, nl);
 }
 
@@ -145,8 +184,51 @@ int main(int argc, char** argv) {
           << "usage: fedtune_ctl --socket PATH [--timeout SEC] VERB "
              "[ARGS...]\n"
              "       fedtune_ctl --socket PATH wait NAME TIMEOUT_SEC\n"
-             "verbs: list, create-study, resume-study, suspend-study,\n"
-             "       status, best, ask, tell, pump, run, cache-stats\n";
+             "\n"
+             "daemon verbs (forwarded over the socket):\n"
+             "  ping                      liveness check\n"
+             "  list                      active studies as "
+             "NAME:STATE:HEALTH\n"
+             "  create-study NAME [k=v..] new study (method=, configs=, "
+             "budget=,\n"
+             "                            seed=, pool=, eval-clients=, "
+             "epsilon=,\n"
+             "                            bias-b=, deadline=, cache=on|off,\n"
+             "                            warm=on|off, max-trials=, "
+             "external)\n"
+             "  status NAME               state/health/steps/rounds/best; "
+             "adds\n"
+             "                            cache_hits=/cache_misses= with the "
+             "eval\n"
+             "                            cache, retries=/last_error= when "
+             "degraded\n"
+             "  best NAME                 current best trial (hex-float "
+             "exact)\n"
+             "  trace NAME                full trial trajectory, hex-float "
+             "exact\n"
+             "  ask NAME                  next trial of an external study\n"
+             "  tell NAME ID OBJ          report an external trial's "
+             "objective\n"
+             "  drive NAME STEPS          run STEPS managed steps "
+             "synchronously\n"
+             "  pump                      one fair-share scheduler cycle\n"
+             "  suspend NAME              park a study (journal keeps "
+             "state)\n"
+             "  resume NAME               un-park / rebuild a journaled "
+             "study\n"
+             "  cache-stats               shared eval-cache counters per "
+             "pool\n"
+             "  metrics                   Prometheus exposition "
+             "(multi-line)\n"
+             "  trace-export [PATH]       write Chrome trace JSON on the "
+             "daemon\n"
+             "  shutdown                  stop the daemon\n"
+             "\n"
+             "client-side verbs:\n"
+             "  wait NAME TIMEOUT_SEC     poll status until state=finished\n"
+             "\n"
+             "exit codes: 0 ok, 1 daemon err/wait timeout, 2 usage,\n"
+             "            3 connect failure past --timeout\n";
       return 0;
     } else {
       words.push_back(a);
@@ -168,9 +250,11 @@ int main(int argc, char** argv) {
   for (std::size_t i = 1; i < words.size(); ++i) line += " " + words[i];
   const auto response = roundtrip_retry(socket_path, line, timeout_seconds);
   if (!response.has_value()) {
+    // Distinct from a daemon-side `err` (1) and from usage (2): scripts can
+    // tell "unreachable" apart from "reached but refused".
     std::cerr << "error: cannot reach daemon at " << socket_path << " within "
               << timeout_seconds << "s\n";
-    return 2;
+    return 3;
   }
   std::cout << *response << "\n";
   return response->rfind("ok", 0) == 0 ? 0 : 1;

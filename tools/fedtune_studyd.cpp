@@ -4,6 +4,7 @@
 //   fedtune_studyd --socket PATH [--journal-dir DIR] [--autodrive]
 //                  [--pool-configs N] [--rounds-per-slice R]
 //                  [--fsync-on-commit] [--eval-cache DIR]
+//                  [--metrics-file PATH] [--trace-out PATH]
 //
 // On startup the daemon builds the deterministic "synth-small" candidate
 // pool (identical bytes on every start — the determinism contract in
@@ -37,16 +38,26 @@
 //                            bitwise kill/resume equivalence check in CI
 //   drive NAME STEPS         run STEPS managed steps synchronously
 //   pump                     one fair-share scheduler cycle
+//   metrics                  Prometheus exposition of the MetricsRegistry.
+//                            MULTI-LINE response: `ok lines=N` followed by
+//                            N raw exposition lines (the one exception to
+//                            one-line framing). Also rewrites
+//                            --metrics-file when configured.
+//   trace-export [PATH]      write the TraceRecorder's Chrome trace_event
+//                            JSON to PATH (default --trace-out); needs
+//                            tracing enabled via --trace-out
 //   ping | shutdown
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -58,6 +69,8 @@
 #include "data/synth_image.hpp"
 #include "hpo/search_space.hpp"
 #include "nn/factory.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/study_manager.hpp"
 
 namespace {
@@ -106,14 +119,35 @@ std::string hex_double(double v) {
   return buf;
 }
 
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+  return static_cast<bool>(out);
+}
+
 class Daemon {
  public:
-  Daemon(service::ManagerOptions opts, std::size_t pool_configs)
-      : manager_(std::move(opts)) {
+  Daemon(service::ManagerOptions opts, std::size_t pool_configs,
+         std::string metrics_file, std::string trace_out)
+      : manager_(std::move(opts)),
+        metrics_file_(std::move(metrics_file)),
+        trace_out_(std::move(trace_out)) {
     manager_.register_pool("synth-small", build_synth_pool(pool_configs));
     const std::size_t resumed = manager_.resume_all();
     if (resumed > 0) {
       std::cerr << "[studyd] resumed " << resumed << " journaled studies\n";
+    }
+  }
+
+  // Final flush: persist the exposition and the timeline so a clean
+  // shutdown leaves both artifacts on disk without an explicit request.
+  void flush_observability() {
+    if (!metrics_file_.empty()) {
+      write_text_file(metrics_file_,
+                      obs::MetricsRegistry::global().prometheus_text());
+    }
+    if (!trace_out_.empty()) {
+      obs::TraceRecorder::global().write_chrome_trace(trace_out_);
     }
   }
 
@@ -144,6 +178,8 @@ class Daemon {
         return "ok steps=" + std::to_string(manager_.pump());
       }
       if (verb == "cache-stats") return cache_stats();
+      if (verb == "metrics") return metrics();
+      if (verb == "trace-export") return trace_export(words);
       if (verb == "create-study") return create_study(words);
       if (words.size() < 2) return "err missing study name";
       const std::string& name = words[1];
@@ -196,6 +232,34 @@ class Daemon {
   }
 
  private:
+  // Prometheus exposition. The only multi-line response in the protocol:
+  // `ok lines=N` then N raw lines, so clients framed on single lines can
+  // still parse the header and skip the body by count.
+  std::string metrics() {
+    const std::string text = obs::MetricsRegistry::global().prometheus_text();
+    if (!metrics_file_.empty()) write_text_file(metrics_file_, text);
+    std::string body = text;
+    while (!body.empty() && body.back() == '\n') body.pop_back();
+    if (body.empty()) return "ok lines=0";
+    const std::size_t n =
+        1 + static_cast<std::size_t>(
+                std::count(body.begin(), body.end(), '\n'));
+    return "ok lines=" + std::to_string(n) + "\n" + body;
+  }
+
+  std::string trace_export(const std::vector<std::string>& words) {
+    const std::string path = words.size() >= 2 ? words[1] : trace_out_;
+    if (path.empty()) {
+      return "err no trace path (pass PATH or start with --trace-out)";
+    }
+    obs::TraceRecorder& rec = obs::TraceRecorder::global();
+    if (!rec.write_chrome_trace(path)) {
+      return "err cannot write trace to '" + path + "'";
+    }
+    return "ok events=" + std::to_string(rec.events()) +
+           " dropped=" + std::to_string(rec.dropped()) + " path=" + path;
+  }
+
   std::string cache_stats() {
     std::ostringstream out;
     out << "ok";
@@ -370,6 +434,8 @@ class Daemon {
   }
 
   service::StudyManager manager_;
+  std::string metrics_file_;  // rewritten by `metrics` and at shutdown
+  std::string trace_out_;     // default target of `trace-export`
 };
 
 volatile std::sig_atomic_t g_stop = 0;
@@ -467,6 +533,8 @@ int main(int argc, char** argv) {
   opts.rounds_per_slice = 9;  // one full-fidelity synth-small trial per cycle
   bool autodrive = false;
   std::size_t pool_configs = 8;
+  std::string metrics_file;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> const char* {
@@ -492,10 +560,18 @@ int main(int argc, char** argv) {
     } else if (a == "--eval-cache") {
       // Shared cross-tenant evaluation caches, one per pool, in this dir.
       opts.eval_cache_dir = next();
+    } else if (a == "--metrics-file") {
+      // Rewritten on every `metrics` request and at shutdown.
+      metrics_file = next();
+    } else if (a == "--trace-out") {
+      // Enables the TraceRecorder; Chrome trace JSON written here at
+      // shutdown and by `trace-export`.
+      trace_out = next();
     } else {
       std::cerr << "usage: fedtune_studyd --socket PATH [--journal-dir DIR] "
                    "[--autodrive] [--pool-configs N] [--rounds-per-slice R] "
-                   "[--fsync-on-commit] [--eval-cache DIR]\n";
+                   "[--fsync-on-commit] [--eval-cache DIR] "
+                   "[--metrics-file PATH] [--trace-out PATH]\n";
       return a == "--help" || a == "-h" ? 0 : 2;
     }
   }
@@ -508,9 +584,14 @@ int main(int argc, char** argv) {
   // A client that disconnects before its response is written must cost an
   // EPIPE on that fd, not the whole multi-tenant daemon.
   std::signal(SIGPIPE, SIG_IGN);
+  if (!trace_out.empty()) {
+    fedtune::obs::TraceRecorder::global().set_enabled(true);
+  }
   try {
-    Daemon daemon(opts, pool_configs);
-    return serve(socket_path, daemon, autodrive);
+    Daemon daemon(opts, pool_configs, metrics_file, trace_out);
+    const int rc = serve(socket_path, daemon, autodrive);
+    daemon.flush_observability();
+    return rc;
   } catch (const std::exception& ex) {
     std::cerr << "fatal: " << ex.what() << "\n";
     return 1;
