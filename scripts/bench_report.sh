@@ -10,7 +10,10 @@
 # 8-tenant trials/s uncached vs cold vs warm shared evaluation cache with
 # hit rates — and the fault_recovery section: journal append throughput
 # with and without fsync-on-commit plus recovery latency per journaled
-# step count) for tracking the perf trajectory across PRs.
+# step count — and, when the network binaries are built, the net_frontend
+# section: multi-tenant loadgen ask->tell p50/p99 and frames/s through the
+# TCP and Unix-socket front-ends of a live fedtune_studyd) for tracking
+# the perf trajectory across PRs.
 #
 # After writing the snapshot, diffs it against the previous one (newest
 # bench/snapshots/BENCH_*.json, or an explicit third argument) and prints
@@ -34,6 +37,61 @@ if [[ ! -x "$bin" ]]; then
 fi
 
 "$bin" --substrate_json="$out"
+
+# Network front-end numbers: drive a live daemon with the multi-tenant
+# load generator over both transports and fold the results into the
+# snapshot as "net_frontend". Skipped (with a note) when the network
+# binaries aren't in this build dir.
+studyd="$build_dir/fedtune_studyd"
+loadgen="$build_dir/fedtune_loadgen"
+if [[ -x "$studyd" && -x "$loadgen" ]]; then
+  net_tmp="$(mktemp -d)"
+  daemon_pid=""
+  cleanup_net() {
+    if [[ -n "$daemon_pid" ]] && kill -0 "$daemon_pid" 2>/dev/null; then
+      kill "$daemon_pid" 2>/dev/null || true
+      wait "$daemon_pid" 2>/dev/null || true
+    fi
+    rm -rf "$net_tmp"
+  }
+  trap cleanup_net EXIT
+
+  "$studyd" --tcp 127.0.0.1:0 --port-file "$net_tmp/port.txt" \
+    --socket "$net_tmp/studyd.sock" --journal-dir "$net_tmp/journals" \
+    --pool-configs 4 2>"$net_tmp/daemon.log" &
+  daemon_pid=$!
+  for _ in $(seq 1 50); do
+    [[ -s "$net_tmp/port.txt" ]] && break
+    sleep 0.2
+  done
+  if [[ -s "$net_tmp/port.txt" ]]; then
+    port="$(cat "$net_tmp/port.txt")"
+    "$loadgen" --tcp "127.0.0.1:$port" --tenants 64 --studies 2 --trials 4 \
+      --mode binary --prefix tcp --json "$net_tmp/tcp.json" >/dev/null
+    "$loadgen" --socket "$net_tmp/studyd.sock" --tenants 64 --studies 2 \
+      --trials 4 --mode binary --prefix unx --json "$net_tmp/unix.json" \
+      >/dev/null
+    python3 - "$out" "$net_tmp/tcp.json" "$net_tmp/unix.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f: snap = json.load(f)
+with open(sys.argv[2]) as f: tcp = json.load(f)
+with open(sys.argv[3]) as f: unx = json.load(f)
+snap["net_frontend"] = {"tcp": tcp, "unix": unx}
+with open(sys.argv[1], "w") as f:
+    json.dump(snap, f, indent=2)
+    f.write("\n")
+EOF
+  else
+    echo "warning: daemon never wrote its port file; skipping net_frontend" >&2
+    sed 's/^/  daemon: /' "$net_tmp/daemon.log" >&2 || true
+  fi
+  cleanup_net
+  trap - EXIT
+  daemon_pid=""
+else
+  echo "note: $studyd / $loadgen not built; snapshot has no net_frontend section"
+fi
+
 echo "wrote $out"
 cat "$out"
 
@@ -85,6 +143,10 @@ SERIES = [
      lambda d: get(d, "study_service", "step_latency_us"), False),
     ("scheduler trials/s",
      lambda d: get(d, "study_service", "scheduler_trials_per_sec"), True),
+    ("net tcp ask->tell p99 us",
+     lambda d: get(d, "net_frontend", "tcp", "ask_tell_p99_us"), False),
+    ("net tcp frames/s",
+     lambda d: get(d, "net_frontend", "tcp", "frames_per_sec"), True),
 ]
 
 THRESHOLD = 0.10  # flag >10% moves in the bad direction

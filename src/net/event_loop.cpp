@@ -1,0 +1,77 @@
+#include "net/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <utility>
+
+namespace fedtune::net {
+
+EventLoop::EventLoop() : epoll_fd_(::epoll_create1(EPOLL_CLOEXEC)) {}
+
+EventLoop::~EventLoop() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+bool EventLoop::add(int fd, std::uint32_t events, Callback cb) {
+  if (epoll_fd_ < 0 || by_fd_.count(fd) != 0) return false;
+  const std::uint64_t id = next_id_++;
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = id;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) return false;
+  auto watch = std::make_shared<Watch>();
+  watch->fd = fd;
+  watch->events = events;
+  watch->cb = std::move(cb);
+  by_id_[id] = std::move(watch);
+  by_fd_[fd] = id;
+  return true;
+}
+
+bool EventLoop::modify(int fd, std::uint32_t events) {
+  const auto it = by_fd_.find(fd);
+  if (it == by_fd_.end()) return false;
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = it->second;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) return false;
+  by_id_[it->second]->events = events;
+  return true;
+}
+
+void EventLoop::remove(int fd) {
+  const auto it = by_fd_.find(fd);
+  if (it == by_fd_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  by_id_.erase(it->second);
+  by_fd_.erase(it);
+}
+
+int EventLoop::run_once(int timeout_ms) {
+  if (epoll_fd_ < 0) return -1;
+  std::array<epoll_event, 64> events;
+  const int n = ::epoll_wait(epoll_fd_, events.data(),
+                             static_cast<int>(events.size()), timeout_ms);
+  if (n < 0) {
+    // A signal landing mid-wait (SIGTERM before the flag check, a child
+    // reaper, ...) is a retry for the caller's loop, never a loop failure.
+    if (errno == EINTR) return 0;
+    return -1;
+  }
+  int dispatched = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t id = events[static_cast<std::size_t>(i)].data.u64;
+    const auto it = by_id_.find(id);
+    if (it == by_id_.end()) continue;  // removed earlier in this batch
+    // Hold a reference: the callback may remove its own watch.
+    const std::shared_ptr<Watch> watch = it->second;
+    watch->cb(events[static_cast<std::size_t>(i)].events);
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+}  // namespace fedtune::net

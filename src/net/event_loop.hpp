@@ -1,0 +1,69 @@
+// EventLoop — a thin, EINTR-safe epoll wrapper: register fds with an
+// interest mask and a callback, pump with run_once().
+//
+// The loop is transport-only and single-threaded by design: all callbacks
+// run on the thread calling run_once(), so everything they touch (the
+// connection table, the StudyManager behind the service handler) needs no
+// locking. Study execution still flows through the journaled StudySession
+// path — the loop never feeds back into RNG streams or tuner decisions, so
+// serving over epoll cannot perturb the replay contract.
+//
+// Dispatch safety: epoll events carry a monotonically increasing watch id,
+// not the fd. A callback may add/modify/remove watches (including its own)
+// mid-dispatch; events for a watch removed earlier in the same batch look
+// up a dead id and are skipped, and an fd number reused by a new connection
+// within the batch gets a fresh id, so stale events can never fire against
+// the wrong connection.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+namespace fedtune::net {
+
+class EventLoop {
+ public:
+  // `events` is the epoll mask the fd was registered with, `revents` the
+  // ready mask reported by epoll_wait.
+  using Callback = std::function<void(std::uint32_t revents)>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // False if epoll_create1 failed at construction (the loop is unusable).
+  bool ok() const { return epoll_fd_ >= 0; }
+
+  // Registers `fd` with the epoll interest mask `events` (EPOLLIN etc.).
+  // The fd must not already be registered. Returns false on epoll error.
+  bool add(int fd, std::uint32_t events, Callback cb);
+  // Updates the interest mask of a registered fd.
+  bool modify(int fd, std::uint32_t events);
+  // Deregisters the fd. Does NOT close it — lifetime stays with the caller.
+  void remove(int fd);
+
+  // One epoll_wait + dispatch pass. Returns the number of events
+  // dispatched; 0 on timeout or EINTR (a signal mid-wait is a retry, not an
+  // error); -1 on an unrecoverable epoll failure.
+  int run_once(int timeout_ms);
+
+  std::size_t watches() const { return by_fd_.size(); }
+
+ private:
+  struct Watch {
+    int fd;
+    std::uint32_t events;
+    Callback cb;
+  };
+
+  int epoll_fd_ = -1;
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, std::shared_ptr<Watch>> by_id_;
+  std::map<int, std::uint64_t> by_fd_;
+};
+
+}  // namespace fedtune::net

@@ -1,0 +1,83 @@
+#include "net/quota.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fedtune::net {
+
+AuthTable AuthTable::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("cannot read auth file '" + path + "'");
+  }
+  AuthTable table;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::istringstream fields(line);
+    std::string tenant_str, token, extra;
+    if (!(fields >> tenant_str)) continue;  // blank line
+    if (tenant_str[0] == '#') continue;
+    if (!(fields >> token) || (fields >> extra)) {
+      throw std::invalid_argument("malformed auth line " +
+                                  std::to_string(lineno) + " in '" + path +
+                                  "' (want: TENANT_ID TOKEN)");
+    }
+    std::uint64_t tenant = 0;
+    try {
+      std::size_t used = 0;
+      tenant = std::stoull(tenant_str, &used);
+      if (used != tenant_str.size()) throw std::invalid_argument("");
+    } catch (const std::exception&) {
+      throw std::invalid_argument("bad tenant id '" + tenant_str +
+                                  "' at auth line " + std::to_string(lineno) +
+                                  " in '" + path + "'");
+    }
+    table.add(tenant, std::move(token));
+  }
+  return table;
+}
+
+bool TenantQuotas::admit_frame(std::uint64_t tenant, double now_s) {
+  if (opts_.frames_per_sec <= 0.0) return true;
+  auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) {
+    const double burst =
+        opts_.burst > 0.0
+            ? opts_.burst
+            : (opts_.frames_per_sec > 1.0 ? opts_.frames_per_sec : 1.0);
+    it = buckets_
+             .emplace(tenant,
+                      TokenBucket(burst, opts_.frames_per_sec, now_s))
+             .first;
+  }
+  return it->second.try_consume(now_s);
+}
+
+bool TenantQuotas::admit_study(std::uint64_t tenant) const {
+  if (opts_.max_studies_per_tenant == 0) return true;
+  return active_studies(tenant) < opts_.max_studies_per_tenant;
+}
+
+void TenantQuotas::record_study(std::uint64_t tenant,
+                                const std::string& name) {
+  if (opts_.max_studies_per_tenant == 0) return;
+  studies_[tenant].insert(name);
+}
+
+void TenantQuotas::release_study(std::uint64_t tenant,
+                                 const std::string& name) {
+  const auto it = studies_.find(tenant);
+  if (it == studies_.end()) return;
+  it->second.erase(name);
+  if (it->second.empty()) studies_.erase(it);
+}
+
+std::size_t TenantQuotas::active_studies(std::uint64_t tenant) const {
+  const auto it = studies_.find(tenant);
+  return it == studies_.end() ? 0 : it->second.size();
+}
+
+}  // namespace fedtune::net

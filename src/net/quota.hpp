@@ -1,0 +1,120 @@
+// Per-tenant admission control for the networked StudyService front-end:
+// authentication tokens and quotas enforced at the connection layer, before
+// a request ever reaches the StudyManager.
+//
+// Two quota axes (both optional; 0 disables an axis):
+//   - frames/sec: a token bucket per tenant. Every parsed request (text
+//     line or binary frame) costs one token; an empty bucket answers
+//     `err quota exceeded (rate)` instead of dispatching. A tenant that
+//     keeps flooding regardless eventually trips the write-queue
+//     backpressure cap and is disconnected.
+//   - max concurrent studies: create-study is rejected once the tenant owns
+//     the cap's worth of active studies. Ownership is tracked at the
+//     connection layer (names this tenant created minus names it
+//     suspended) — an admission gate in front of the manager's own
+//     service-wide capacity check, not a replacement for it.
+//
+// Time is injected (seconds, monotone) so quota decisions are exactly
+// reproducible in tests; the server feeds a steady_clock by default.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace fedtune::net {
+
+// Classic token bucket: `capacity` tokens max, refilled continuously at
+// `refill_per_sec`. A non-positive rate means unlimited (every try_consume
+// succeeds).
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  TokenBucket(double capacity, double refill_per_sec, double now_s)
+      : capacity_(capacity),
+        tokens_(capacity),
+        refill_per_sec_(refill_per_sec),
+        last_s_(now_s) {}
+
+  // Consumes `cost` tokens if available at time `now_s`; false = rejected.
+  bool try_consume(double now_s, double cost = 1.0) {
+    if (refill_per_sec_ <= 0.0) return true;
+    if (now_s > last_s_) {
+      tokens_ += (now_s - last_s_) * refill_per_sec_;
+      if (tokens_ > capacity_) tokens_ = capacity_;
+      last_s_ = now_s;
+    }
+    if (tokens_ < cost) return false;
+    tokens_ -= cost;
+    return true;
+  }
+
+  double tokens() const { return tokens_; }
+
+ private:
+  double capacity_ = 0.0;
+  double tokens_ = 0.0;
+  double refill_per_sec_ = 0.0;  // <= 0: unlimited
+  double last_s_ = 0.0;
+};
+
+// tenant id -> auth token. An empty table is "open mode": every hello is
+// accepted (local development, the loopback bench). A non-empty table
+// requires a hello with the exact token before any request is served on a
+// TCP connection; Unix-socket connections are local and pre-trusted.
+class AuthTable {
+ public:
+  void add(std::uint64_t tenant, std::string token) {
+    tokens_[tenant] = std::move(token);
+  }
+  bool open() const { return tokens_.empty(); }
+  bool check(std::uint64_t tenant, std::string_view token) const {
+    if (open()) return true;
+    const auto it = tokens_.find(tenant);
+    return it != tokens_.end() && it->second == token;
+  }
+  std::size_t size() const { return tokens_.size(); }
+
+  // Loads "TENANT_ID TOKEN" lines (blank lines and '#' comments skipped).
+  // Throws std::invalid_argument on unreadable files or malformed lines.
+  static AuthTable load(const std::string& path);
+
+ private:
+  std::map<std::uint64_t, std::string> tokens_;
+};
+
+struct QuotaOptions {
+  double frames_per_sec = 0.0;  // 0 = unlimited
+  // Bucket capacity (burst); 0 defaults to max(frames_per_sec, 1).
+  double burst = 0.0;
+  std::size_t max_studies_per_tenant = 0;  // 0 = unlimited
+};
+
+// Per-tenant quota state shared by all of a tenant's connections.
+class TenantQuotas {
+ public:
+  explicit TenantQuotas(QuotaOptions opts) : opts_(opts) {}
+
+  // One request admission (any verb). False = rate quota exhausted.
+  bool admit_frame(std::uint64_t tenant, double now_s);
+
+  // create-study admission against the concurrent-study cap. A successful
+  // create must be confirmed with record_study(); suspends release with
+  // release_study().
+  bool admit_study(std::uint64_t tenant) const;
+  void record_study(std::uint64_t tenant, const std::string& name);
+  void release_study(std::uint64_t tenant, const std::string& name);
+  std::size_t active_studies(std::uint64_t tenant) const;
+
+  const QuotaOptions& options() const { return opts_; }
+
+ private:
+  QuotaOptions opts_;
+  std::map<std::uint64_t, TokenBucket> buckets_;
+  std::map<std::uint64_t, std::set<std::string>> studies_;
+};
+
+}  // namespace fedtune::net

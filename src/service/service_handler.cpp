@@ -1,0 +1,338 @@
+#include "service/service_handler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace fedtune::service {
+
+namespace {
+
+std::vector<std::string> split_words(const std::string& line) {
+  std::vector<std::string> words;
+  std::istringstream in(line);
+  std::string w;
+  while (in >> w) words.push_back(w);
+  return words;
+}
+
+// Hex-float (%a) round-trips doubles exactly: the trace line is a bitwise
+// fingerprint of the study's trajectory.
+std::string hex_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+ServiceHandler::ServiceHandler(StudyManager& manager, std::string default_pool,
+                               std::string metrics_file, std::string trace_out)
+    : manager_(manager),
+      default_pool_(std::move(default_pool)),
+      metrics_file_(std::move(metrics_file)),
+      trace_out_(std::move(trace_out)) {}
+
+void ServiceHandler::flush_observability() {
+  if (!metrics_file_.empty()) {
+    write_text_file(metrics_file_,
+                    obs::MetricsRegistry::global().prometheus_text());
+  }
+  if (!trace_out_.empty()) {
+    obs::TraceRecorder::global().write_chrome_trace(trace_out_);
+  }
+}
+
+std::string ServiceHandler::handle(const std::string& line, bool* running) {
+  const std::vector<std::string> words = split_words(line);
+  if (words.empty()) return "err empty request";
+  const std::string& verb = words[0];
+  try {
+    if (verb == "ping") return "ok pong";
+    if (verb == "shutdown") {
+      *running = false;
+      return "ok bye";
+    }
+    if (verb == "list") {
+      std::string out = "ok";
+      for (const std::string& name : manager_.list()) {
+        const StudySession* s = manager_.find(name);
+        out += " " + name + ":" + state_name(s->state()) + ":" +
+               health_name(s->health());
+      }
+      return out;
+    }
+    if (verb == "pump") {
+      return "ok steps=" + std::to_string(manager_.pump());
+    }
+    if (verb == "cache-stats") return cache_stats();
+    if (verb == "metrics") return metrics();
+    if (verb == "trace-export") return trace_export(words);
+    if (verb == "create-study") return create_study(words);
+    if (words.size() < 2) return "err missing study name";
+    const std::string& name = words[1];
+    if (verb == "resume") {
+      // Three flavors: un-park an in-memory session the scheduler
+      // suspended (e.g. past its deadline — resume grants a fresh
+      // allowance), rebuild a QUARANTINED session from its journal (the
+      // in-memory engine may be ahead of the durable history after a
+      // failed append, so flipping the state back would be wrong), or
+      // reconstruct a journaled study that has no active session.
+      if (StudySession* active = manager_.find(name)) {
+        if (active->quarantined()) {
+          manager_.suspend_study(name);  // drop the session, keep journal
+          StudySession& rebuilt = manager_.resume_study(name);
+          return "ok resumed " + name +
+                 " steps=" + std::to_string(rebuilt.steps()) +
+                 " health=" + health_name(rebuilt.health());
+        }
+        active->resume_from_suspend();
+        return "ok resumed " + name +
+               " steps=" + std::to_string(active->steps());
+      }
+      StudySession& s = manager_.resume_study(name);
+      s.resume_from_suspend();
+      return "ok resumed " + name + " steps=" + std::to_string(s.steps());
+    }
+    StudySession* session = manager_.find(name);
+    if (session == nullptr) {
+      return "err no active study '" + name + "' (resume it?)";
+    }
+    if (verb == "status") return status(*session);
+    if (verb == "best") return best(*session);
+    if (verb == "trace") return "ok " + format_trace(*session);
+    if (verb == "suspend") {
+      manager_.suspend_study(name);
+      return "ok suspended " + name;
+    }
+    if (verb == "ask") return ask(*session);
+    if (verb == "tell") return tell(*session, words);
+    if (verb == "drive") return drive(*session, words);
+    return "err unknown verb '" + verb + "'";
+  } catch (const std::exception& ex) {
+    // Collapse to one line: multi-line messages would break the framing.
+    std::string msg = ex.what();
+    for (char& c : msg) {
+      if (c == '\n') c = ' ';
+    }
+    return "err " + msg;
+  }
+}
+
+// Prometheus exposition. The only multi-line response in the protocol:
+// `ok lines=N` then N raw lines, so clients framed on single lines can
+// still parse the header and skip the body by count.
+std::string ServiceHandler::metrics() {
+  const std::string text = obs::MetricsRegistry::global().prometheus_text();
+  if (!metrics_file_.empty()) write_text_file(metrics_file_, text);
+  std::string body = text;
+  while (!body.empty() && body.back() == '\n') body.pop_back();
+  if (body.empty()) return "ok lines=0";
+  const std::size_t n =
+      1 + static_cast<std::size_t>(
+              std::count(body.begin(), body.end(), '\n'));
+  return "ok lines=" + std::to_string(n) + "\n" + body;
+}
+
+std::string ServiceHandler::trace_export(
+    const std::vector<std::string>& words) {
+  const std::string path = words.size() >= 2 ? words[1] : trace_out_;
+  if (path.empty()) {
+    return "err no trace path (pass PATH or start with --trace-out)";
+  }
+  obs::TraceRecorder& rec = obs::TraceRecorder::global();
+  if (!rec.write_chrome_trace(path)) {
+    return "err cannot write trace to '" + path + "'";
+  }
+  return "ok events=" + std::to_string(rec.events()) +
+         " dropped=" + std::to_string(rec.dropped()) + " path=" + path;
+}
+
+std::string ServiceHandler::cache_stats() {
+  std::ostringstream out;
+  out << "ok";
+  bool any = false;
+  for (const std::string& pool : manager_.pool_names()) {
+    const auto cache = manager_.eval_cache(pool);
+    if (cache == nullptr) continue;
+    any = true;
+    const std::size_t hits = cache->hits();
+    const std::size_t misses = cache->misses();
+    const std::size_t lookups = hits + misses;
+    char rate[32];
+    std::snprintf(rate, sizeof(rate), "%.3f",
+                  lookups == 0 ? 0.0
+                               : static_cast<double>(hits) /
+                                     static_cast<double>(lookups));
+    out << " " << pool << ":entries=" << cache->entries()
+        << ",hits=" << hits << ",misses=" << misses << ",hit_rate=" << rate
+        << (cache->degraded() ? ",degraded" : "");
+  }
+  if (!any) return "ok no eval caches (start with --eval-cache DIR)";
+  return out.str();
+}
+
+std::string ServiceHandler::create_study(
+    const std::vector<std::string>& words) {
+  if (words.size() < 2) return "err usage: create-study NAME [k=v...]";
+  StudySpec spec;
+  spec.name = words[1];
+  spec.pool = default_pool_;
+  spec.num_configs = 8;
+  for (std::size_t i = 2; i < words.size(); ++i) {
+    const std::string& w = words[i];
+    const std::size_t eq = w.find('=');
+    if (w == "external") {
+      spec.external = true;
+      continue;
+    }
+    if (eq == std::string::npos) return "err malformed option '" + w + "'";
+    const std::string key = w.substr(0, eq);
+    const std::string value = w.substr(eq + 1);
+    if (key == "method") {
+      const auto m = method_from_name(value);
+      if (!m.has_value()) return "err unknown method '" + value + "'";
+      spec.method = *m;
+    } else if (key == "configs") {
+      spec.num_configs = std::stoul(value);
+    } else if (key == "budget") {
+      spec.budget_rounds = std::stoul(value);
+    } else if (key == "seed") {
+      spec.seed = std::stoull(value);
+    } else if (key == "pool") {
+      spec.pool = value;
+    } else if (key == "eval-clients") {
+      spec.noise.eval_clients = std::stoul(value);
+    } else if (key == "epsilon") {
+      spec.noise.epsilon = std::stod(value);
+    } else if (key == "bias-b") {
+      spec.noise.bias_b = std::stod(value);
+    } else if (key == "deadline") {
+      spec.deadline_slices = std::stoul(value);
+    } else if (key == "cache") {
+      if (value != "on" && value != "off") {
+        return "err cache must be on|off";
+      }
+      spec.use_eval_cache = value == "on";
+    } else if (key == "warm") {
+      if (value != "on" && value != "off") {
+        return "err warm must be on|off";
+      }
+      spec.warm_start = value == "on";
+    } else if (key == "max-trials") {
+      spec.max_trials = std::stoul(value);
+    } else {
+      return "err unknown option '" + key + "'";
+    }
+  }
+  StudySession& s = manager_.create_study(std::move(spec));
+  return "ok created " + s.spec().name;
+}
+
+std::string ServiceHandler::status(const StudySession& s) {
+  std::ostringstream out;
+  out << "ok state=" << state_name(s.state())
+      << " health=" << health_name(s.health())
+      << " method=" << method_name(s.spec().method)
+      << " steps=" << s.steps() << " rounds=" << s.rounds_used();
+  if (s.spec().budget_rounds !=
+      std::numeric_limits<std::size_t>::max()) {
+    out << " budget=" << s.spec().budget_rounds;
+  }
+  if (const auto b = s.best()) {
+    out << " best_id=" << b->first.id << " best_error=" << b->second;
+  }
+  if (s.cache_active()) {
+    out << " cache_hits=" << s.cache_hits()
+        << " cache_misses=" << s.cache_misses();
+  }
+  if (s.io_retries() > 0) out << " retries=" << s.io_retries();
+  if (!s.last_error().empty()) {
+    // Last key on the line, spaces collapsed so the value stays one token.
+    std::string msg = s.last_error();
+    for (char& c : msg) {
+      if (c == ' ' || c == '\n') c = '_';
+    }
+    out << " last_error=" << msg;
+  }
+  return out.str();
+}
+
+std::string ServiceHandler::best(const StudySession& s) {
+  const auto b = s.best();
+  if (!b.has_value()) return "err no completed trials";
+  std::ostringstream out;
+  out << "ok id=" << b->first.id << " config_index=" << b->first.config_index
+      << " target_rounds=" << b->first.target_rounds
+      << " error=" << hex_double(b->second);
+  return out.str();
+}
+
+std::string ServiceHandler::format_trace(const StudySession& s) {
+  const core::TuneResult& result = s.result();
+  std::ostringstream out;
+  out << "n=" << result.records.size();
+  for (const core::TrialRecord& r : result.records) {
+    out << " " << r.trial.id << ":" << r.trial.config_index << ":"
+        << r.trial.target_rounds << ":" << hex_double(r.noisy_objective)
+        << ":" << hex_double(r.full_error) << ":" << r.cumulative_rounds;
+  }
+  if (s.finished()) {
+    out << " | best=" << (result.best ? result.best->id : -1)
+        << " best_full=" << hex_double(result.best_full_error);
+  }
+  return out.str();
+}
+
+std::string ServiceHandler::ask(StudySession& s) {
+  const std::optional<hpo::Trial> t = s.ask();
+  if (!t.has_value()) {
+    return s.finished() ? "err study finished" : "err study not running";
+  }
+  std::ostringstream out;
+  out << "ok id=" << t->id << " target_rounds=" << t->target_rounds
+      << " parent=" << t->parent_id << " config=";
+  bool first = true;
+  for (const auto& [key, value] : t->config) {
+    out << (first ? "" : ",") << key << "=" << hex_double(value);
+    first = false;
+  }
+  return out.str();
+}
+
+std::string ServiceHandler::tell(StudySession& s,
+                                 const std::vector<std::string>& words) {
+  if (words.size() != 4) return "err usage: tell NAME TRIAL_ID OBJECTIVE";
+  const int trial_id = std::stoi(words[2]);
+  const double objective = std::stod(words[3]);
+  const core::TrialRecord r = s.tell(trial_id, objective);
+  return "ok recorded trial=" + std::to_string(r.trial.id) +
+         " steps=" + std::to_string(s.steps());
+}
+
+std::string ServiceHandler::drive(StudySession& s,
+                                  const std::vector<std::string>& words) {
+  if (words.size() != 3) return "err usage: drive NAME STEPS";
+  const std::size_t steps = std::stoul(words[2]);
+  std::size_t ran = 0;
+  for (; ran < steps; ++ran) {
+    if (!s.run_one_step()) break;
+  }
+  return "ok ran=" + std::to_string(ran) +
+         " state=" + state_name(s.state());
+}
+
+}  // namespace fedtune::service

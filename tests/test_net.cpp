@@ -1,0 +1,892 @@
+// Networked StudyService tests: frame codec round-trip and corruption
+// rejection, partial-input framing (the PR 4 split-read regression), auth
+// and per-tenant quota enforcement at the connection layer, slow-reader
+// backpressure disconnects that leave other tenants bitwise-unperturbed,
+// cross-transport determinism for external ask/tell studies, and
+// kill/resume of TCP-served managed studies at several interruption points.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/config_pool.hpp"
+#include "hpo/search_space.hpp"
+#include "net/event_loop.hpp"
+#include "net/frame.hpp"
+#include "net/quota.hpp"
+#include "net/server.hpp"
+#include "nn/factory.hpp"
+#include "obs/metrics.hpp"
+#include "service/service_handler.hpp"
+#include "service/study_manager.hpp"
+#include "test_util.hpp"
+
+namespace fedtune::net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Frame codec
+
+TEST(FrameCodec, RoundTripAndIncrementalDecode) {
+  Frame f;
+  f.opcode = Opcode::kTell;
+  f.tenant = 42;
+  f.payload = "s1 7 0x1.8p-1";
+  const std::string wire = encode_frame(f);
+  ASSERT_EQ(wire.size(), kFrameHeaderSize + f.payload.size());
+  // The first wire byte is non-ASCII by design (the mode sniffer).
+  EXPECT_EQ(static_cast<unsigned char>(wire[0]), 0xCFu);
+
+  // Every proper prefix is kNeedMore; the full buffer decodes exactly.
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    const DecodeResult r = decode_frame(std::string_view(wire).substr(0, len));
+    ASSERT_EQ(r.status, DecodeStatus::kNeedMore) << "prefix " << len;
+  }
+  const DecodeResult r = decode_frame(wire);
+  ASSERT_EQ(r.status, DecodeStatus::kFrame);
+  EXPECT_EQ(r.consumed, wire.size());
+  EXPECT_EQ(r.frame.opcode, Opcode::kTell);
+  EXPECT_EQ(r.frame.tenant, 42u);
+  EXPECT_EQ(r.frame.payload, f.payload);
+  EXPECT_EQ(r.frame.version, kFrameVersion);
+
+  // Empty payload round-trips too.
+  Frame ping;
+  ping.opcode = Opcode::kPing;
+  const DecodeResult rp = decode_frame(encode_frame(ping));
+  ASSERT_EQ(rp.status, DecodeStatus::kFrame);
+  EXPECT_EQ(rp.frame.opcode, Opcode::kPing);
+  EXPECT_TRUE(rp.frame.payload.empty());
+
+  // Two back-to-back frames: the first decode consumes exactly one.
+  const std::string both = wire + encode_frame(ping);
+  const DecodeResult r1 = decode_frame(both);
+  ASSERT_EQ(r1.status, DecodeStatus::kFrame);
+  EXPECT_EQ(r1.consumed, wire.size());
+}
+
+TEST(FrameCodec, RejectsCorruption) {
+  Frame f;
+  f.opcode = Opcode::kStatus;
+  f.tenant = 3;
+  f.payload = "study-name";
+  const std::string wire = encode_frame(f);
+
+  // Text-protocol bytes are not a valid frame prefix: fail fast, byte one.
+  EXPECT_EQ(decode_frame("ping\n").status, DecodeStatus::kBad);
+
+  // Wrong magic byte.
+  std::string bad = wire;
+  bad[1] ^= 0x01;
+  EXPECT_EQ(decode_frame(bad).status, DecodeStatus::kBad);
+
+  // Unknown version.
+  bad = wire;
+  bad[4] = static_cast<char>(kFrameVersion + 1);
+  EXPECT_EQ(decode_frame(bad).status, DecodeStatus::kBad);
+
+  // Nonzero reserved field.
+  bad = wire;
+  bad[6] = 0x01;
+  EXPECT_EQ(decode_frame(bad).status, DecodeStatus::kBad);
+
+  // Declared payload above the cap is rejected from the header alone —
+  // before any payload bytes arrive.
+  bad = wire;
+  bad[16] = static_cast<char>(0xFF);
+  bad[17] = static_cast<char>(0xFF);
+  bad[18] = static_cast<char>(0xFF);
+  bad[19] = 0x00;
+  EXPECT_EQ(decode_frame(bad.substr(0, kFrameHeaderSize)).status,
+            DecodeStatus::kBad);
+
+  // Payload corruption trips the CRC.
+  bad = wire;
+  bad[kFrameHeaderSize] ^= 0x20;
+  EXPECT_EQ(decode_frame(bad).status, DecodeStatus::kBad);
+
+  // Truncated payload is incomplete, not corrupt.
+  EXPECT_EQ(decode_frame(wire.substr(0, wire.size() - 3)).status,
+            DecodeStatus::kNeedMore);
+
+  // A frame legal under the default cap but above a caller's smaller cap.
+  EXPECT_EQ(decode_frame(wire, /*max_payload=*/4).status, DecodeStatus::kBad);
+}
+
+TEST(FrameCodec, VerbOpcodeTableIsABijection) {
+  for (const Opcode op :
+       {Opcode::kPing, Opcode::kList, Opcode::kPump, Opcode::kCacheStats,
+        Opcode::kMetrics, Opcode::kShutdown, Opcode::kCreateStudy,
+        Opcode::kAsk, Opcode::kTell, Opcode::kStatus, Opcode::kBest,
+        Opcode::kTrace, Opcode::kSuspend, Opcode::kResume, Opcode::kDrive,
+        Opcode::kTraceExport, Opcode::kHello}) {
+    const char* verb = verb_for_opcode(op);
+    ASSERT_NE(verb, nullptr) << static_cast<int>(op);
+    const auto back = opcode_for_verb(verb);
+    ASSERT_TRUE(back.has_value()) << verb;
+    EXPECT_EQ(*back, op) << verb;
+  }
+  EXPECT_EQ(verb_for_opcode(Opcode::kOk), nullptr);
+  EXPECT_EQ(verb_for_opcode(Opcode::kErr), nullptr);
+  EXPECT_FALSE(opcode_for_verb("no-such-verb").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Quotas and auth primitives
+
+TEST(TokenBucket, EnforcesRateAgainstInjectedClock) {
+  TokenBucket bucket(/*capacity=*/2.0, /*refill_per_sec=*/1.0, /*now_s=*/0.0);
+  EXPECT_TRUE(bucket.try_consume(0.0));
+  EXPECT_TRUE(bucket.try_consume(0.0));
+  EXPECT_FALSE(bucket.try_consume(0.0));  // burst exhausted
+  EXPECT_FALSE(bucket.try_consume(0.5));  // half a token refilled: not enough
+  EXPECT_TRUE(bucket.try_consume(1.5));   // 1.5 tokens refilled
+  EXPECT_FALSE(bucket.try_consume(1.5));
+  // Refill is capped at capacity: a long idle period grants at most burst.
+  EXPECT_TRUE(bucket.try_consume(100.0));
+  EXPECT_TRUE(bucket.try_consume(100.0));
+  EXPECT_FALSE(bucket.try_consume(100.0));
+}
+
+TEST(TokenBucket, NonPositiveRateIsUnlimited) {
+  TokenBucket bucket(0.0, 0.0, 0.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(bucket.try_consume(0.0));
+}
+
+TEST(TenantQuotas, ConcurrentStudyCapPerTenant) {
+  QuotaOptions opts;
+  opts.max_studies_per_tenant = 2;
+  TenantQuotas q(opts);
+  EXPECT_TRUE(q.admit_study(1));
+  q.record_study(1, "a");
+  q.record_study(1, "b");
+  EXPECT_FALSE(q.admit_study(1));
+  EXPECT_TRUE(q.admit_study(2));  // caps are per tenant, not global
+  q.release_study(1, "a");
+  EXPECT_TRUE(q.admit_study(1));
+  // Releasing an unknown name is a no-op, not an underflow.
+  q.release_study(1, "never-created");
+  EXPECT_EQ(q.active_studies(1), 1u);
+}
+
+TEST(AuthTableTest, LoadParsesAndValidates) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("fedtune_auth_" + std::to_string(::getpid()) + ".txt"))
+          .string();
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "# comment line\n"
+        << "\n"
+        << "7 sekrit\n"
+        << "12 other-token\n";
+  }
+  const AuthTable table = AuthTable::load(path);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_FALSE(table.open());
+  EXPECT_TRUE(table.check(7, "sekrit"));
+  EXPECT_FALSE(table.check(7, "wrong"));
+  EXPECT_FALSE(table.check(99, "sekrit"));
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "7 token extra-field\n";
+  }
+  EXPECT_THROW(AuthTable::load(path), std::invalid_argument);
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "notanumber token\n";
+  }
+  EXPECT_THROW(AuthTable::load(path), std::invalid_argument);
+  std::filesystem::remove(path);
+  EXPECT_THROW(AuthTable::load(path), std::invalid_argument);
+  // The empty table is open mode: everything checks out.
+  AuthTable open_table;
+  EXPECT_TRUE(open_table.open());
+  EXPECT_TRUE(open_table.check(1, ""));
+}
+
+// ---------------------------------------------------------------------------
+// Server harness + blocking test clients
+
+int set_recv_timeout(int fd, int seconds) {
+  timeval tv{};
+  tv.tv_sec = seconds;
+  return ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+int connect_tcp(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  set_recv_timeout(fd, 10);
+  return fd;
+}
+
+int connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  set_recv_timeout(fd, 10);
+  return fd;
+}
+
+bool send_all(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t w =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (w < 0 && errno == EINTR) continue;
+    if (w <= 0) return false;
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+// Reads one '\n'-terminated line; "" on EOF/timeout (tests assert content).
+std::string recv_line(int fd, std::string* carry) {
+  char buf[4096];
+  for (;;) {
+    const std::size_t nl = carry->find('\n');
+    if (nl != std::string::npos) {
+      std::string line = carry->substr(0, nl);
+      carry->erase(0, nl + 1);
+      return line;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return "";
+    carry->append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+// One kOk/kErr frame mapped back to "ok ..." / "err ..."; "" on failure.
+std::string recv_frame_response(int fd, std::string* carry) {
+  char buf[4096];
+  for (;;) {
+    const DecodeResult r = decode_frame(*carry);
+    if (r.status == DecodeStatus::kBad) return "";
+    if (r.status == DecodeStatus::kFrame) {
+      carry->erase(0, r.consumed);
+      const char* prefix = r.frame.opcode == Opcode::kOk ? "ok" : "err";
+      return r.frame.payload.empty()
+                 ? std::string(prefix)
+                 : std::string(prefix) + " " + r.frame.payload;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return "";
+    carry->append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+// Persistent text-mode client connection.
+class TextClient {
+ public:
+  explicit TextClient(int fd) : fd_(fd) {}
+  ~TextClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool ok() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  std::string request(const std::string& line) {
+    if (!send_all(fd_, line + "\n")) return "";
+    return recv_line(fd_, &carry_);
+  }
+  std::string read_line() { return recv_line(fd_, &carry_); }
+
+ private:
+  int fd_;
+  std::string carry_;
+};
+
+// Persistent binary-mode client connection.
+class BinaryClient {
+ public:
+  explicit BinaryClient(int fd) : fd_(fd) {}
+  ~BinaryClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool ok() const { return fd_ >= 0; }
+  std::string request(Opcode op, std::uint64_t tenant,
+                      const std::string& payload) {
+    Frame f;
+    f.opcode = op;
+    f.tenant = tenant;
+    f.payload = payload;
+    if (!send_all(fd_, encode_frame(f))) return "";
+    return recv_frame_response(fd_, &carry_);
+  }
+  // Sends a text-form request ("verb args...") as a binary frame.
+  std::string request_line(const std::string& line, std::uint64_t tenant) {
+    const std::size_t sp = line.find(' ');
+    const std::string verb = line.substr(0, sp);
+    const auto op = opcode_for_verb(verb);
+    if (!op.has_value()) return "";
+    return request(*op, tenant,
+                   sp == std::string::npos ? "" : line.substr(sp + 1));
+  }
+  bool send_raw(const std::string& bytes) { return send_all(fd_, bytes); }
+  std::string read_response() { return recv_frame_response(fd_, &carry_); }
+
+ private:
+  int fd_;
+  std::string carry_;
+};
+
+// A Server + EventLoop running on a background thread. The StudyManager
+// (when present) is only ever touched from the loop thread via the handler;
+// the test thread drives it through sockets.
+class ServerHarness {
+ public:
+  // Protocol-only harness: a canned handler, no StudyManager.
+  ServerHarness(ServerOptions sopts, Server::Handler h) {
+    server_ = std::make_unique<Server>(loop_, std::move(sopts), std::move(h));
+  }
+
+  // Service harness: the real verb dispatcher over a StudyManager with the
+  // shared test pool registered as "p". The extra test-only verb `blob`
+  // answers 8 KiB (a deterministic backpressure hammer).
+  ServerHarness(const service::ManagerOptions& mopts,
+                std::shared_ptr<const service::PoolResources> pool,
+                ServerOptions sopts) {
+    manager_ = std::make_unique<service::StudyManager>(mopts);
+    manager_->register_pool("p", std::move(pool));
+    manager_->resume_all();
+    handler_ = std::make_unique<service::ServiceHandler>(*manager_, "p");
+    server_ = std::make_unique<Server>(
+        loop_, std::move(sopts),
+        [this](const std::string& line, std::uint64_t, bool* keep) {
+          if (line == "blob") return "ok " + std::string(8192, 'x');
+          return handler_->handle(line, keep);
+        });
+  }
+
+  ~ServerHarness() { stop(); }
+
+  std::uint16_t listen() {
+    if (!server_->listen_tcp("127.0.0.1", 0)) return 0;
+    return server_->tcp_port();
+  }
+  bool listen_unix(const std::string& path) {
+    return server_->listen_unix(path);
+  }
+
+  void start() {
+    thread_ = std::thread([this] {
+      while (!stop_.load(std::memory_order_relaxed) && !server_->stopping()) {
+        loop_.run_once(10);
+      }
+    });
+  }
+
+  // Joins the loop thread and tears the server down. After this the
+  // manager (if any) is owned by the test thread again.
+  void stop() {
+    stop_.store(true, std::memory_order_relaxed);
+    if (thread_.joinable()) thread_.join();
+    server_->shutdown(0);
+  }
+
+  bool stopping() const { return server_->stopping(); }
+
+ private:
+  EventLoop loop_;
+  std::unique_ptr<service::StudyManager> manager_;
+  std::unique_ptr<service::ServiceHandler> handler_;
+  std::unique_ptr<Server> server_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+};
+
+Server::Handler ping_handler() {
+  return [](const std::string& line, std::uint64_t tenant, bool* keep) {
+    if (line == "ping") return std::string("ok pong");
+    if (line == "whoami") return "ok tenant=" + std::to_string(tenant);
+    if (line == "shutdown") {
+      *keep = false;
+      return std::string("ok bye");
+    }
+    return "err unknown verb '" + line + "'";
+  };
+}
+
+class NetFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const data::FederatedDataset dataset = testutil::small_image_dataset();
+    const auto arch = nn::make_default_model(dataset);
+    core::PoolBuildOptions opts;
+    opts.num_configs = 8;
+    opts.checkpoints = {1, 3, 9};
+    opts.trainer.clients_per_round = 5;
+    opts.store_params = false;
+    opts.num_threads = 2;
+    const core::ConfigPool built = core::ConfigPool::build(
+        dataset, *arch, hpo::appendix_b_space(), opts);
+    auto resources = std::make_shared<service::PoolResources>();
+    resources->configs = built.configs();
+    resources->view = built.view();
+    pool_ = std::move(resources);
+    std::signal(SIGPIPE, SIG_IGN);
+  }
+
+  void TearDown() override {
+    for (const std::string& dir : dirs_) std::filesystem::remove_all(dir);
+  }
+
+  std::string fresh_dir() {
+    static int counter = 0;
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         ("fedtune_net_test_" + std::to_string(::getpid()) + "_" +
+          std::to_string(counter++)))
+            .string();
+    std::filesystem::remove_all(dir);
+    dirs_.push_back(dir);
+    return dir;
+  }
+
+  service::ManagerOptions manager_options(const std::string& dir) {
+    service::ManagerOptions opts;
+    opts.journal_dir = dir;
+    opts.rounds_per_slice = 9;
+    return opts;
+  }
+
+  // Runs `verbs` through a fresh in-process ServiceHandler (no network) and
+  // returns the last response — the reference for cross-transport checks.
+  std::string direct_last_response(const std::vector<std::string>& verbs) {
+    service::StudyManager mgr(manager_options(fresh_dir()));
+    mgr.register_pool("p", pool_);
+    service::ServiceHandler handler(mgr, "p");
+    bool running = true;
+    std::string last;
+    for (const std::string& v : verbs) last = handler.handle(v, &running);
+    return last;
+  }
+
+  // Drives a managed study to completion over an established request
+  // channel and returns its trace response.
+  static std::string drive_to_trace(
+      const std::function<std::string(const std::string&)>& request,
+      const std::string& name) {
+    for (int i = 0; i < 500; ++i) {
+      const std::string r = request("drive " + name + " 10");
+      if (r.rfind("ok", 0) != 0 ||
+          r.find("state=finished") != std::string::npos) {
+        break;
+      }
+    }
+    return request("trace " + name);
+  }
+
+  static std::shared_ptr<const service::PoolResources> pool_;
+  std::vector<std::string> dirs_;
+};
+
+std::shared_ptr<const service::PoolResources> NetFixture::pool_;
+
+// ---------------------------------------------------------------------------
+// Protocol-level server behavior (no StudyManager needed)
+
+// The PR 4 daemon assumed one read() delivered a whole line; a request
+// trickling in one byte per segment must parse identically.
+TEST(NetServer, TextRequestSplitAcrossSegments) {
+  ServerHarness h(ServerOptions{}, ping_handler());
+  const std::uint16_t port = h.listen();
+  ASSERT_NE(port, 0);
+  h.start();
+  TextClient client(connect_tcp(port));
+  ASSERT_TRUE(client.ok());
+  for (const char c : std::string("ping\n")) {
+    ASSERT_TRUE(send_all(client.fd(), std::string(1, c)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(client.read_line(), "ok pong");
+  // Same connection still works for a normally-framed request, and for two
+  // requests pipelined into one segment.
+  EXPECT_EQ(client.request("ping"), "ok pong");
+  ASSERT_TRUE(send_all(client.fd(), "ping\nping\n"));
+  EXPECT_EQ(client.read_line(), "ok pong");
+  EXPECT_EQ(client.read_line(), "ok pong");
+}
+
+TEST(NetServer, UnixSocketTextSplitAcrossSegments) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("fedtune_net_ux_" + std::to_string(::getpid()) + ".sock"))
+          .string();
+  ServerHarness h(ServerOptions{}, ping_handler());
+  ASSERT_TRUE(h.listen_unix(path));
+  h.start();
+  TextClient client(connect_unix(path));
+  ASSERT_TRUE(client.ok());
+  for (const char c : std::string("ping\n")) {
+    ASSERT_TRUE(send_all(client.fd(), std::string(1, c)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(client.read_line(), "ok pong");
+}
+
+TEST(NetServer, BinaryFrameSplitAcrossSegments) {
+  ServerHarness h(ServerOptions{}, ping_handler());
+  const std::uint16_t port = h.listen();
+  ASSERT_NE(port, 0);
+  h.start();
+  BinaryClient client(connect_tcp(port));
+  ASSERT_TRUE(client.ok());
+  Frame f;
+  f.opcode = Opcode::kPing;
+  f.tenant = 9;
+  const std::string wire = encode_frame(f);
+  for (const char c : wire) {
+    ASSERT_TRUE(client.send_raw(std::string(1, c)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(client.read_response(), "ok pong");
+  // Tenant id rides in the header (open auth mode trusts it).
+  EXPECT_EQ(client.request(Opcode::kPing, 9, ""), "ok pong");
+}
+
+TEST(NetServer, GarbageAndCorruptFramesDontKillTheServer) {
+  ServerOptions sopts;
+  sopts.max_frame_payload = 1024;
+  ServerHarness h(sopts, ping_handler());
+  const std::uint16_t port = h.listen();
+  ASSERT_NE(port, 0);
+  h.start();
+
+  // Binary-looking garbage: first byte 0xCF, then junk.
+  {
+    BinaryClient bad(connect_tcp(port));
+    ASSERT_TRUE(bad.ok());
+    ASSERT_TRUE(bad.send_raw(std::string("\xCF\x00\x01\x02junkjunkjunk", 16)));
+    const std::string r = bad.read_response();
+    EXPECT_TRUE(r.empty() || r.rfind("err", 0) == 0) << r;
+  }
+  // CRC mismatch.
+  {
+    Frame f;
+    f.opcode = Opcode::kPing;
+    f.payload = "xyz";
+    std::string wire = encode_frame(f);
+    wire[kFrameHeaderSize] ^= 0x01;
+    BinaryClient bad(connect_tcp(port));
+    ASSERT_TRUE(bad.ok());
+    ASSERT_TRUE(bad.send_raw(wire));
+    const std::string r = bad.read_response();
+    EXPECT_TRUE(r.empty() || r.rfind("err", 0) == 0) << r;
+  }
+  // Oversized declared payload (above the server's cap).
+  {
+    Frame f;
+    f.opcode = Opcode::kPing;
+    f.payload = std::string(2048, 'a');
+    BinaryClient bad(connect_tcp(port));
+    ASSERT_TRUE(bad.ok());
+    ASSERT_TRUE(bad.send_raw(encode_frame(f)));
+    const std::string r = bad.read_response();
+    EXPECT_TRUE(r.empty() || r.rfind("err", 0) == 0) << r;
+  }
+  // Over-long unterminated text line.
+  {
+    TextClient bad(connect_tcp(port));
+    ASSERT_TRUE(bad.ok());
+    ASSERT_TRUE(send_all(bad.fd(), std::string(70 * 1024, 'a')));
+    const std::string r = bad.read_line();
+    EXPECT_TRUE(r.empty() || r.rfind("err", 0) == 0) << r;
+  }
+
+  // After all of that, a healthy client is served normally.
+  TextClient good(connect_tcp(port));
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.request("ping"), "ok pong");
+}
+
+TEST(NetServer, AuthRequiredOnTcpAndPreTrustedOnUnix) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("fedtune_net_auth_" + std::to_string(::getpid()) + ".sock"))
+          .string();
+  ServerOptions sopts;
+  sopts.auth.add(7, "sekrit");
+  ServerHarness h(sopts, ping_handler());
+  const std::uint16_t port = h.listen();
+  ASSERT_NE(port, 0);
+  ASSERT_TRUE(h.listen_unix(path));
+  h.start();
+
+  // Pre-hello request on TCP: rejected and disconnected.
+  {
+    TextClient c(connect_tcp(port));
+    ASSERT_TRUE(c.ok());
+    EXPECT_EQ(c.request("ping"), "err auth required (send hello first)");
+    EXPECT_EQ(c.read_line(), "");  // server closed the connection
+  }
+  // Wrong token.
+  {
+    TextClient c(connect_tcp(port));
+    ASSERT_TRUE(c.ok());
+    EXPECT_EQ(c.request("hello 7 wrong"), "err auth failed for tenant 7");
+  }
+  // Unknown tenant.
+  {
+    BinaryClient c(connect_tcp(port));
+    ASSERT_TRUE(c.ok());
+    EXPECT_EQ(c.request(Opcode::kHello, 99, "sekrit"),
+              "err auth failed for tenant 99");
+  }
+  // Correct hello, text form; requests attribute to the tenant.
+  {
+    TextClient c(connect_tcp(port));
+    ASSERT_TRUE(c.ok());
+    EXPECT_EQ(c.request("hello 7 sekrit"), "ok hello tenant=7");
+    EXPECT_EQ(c.request("whoami"), "ok tenant=7");
+  }
+  // Correct hello, binary form (token in the payload, tenant in the header).
+  {
+    BinaryClient c(connect_tcp(port));
+    ASSERT_TRUE(c.ok());
+    EXPECT_EQ(c.request(Opcode::kHello, 7, "sekrit"), "ok hello tenant=7");
+    EXPECT_EQ(c.request(Opcode::kPing, 7, ""), "ok pong");
+  }
+  // Unix connections are local and pre-trusted: no hello needed.
+  {
+    TextClient c(connect_unix(path));
+    ASSERT_TRUE(c.ok());
+    EXPECT_EQ(c.request("ping"), "ok pong");
+  }
+}
+
+TEST(NetServer, RateQuotaEnforcedAgainstInjectedClock) {
+  // The injected clock makes refill deterministic: no wall-time flakiness.
+  auto fake_now = std::make_shared<std::atomic<double>>(0.0);
+  ServerOptions sopts;
+  sopts.quota.frames_per_sec = 1.0;
+  sopts.quota.burst = 2.0;
+  sopts.now_s = [fake_now] { return fake_now->load(); };
+  ServerHarness h(sopts, ping_handler());
+  const std::uint16_t port = h.listen();
+  ASSERT_NE(port, 0);
+  h.start();
+  TextClient c(connect_tcp(port));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.request("ping"), "ok pong");
+  EXPECT_EQ(c.request("ping"), "ok pong");
+  EXPECT_EQ(c.request("ping"), "err quota exceeded (rate)");
+  fake_now->store(10.0);  // refill (capped at burst)
+  EXPECT_EQ(c.request("ping"), "ok pong");
+  EXPECT_EQ(c.request("ping"), "ok pong");
+  EXPECT_EQ(c.request("ping"), "err quota exceeded (rate)");
+}
+
+TEST(NetServer, ShutdownVerbStopsTheServer) {
+  ServerHarness h(ServerOptions{}, ping_handler());
+  const std::uint16_t port = h.listen();
+  ASSERT_NE(port, 0);
+  h.start();
+  TextClient c(connect_tcp(port));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.request("shutdown"), "ok bye");
+  for (int i = 0; i < 100 && !h.stopping(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(h.stopping());
+}
+
+// ---------------------------------------------------------------------------
+// Full service over the network
+
+TEST_F(NetFixture, ExternalAskTellIdenticalAcrossTransportsAndDirect) {
+  const std::vector<std::string> script = {
+      "create-study e1 external seed=5 max-trials=3",
+      "ask e1",
+      "tell e1 0 0.5",
+      "ask e1",
+      "tell e1 1 0.25",
+      "ask e1",
+      "tell e1 2 0.125",
+  };
+  // Reference: the same verbs through a bare in-process handler.
+  std::vector<std::string> ref_script = script;
+  ref_script.push_back("trace e1");
+  const std::string want = direct_last_response(ref_script);
+  ASSERT_EQ(want.rfind("ok n=", 0), 0) << want;
+
+  // Text over TCP.
+  {
+    ServerHarness h(manager_options(fresh_dir()), pool_, ServerOptions{});
+    const std::uint16_t port = h.listen();
+    ASSERT_NE(port, 0);
+    h.start();
+    TextClient c(connect_tcp(port));
+    ASSERT_TRUE(c.ok());
+    for (const std::string& v : script) {
+      ASSERT_EQ(c.request(v).rfind("ok", 0), 0) << v;
+    }
+    EXPECT_EQ(c.request("trace e1"), want);
+  }
+  // Binary frames over TCP.
+  {
+    ServerHarness h(manager_options(fresh_dir()), pool_, ServerOptions{});
+    const std::uint16_t port = h.listen();
+    ASSERT_NE(port, 0);
+    h.start();
+    BinaryClient c(connect_tcp(port));
+    ASSERT_TRUE(c.ok());
+    for (const std::string& v : script) {
+      ASSERT_EQ(c.request_line(v, 4).rfind("ok", 0), 0) << v;
+    }
+    EXPECT_EQ(c.request_line("trace e1", 4), want);
+  }
+}
+
+TEST_F(NetFixture, StudyQuotaGatesCreateAndReleasesOnSuspend) {
+  ServerOptions sopts;
+  sopts.quota.max_studies_per_tenant = 1;
+  ServerHarness h(manager_options(fresh_dir()), pool_, sopts);
+  const std::uint16_t port = h.listen();
+  ASSERT_NE(port, 0);
+  h.start();
+  BinaryClient a(connect_tcp(port));
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.request_line("create-study q1 external max-trials=2", 1)
+                .rfind("ok created", 0),
+            0);
+  EXPECT_EQ(a.request_line("create-study q2 external max-trials=2", 1),
+            "err quota exceeded (max 1 concurrent studies per tenant)");
+  // A different tenant is unaffected.
+  EXPECT_EQ(a.request_line("create-study q3 external max-trials=2", 2)
+                .rfind("ok created", 0),
+            0);
+  // Suspending releases the slot.
+  EXPECT_EQ(a.request_line("suspend q1", 1), "ok suspended q1");
+  EXPECT_EQ(a.request_line("create-study q4 external max-trials=2", 1)
+                .rfind("ok created", 0),
+            0);
+}
+
+TEST_F(NetFixture, SlowReaderDisconnectedOthersBitwiseUnaffected) {
+  obs::Counter& backpressure = obs::MetricsRegistry::global().counter(
+      "fedtune_net_disconnects_total", {{"reason", "backpressure"}});
+  const std::uint64_t before = backpressure.value();
+
+  ServerOptions sopts;
+  sopts.max_write_queue_bytes = 16 * 1024;  // ~2 blob responses
+  sopts.sndbuf_bytes = 4096;                // keep the kernel buffer small
+  ServerHarness h(manager_options(fresh_dir()), pool_, sopts);
+  const std::uint16_t port = h.listen();
+  ASSERT_NE(port, 0);
+  h.start();
+
+  // The stalled reader: pipelines 64 blob requests (64 * ~8 KiB of
+  // responses) and never reads a byte.
+  const int slow_fd = connect_tcp(port);
+  ASSERT_GE(slow_fd, 0);
+  std::string flood;
+  for (int i = 0; i < 64; ++i) flood += "blob\n";
+  send_all(slow_fd, flood);  // may itself fail once the server disconnects
+
+  // The server must hit the write-queue cap and cut the connection without
+  // stalling the loop.
+  bool disconnected = false;
+  for (int i = 0; i < 500; ++i) {
+    if (backpressure.value() > before) {
+      disconnected = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(disconnected) << "slow reader was never disconnected";
+
+  // Meanwhile a healthy tenant's managed study runs to completion with a
+  // trajectory bitwise-identical to an in-process run.
+  TextClient healthy(connect_tcp(port));
+  ASSERT_TRUE(healthy.ok());
+  const std::string create =
+      "create-study s1 method=rs configs=8 seed=17 eval-clients=4 epsilon=25";
+  ASSERT_EQ(healthy.request(create).rfind("ok created", 0), 0);
+  const std::string got = drive_to_trace(
+      [&healthy](const std::string& v) { return healthy.request(v); }, "s1");
+
+  const std::string want = direct_last_response(
+      {create, "drive s1 5000", "trace s1"});
+  ASSERT_EQ(want.rfind("ok n=", 0), 0) << want;
+  EXPECT_EQ(got, want);
+  ::close(slow_fd);
+}
+
+TEST_F(NetFixture, KillResumeOverTcpBitwiseIdentical) {
+  const std::string create =
+      "create-study k1 method=sha configs=8 seed=17 eval-clients=4 epsilon=25";
+  const std::string want = direct_last_response(
+      {create, "drive k1 5000", "trace k1"});
+  ASSERT_EQ(want.rfind("ok n=", 0), 0) << want;
+
+  // Interrupt the TCP-served study at several tell boundaries: drive k
+  // steps, tear the whole server down (no suspend — the journal is the only
+  // survivor, as after SIGKILL), restart on the same journal dir, resume,
+  // finish, and demand the bitwise-identical trajectory.
+  for (const int kill_after : {1, 2, 4, 7}) {
+    const std::string dir = fresh_dir();
+    {
+      ServerHarness h(manager_options(dir), pool_, ServerOptions{});
+      const std::uint16_t port = h.listen();
+      ASSERT_NE(port, 0);
+      h.start();
+      TextClient c(connect_tcp(port));
+      ASSERT_TRUE(c.ok());
+      ASSERT_EQ(c.request(create).rfind("ok created", 0), 0);
+      ASSERT_EQ(c.request("drive k1 " + std::to_string(kill_after))
+                    .rfind("ok ran=", 0),
+                0);
+    }  // server + manager destroyed with the study mid-flight
+    {
+      ServerHarness h(manager_options(dir), pool_, ServerOptions{});
+      const std::uint16_t port = h.listen();
+      ASSERT_NE(port, 0);
+      h.start();
+      TextClient c(connect_tcp(port));
+      ASSERT_TRUE(c.ok());
+      ASSERT_EQ(c.request("resume k1").rfind("ok resumed", 0), 0)
+          << "kill_after=" << kill_after;
+      const std::string got = drive_to_trace(
+          [&c](const std::string& v) { return c.request(v); }, "k1");
+      EXPECT_EQ(got, want) << "kill_after=" << kill_after;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fedtune::net

@@ -1,16 +1,28 @@
 // fedtune_ctl — client for the fedtune_studyd daemon: sends one protocol
-// line over the Unix socket and prints the response.
+// request over a Unix socket or TCP and prints the response.
 //
 //   fedtune_ctl --socket PATH [--timeout SEC] VERB [ARGS...]
+//   fedtune_ctl --tcp HOST:PORT [--binary] [--tenant N] [--token T]
+//               [--timeout SEC] VERB [ARGS...]
 //       e.g.  fedtune_ctl --socket /tmp/studyd.sock create-study s1
 //                 method=rs configs=24 seed=7
-//             fedtune_ctl --socket /tmp/studyd.sock status s1
+//             fedtune_ctl --tcp 127.0.0.1:7447 --binary --tenant 3
+//                 --token s3cret status s1
 //             fedtune_ctl --socket /tmp/studyd.sock cache-stats
 //       (cache-stats reports the shared evaluation caches per pool:
 //        entries, hits, misses, hit rate — daemon must run --eval-cache)
-//   fedtune_ctl --socket PATH wait NAME TIMEOUT_SECONDS
+//   fedtune_ctl (--socket PATH | --tcp HOST:PORT) wait NAME TIMEOUT_SECONDS
 //       polls `status NAME` until the study reports state=finished (exit 0)
 //       or the timeout expires (exit 1) — the CI smoke test's join point.
+//
+// Transport: --socket speaks the newline-delimited text protocol (byte
+// compatible with the PR 4 daemon). --tcp defaults to the same text shim;
+// --binary switches to the length-prefixed frame protocol (src/net/frame.hpp)
+// — the request verb maps to its opcode, the args to the payload, and
+// responses come back as kOk/kErr frames which this client prints in the
+// familiar `ok ...` / `err ...` form, so scripts see identical output on
+// every transport. With --token (or a daemon running --auth-file) the
+// client sends a `hello` first; --tenant sets the tenant id (default 0).
 //
 // Connection failures retry with jittered exponential backoff until the
 // --timeout deadline (default 5 s) — a daemon that is restarting (e.g.
@@ -21,19 +33,24 @@
 //
 // Responses are one line except `metrics`, which answers `ok lines=N`
 // followed by N raw Prometheus exposition lines; the client prints all of
-// them.
+// them (in binary mode the whole body arrives inside one frame).
 //
 // Exit codes (distinct, for scripting):
 //   0  the daemon answered `ok ...` (or the wait succeeded)
 //   1  the daemon answered `err ...`, or a wait timed out
 //   2  usage error (bad flags/arguments)
 //   3  connection failure past the --timeout deadline (daemon unreachable)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
+#include <cstdint>
 #include <cstring>
 #include <iostream>
 #include <optional>
@@ -42,7 +59,28 @@
 #include <thread>
 #include <vector>
 
+#include "net/frame.hpp"
+
 namespace {
+
+using fedtune::net::DecodeResult;
+using fedtune::net::DecodeStatus;
+using fedtune::net::Frame;
+using fedtune::net::Opcode;
+
+struct Endpoint {
+  std::string unix_path;  // non-empty → Unix transport
+  std::string tcp_host;   // non-empty → TCP transport
+  std::uint16_t tcp_port = 0;
+  bool binary = false;
+  std::uint64_t tenant = 0;
+  std::string token;
+
+  std::string describe() const {
+    if (!unix_path.empty()) return unix_path;
+    return tcp_host + ":" + std::to_string(tcp_port);
+  }
+};
 
 // Number of body lines following the header when the response is the
 // protocol's one multi-line answer (`ok lines=N`); 0 otherwise.
@@ -56,42 +94,173 @@ std::size_t body_lines_of(const std::string& header) {
   }
 }
 
-// One request/response round trip; returns the full response (without the
-// trailing newline — possibly multi-line for `metrics`) or nullopt on
-// connection failure.
-std::optional<std::string> roundtrip(const std::string& socket_path,
-                                     const std::string& line) {
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) return std::nullopt;
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path.size() >= sizeof(addr.sun_path)) {
-    ::close(fd);
-    return std::nullopt;
+int connect_to(const Endpoint& ep) {
+  if (!ep.unix_path.empty()) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (ep.unix_path.size() >= sizeof(addr.sun_path)) {
+      ::close(fd);
+      return -1;
+    }
+    std::strncpy(addr.sun_path, ep.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
   }
-  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.tcp_port);
+  if (::inet_pton(AF_INET, ep.tcp_host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return -1;
+  }
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     ::close(fd);
-    return std::nullopt;
+    return -1;
   }
-  const std::string request = line + "\n";
-  ssize_t off = 0;
-  while (off < static_cast<ssize_t>(request.size())) {
-    const ssize_t w = ::write(fd, request.data() + off, request.size() - off);
-    if (w <= 0) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool send_all(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t w =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (w < 0 && errno == EINTR) continue;
+    if (w <= 0) return false;
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+// Reads one kOk/kErr frame off `fd` (appending to `in`); nullopt on
+// connection or protocol failure.
+std::optional<std::string> read_response_frame(int fd, std::string& in) {
+  char buf[4096];
+  for (;;) {
+    const DecodeResult r = fedtune::net::decode_frame(in);
+    if (r.status == DecodeStatus::kBad) return std::nullopt;
+    if (r.status == DecodeStatus::kFrame) {
+      in.erase(0, r.consumed);
+      const Frame& f = r.frame;
+      if (f.opcode == Opcode::kOk) return "ok " + f.payload;
+      if (f.opcode == Opcode::kErr) return "err " + f.payload;
+      return std::nullopt;  // unexpected opcode from the daemon
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return std::nullopt;
+    in.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+std::optional<std::string> roundtrip_binary(const Endpoint& ep,
+                                            const std::string& line) {
+  const int fd = connect_to(ep);
+  if (fd < 0) return std::nullopt;
+  std::string in;
+  if (!ep.token.empty()) {
+    Frame hello;
+    hello.opcode = Opcode::kHello;
+    hello.tenant = ep.tenant;
+    hello.payload = ep.token;
+    if (!send_all(fd, fedtune::net::encode_frame(hello))) {
       ::close(fd);
       return std::nullopt;
     }
-    off += w;
+    const auto ack = read_response_frame(fd, in);
+    if (!ack.has_value() || ack->rfind("ok", 0) != 0) {
+      ::close(fd);
+      return ack;  // auth err passes through; nullopt stays nullopt
+    }
   }
+  const std::size_t sp = line.find(' ');
+  const std::string verb = line.substr(0, sp);
+  const auto opcode = fedtune::net::opcode_for_verb(verb);
+  if (!opcode.has_value()) {
+    ::close(fd);
+    // Let the daemon produce the canonical error text? It can't — there is
+    // no opcode to carry the verb. Mirror the daemon's wording locally.
+    return "err unknown verb '" + verb + "'";
+  }
+  Frame req;
+  req.opcode = *opcode;
+  req.tenant = ep.tenant;
+  if (sp != std::string::npos) req.payload = line.substr(sp + 1);
+  if (!send_all(fd, fedtune::net::encode_frame(req))) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  auto response = read_response_frame(fd, in);
+  ::close(fd);
+  if (response.has_value()) {
+    // Normalize "ok " / "err " with empty payload to bare "ok" / "err".
+    while (!response->empty() && response->back() == ' ') response->pop_back();
+  }
+  return response;
+}
+
+// One request/response round trip in text mode; returns the full response
+// (without the trailing newline — possibly multi-line for `metrics`) or
+// nullopt on connection failure.
+std::optional<std::string> roundtrip_text(const Endpoint& ep,
+                                          const std::string& line) {
+  const int fd = connect_to(ep);
+  if (fd < 0) return std::nullopt;
+  std::string preamble;
+  if (!ep.token.empty()) {
+    preamble = "hello " + std::to_string(ep.tenant) + " " + ep.token + "\n";
+  }
+  if (!send_all(fd, preamble + line + "\n")) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  // With a hello preamble the first response line is its ack; a failed
+  // hello ("err ...") is returned as the final answer.
+  std::size_t skip_lines = preamble.empty() ? 0 : 1;
   std::string response;
   char buf[4096];
-  while (response.find('\n') == std::string::npos) {
-    const ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n <= 0) break;
-    response.append(buf, static_cast<std::size_t>(n));
+  auto read_more = [&]() -> bool {
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      response.append(buf, static_cast<std::size_t>(n));
+      return true;
+    }
+  };
+  while (std::count(response.begin(), response.end(), '\n') <
+         static_cast<long>(skip_lines + 1)) {
+    if (!read_more()) break;
   }
-  std::size_t nl = response.find('\n');
+  while (skip_lines > 0) {
+    const std::size_t nl = response.find('\n');
+    if (nl == std::string::npos) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    const std::string ack = response.substr(0, nl);
+    if (ack.rfind("ok", 0) != 0) {
+      ::close(fd);
+      return ack;  // hello rejected: surface the daemon's error
+    }
+    response.erase(0, nl + 1);
+    --skip_lines;
+  }
+  std::size_t nl;
+  while ((nl = response.find('\n')) == std::string::npos) {
+    if (!read_more()) break;
+  }
+  nl = response.find('\n');
   if (nl == std::string::npos) {
     ::close(fd);
     return std::nullopt;
@@ -102,9 +271,7 @@ std::optional<std::string> roundtrip(const std::string& socket_path,
       static_cast<std::size_t>(std::count(response.begin(), response.end(),
                                           '\n'));
   while (have < body_lines + 1) {
-    const ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n <= 0) break;
-    response.append(buf, static_cast<std::size_t>(n));
+    if (!read_more()) break;
     have = static_cast<std::size_t>(std::count(response.begin(),
                                                response.end(), '\n'));
   }
@@ -117,10 +284,15 @@ std::optional<std::string> roundtrip(const std::string& socket_path,
   return response.substr(0, nl);
 }
 
+std::optional<std::string> roundtrip(const Endpoint& ep,
+                                     const std::string& line) {
+  return ep.binary ? roundtrip_binary(ep, line) : roundtrip_text(ep, line);
+}
+
 // roundtrip() with jittered exponential-backoff retries on connection
 // failure, bounded by `timeout_seconds`. One attempt is always made, so a
 // zero/negative timeout degrades to plain roundtrip().
-std::optional<std::string> roundtrip_retry(const std::string& socket_path,
+std::optional<std::string> roundtrip_retry(const Endpoint& ep,
                                            const std::string& line,
                                            double timeout_seconds) {
   const auto deadline = std::chrono::steady_clock::now() +
@@ -131,7 +303,7 @@ std::optional<std::string> roundtrip_retry(const std::string& socket_path,
       static_cast<unsigned>(::getpid()) * 2654435761u + 1u);
   double delay_ms = 10.0;
   for (;;) {
-    const auto response = roundtrip(socket_path, line);
+    const auto response = roundtrip(ep, line);
     if (response.has_value()) return response;
     const auto now = std::chrono::steady_clock::now();
     if (now >= deadline) return std::nullopt;
@@ -146,12 +318,12 @@ std::optional<std::string> roundtrip_retry(const std::string& socket_path,
   }
 }
 
-int wait_for_finish(const std::string& socket_path, const std::string& name,
+int wait_for_finish(const Endpoint& ep, const std::string& name,
                     double timeout_seconds) {
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration<double>(timeout_seconds);
   while (std::chrono::steady_clock::now() < deadline) {
-    const auto response = roundtrip(socket_path, "status " + name);
+    const auto response = roundtrip(ep, "status " + name);
     if (response.has_value() &&
         response->find("state=finished") != std::string::npos) {
       std::cout << *response << "\n";
@@ -167,23 +339,64 @@ int wait_for_finish(const std::string& socket_path, const std::string& name,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string socket_path;
+  Endpoint ep;
   double timeout_seconds = 5.0;
   std::vector<std::string> words;
+  // A daemon that closes mid-write must cost this client an EPIPE errno,
+  // not a fatal signal.
+  std::signal(SIGPIPE, SIG_IGN);
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a == "--socket" || a == "--timeout") {
+    auto next = [&]() -> const char* {
       if (i + 1 >= argc) {
         std::cerr << "error: " << a << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--socket") {
+      ep.unix_path = next();
+    } else if (a == "--tcp") {
+      const std::string spec = next();
+      const std::size_t colon = spec.rfind(':');
+      int port = -1;
+      try {
+        if (colon != std::string::npos) {
+          ep.tcp_host = spec.substr(0, colon);
+          port = std::stoi(spec.substr(colon + 1));
+        }
+      } catch (const std::exception&) {
+        port = -1;
+      }
+      if (port < 0 || port > 65535 || ep.tcp_host.empty()) {
+        std::cerr << "error: bad --tcp spec '" << spec
+                  << "' (want HOST:PORT)\n";
         return 2;
       }
-      if (a == "--socket") socket_path = argv[++i];
-      else timeout_seconds = std::stod(argv[++i]);
+      ep.tcp_port = static_cast<std::uint16_t>(port);
+    } else if (a == "--binary") {
+      ep.binary = true;
+    } else if (a == "--tenant") {
+      ep.tenant = std::stoull(next());
+    } else if (a == "--token") {
+      ep.token = next();
+    } else if (a == "--timeout") {
+      timeout_seconds = std::stod(next());
     } else if (a == "--help" || a == "-h") {
       std::cout
-          << "usage: fedtune_ctl --socket PATH [--timeout SEC] VERB "
-             "[ARGS...]\n"
-             "       fedtune_ctl --socket PATH wait NAME TIMEOUT_SEC\n"
+          << "usage: fedtune_ctl (--socket PATH | --tcp HOST:PORT)\n"
+             "                   [--binary] [--tenant N] [--token T]\n"
+             "                   [--timeout SEC] VERB [ARGS...]\n"
+             "       fedtune_ctl (--socket PATH | --tcp HOST:PORT) wait "
+             "NAME TIMEOUT_SEC\n"
+             "\n"
+             "transport:\n"
+             "  --socket PATH             Unix socket, text protocol\n"
+             "  --tcp HOST:PORT           TCP; text protocol unless "
+             "--binary\n"
+             "  --binary                  length-prefixed frame protocol\n"
+             "  --tenant N --token T      authenticate as tenant N (sends "
+             "hello)\n"
              "\n"
              "daemon verbs (forwarded over the socket):\n"
              "  ping                      liveness check\n"
@@ -234,26 +447,37 @@ int main(int argc, char** argv) {
       words.push_back(a);
     }
   }
-  if (socket_path.empty() || words.empty()) {
-    std::cerr << "usage: fedtune_ctl --socket PATH [--timeout SEC] VERB "
+  const bool have_endpoint = !ep.unix_path.empty() || !ep.tcp_host.empty();
+  if (!have_endpoint || words.empty()) {
+    std::cerr << "usage: fedtune_ctl (--socket PATH | --tcp HOST:PORT) "
+                 "[--binary] [--tenant N] [--token T] [--timeout SEC] VERB "
                  "[ARGS...]\n";
+    return 2;
+  }
+  if (!ep.unix_path.empty() && !ep.tcp_host.empty()) {
+    std::cerr << "error: pass exactly one of --socket / --tcp\n";
+    return 2;
+  }
+  if (ep.binary && ep.tcp_host.empty()) {
+    std::cerr << "error: --binary needs --tcp\n";
     return 2;
   }
   if (words[0] == "wait") {
     if (words.size() != 3) {
-      std::cerr << "usage: fedtune_ctl --socket PATH wait NAME TIMEOUT_SEC\n";
+      std::cerr << "usage: fedtune_ctl (--socket PATH | --tcp HOST:PORT) "
+                   "wait NAME TIMEOUT_SEC\n";
       return 2;
     }
-    return wait_for_finish(socket_path, words[1], std::stod(words[2]));
+    return wait_for_finish(ep, words[1], std::stod(words[2]));
   }
   std::string line = words[0];
   for (std::size_t i = 1; i < words.size(); ++i) line += " " + words[i];
-  const auto response = roundtrip_retry(socket_path, line, timeout_seconds);
+  const auto response = roundtrip_retry(ep, line, timeout_seconds);
   if (!response.has_value()) {
     // Distinct from a daemon-side `err` (1) and from usage (2): scripts can
     // tell "unreachable" apart from "reached but refused".
-    std::cerr << "error: cannot reach daemon at " << socket_path << " within "
-              << timeout_seconds << "s\n";
+    std::cerr << "error: cannot reach daemon at " << ep.describe()
+              << " within " << timeout_seconds << "s\n";
     return 3;
   }
   std::cout << *response << "\n";

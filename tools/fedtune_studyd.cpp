@@ -1,76 +1,60 @@
-// fedtune_studyd — the StudyService daemon: serves tuning studies over a
-// Unix domain socket with a newline-delimited request/response protocol.
+// fedtune_studyd — the StudyService daemon: serves tuning studies over TCP
+// and/or a Unix domain socket off one epoll event loop, speaking the
+// length-prefixed binary frame protocol with a newline-delimited text
+// compatibility shim (per-connection mode sniffing; see src/README.md
+// §Network protocol).
 //
-//   fedtune_studyd --socket PATH [--journal-dir DIR] [--autodrive]
-//                  [--pool-configs N] [--rounds-per-slice R]
-//                  [--fsync-on-commit] [--eval-cache DIR]
-//                  [--metrics-file PATH] [--trace-out PATH]
+//   fedtune_studyd [--socket PATH] [--tcp [HOST:]PORT] [--port-file PATH]
+//                  [--journal-dir DIR] [--autodrive] [--pool-configs N]
+//                  [--rounds-per-slice R] [--fsync-on-commit]
+//                  [--eval-cache DIR] [--metrics-file PATH]
+//                  [--trace-out PATH] [--max-studies N]
+//                  [--auth-file PATH] [--quota-fps F] [--quota-burst B]
+//                  [--quota-studies N] [--max-write-queue BYTES]
+//
+// At least one of --socket / --tcp is required; both may be active at once
+// (one event loop serves both listeners). --tcp PORT with port 0 binds an
+// ephemeral port; --port-file writes the bound port as a decimal line so
+// scripts can discover it.
 //
 // On startup the daemon builds the deterministic "synth-small" candidate
 // pool (identical bytes on every start — the determinism contract in
 // src/README.md — so a daemon restarted after SIGKILL recovers its studies
 // against the exact same evaluation substrate), registers it, and resumes
 // every journal found in the journal directory. With --autodrive it pumps
-// one fair-share scheduler cycle per poll interval; without it, managed
+// one fair-share scheduler cycle per loop interval; without it, managed
 // studies advance only through explicit `drive` requests (tests).
 //
-// Protocol (one request line -> one response line, `ok ...` or `err ...`):
-//   create-study NAME [method=rs|tpe|sha|hb|bohb] [configs=N] [budget=R]
-//                [seed=S] [pool=NAME] [eval-clients=N] [epsilon=E]
-//                [bias-b=B] [deadline=N] [external] [cache=on|off]
-//                [warm=on|off] [max-trials=N]
-//   ask NAME                 next trial of an external study
-//   tell NAME TRIAL_ID OBJ   objective for an external study's trial
-//   status NAME              state/health/steps/rounds/best summary; a
-//                            degraded or quarantined study also reports
-//                            retries= and last_error=; with the eval cache
-//                            wired, cache_hits=/cache_misses=
-//   cache-stats              pool-wide eval-cache counters per pool
-//                            (entries/hits/misses/hit-rate; needs
-//                            --eval-cache)
-//   best NAME                current best trial
-//   suspend NAME             park the study (journal keeps its state)
-//   resume NAME              bring a journaled study back; a quarantined
-//                            study is rebuilt from its journal (the durable
-//                            history), clearing the quarantine
-//   list                     active studies as NAME:STATE:HEALTH
-//   trace NAME               full trial trajectory, hex-float exact — the
-//                            bitwise kill/resume equivalence check in CI
-//   drive NAME STEPS         run STEPS managed steps synchronously
-//   pump                     one fair-share scheduler cycle
-//   metrics                  Prometheus exposition of the MetricsRegistry.
-//                            MULTI-LINE response: `ok lines=N` followed by
-//                            N raw exposition lines (the one exception to
-//                            one-line framing). Also rewrites
-//                            --metrics-file when configured.
-//   trace-export [PATH]      write the TraceRecorder's Chrome trace_event
-//                            JSON to PATH (default --trace-out); needs
-//                            tracing enabled via --trace-out
-//   ping | shutdown
-#include <poll.h>
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-
-#include <algorithm>
-#include <cerrno>
+// Multi-tenancy: --auth-file loads `TENANT_ID TOKEN` lines; with it set,
+// TCP clients must `hello TENANT TOKEN` before any other verb (Unix
+// connections are local and pre-trusted). --quota-fps/--quota-burst cap
+// each tenant's request rate with a token bucket; --quota-studies caps a
+// tenant's concurrent studies — all enforced at the connection layer,
+// before the StudyManager. Slow readers are disconnected once their
+// pending-response queue exceeds --max-write-queue; the event loop never
+// blocks on one tenant's socket.
+//
+// Verb grammar and response format: src/README.md §Network protocol.
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <iostream>
-#include <map>
-#include <optional>
-#include <sstream>
+#include <memory>
 #include <string>
-#include <vector>
+#include <utility>
+
+#include <sys/resource.h>
 
 #include "core/config_pool.hpp"
 #include "data/synth_image.hpp"
 #include "hpo/search_space.hpp"
+#include "net/event_loop.hpp"
+#include "net/quota.hpp"
+#include "net/server.hpp"
 #include "nn/factory.hpp"
-#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "service/service_handler.hpp"
 #include "service/study_manager.hpp"
 
 namespace {
@@ -103,438 +87,57 @@ std::shared_ptr<const service::PoolResources> build_synth_pool(
   return resources;
 }
 
-std::vector<std::string> split_words(const std::string& line) {
-  std::vector<std::string> words;
-  std::istringstream in(line);
-  std::string w;
-  while (in >> w) words.push_back(w);
-  return words;
+// A 1k-tenant load test needs ~2k fds (daemon side + loadgen side); the
+// default soft limit of 1024 would reject half the fleet at accept().
+void raise_fd_limit() {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) return;
+  const rlim_t want = 65536;
+  const rlim_t target = lim.rlim_max == RLIM_INFINITY
+                            ? want
+                            : (lim.rlim_max < want ? lim.rlim_max : want);
+  if (lim.rlim_cur >= target) return;
+  lim.rlim_cur = target;
+  ::setrlimit(RLIMIT_NOFILE, &lim);  // best effort
 }
-
-// Hex-float (%a) round-trips doubles exactly: the trace line is a bitwise
-// fingerprint of the study's trajectory.
-std::string hex_double(double v) {
-  char buf[48];
-  std::snprintf(buf, sizeof(buf), "%a", v);
-  return buf;
-}
-
-bool write_text_file(const std::string& path, const std::string& text) {
-  std::ofstream out(path, std::ios::trunc);
-  out << text;
-  return static_cast<bool>(out);
-}
-
-class Daemon {
- public:
-  Daemon(service::ManagerOptions opts, std::size_t pool_configs,
-         std::string metrics_file, std::string trace_out)
-      : manager_(std::move(opts)),
-        metrics_file_(std::move(metrics_file)),
-        trace_out_(std::move(trace_out)) {
-    manager_.register_pool("synth-small", build_synth_pool(pool_configs));
-    const std::size_t resumed = manager_.resume_all();
-    if (resumed > 0) {
-      std::cerr << "[studyd] resumed " << resumed << " journaled studies\n";
-    }
-  }
-
-  // Final flush: persist the exposition and the timeline so a clean
-  // shutdown leaves both artifacts on disk without an explicit request.
-  void flush_observability() {
-    if (!metrics_file_.empty()) {
-      write_text_file(metrics_file_,
-                      obs::MetricsRegistry::global().prometheus_text());
-    }
-    if (!trace_out_.empty()) {
-      obs::TraceRecorder::global().write_chrome_trace(trace_out_);
-    }
-  }
-
-  service::StudyManager& manager() { return manager_; }
-
-  // Handles one request line; returns the response line (without '\n').
-  // `running` is cleared by `shutdown`.
-  std::string handle(const std::string& line, bool* running) {
-    const std::vector<std::string> words = split_words(line);
-    if (words.empty()) return "err empty request";
-    const std::string& verb = words[0];
-    try {
-      if (verb == "ping") return "ok pong";
-      if (verb == "shutdown") {
-        *running = false;
-        return "ok bye";
-      }
-      if (verb == "list") {
-        std::string out = "ok";
-        for (const std::string& name : manager_.list()) {
-          const service::StudySession* s = manager_.find(name);
-          out += " " + name + ":" + service::state_name(s->state()) + ":" +
-                 service::health_name(s->health());
-        }
-        return out;
-      }
-      if (verb == "pump") {
-        return "ok steps=" + std::to_string(manager_.pump());
-      }
-      if (verb == "cache-stats") return cache_stats();
-      if (verb == "metrics") return metrics();
-      if (verb == "trace-export") return trace_export(words);
-      if (verb == "create-study") return create_study(words);
-      if (words.size() < 2) return "err missing study name";
-      const std::string& name = words[1];
-      if (verb == "resume") {
-        // Three flavors: un-park an in-memory session the scheduler
-        // suspended (e.g. past its deadline — resume grants a fresh
-        // allowance), rebuild a QUARANTINED session from its journal (the
-        // in-memory engine may be ahead of the durable history after a
-        // failed append, so flipping the state back would be wrong), or
-        // reconstruct a journaled study that has no active session.
-        if (service::StudySession* active = manager_.find(name)) {
-          if (active->quarantined()) {
-            manager_.suspend_study(name);  // drop the session, keep journal
-            service::StudySession& rebuilt = manager_.resume_study(name);
-            return "ok resumed " + name +
-                   " steps=" + std::to_string(rebuilt.steps()) +
-                   " health=" + service::health_name(rebuilt.health());
-          }
-          active->resume_from_suspend();
-          return "ok resumed " + name +
-                 " steps=" + std::to_string(active->steps());
-        }
-        service::StudySession& s = manager_.resume_study(name);
-        s.resume_from_suspend();
-        return "ok resumed " + name + " steps=" + std::to_string(s.steps());
-      }
-      service::StudySession* session = manager_.find(name);
-      if (session == nullptr) {
-        return "err no active study '" + name + "' (resume it?)";
-      }
-      if (verb == "status") return status(*session);
-      if (verb == "best") return best(*session);
-      if (verb == "trace") return trace(*session);
-      if (verb == "suspend") {
-        manager_.suspend_study(name);
-        return "ok suspended " + name;
-      }
-      if (verb == "ask") return ask(*session);
-      if (verb == "tell") return tell(*session, words);
-      if (verb == "drive") return drive(*session, words);
-      return "err unknown verb '" + verb + "'";
-    } catch (const std::exception& ex) {
-      // Collapse to one line: multi-line messages would break the framing.
-      std::string msg = ex.what();
-      for (char& c : msg) {
-        if (c == '\n') c = ' ';
-      }
-      return "err " + msg;
-    }
-  }
-
- private:
-  // Prometheus exposition. The only multi-line response in the protocol:
-  // `ok lines=N` then N raw lines, so clients framed on single lines can
-  // still parse the header and skip the body by count.
-  std::string metrics() {
-    const std::string text = obs::MetricsRegistry::global().prometheus_text();
-    if (!metrics_file_.empty()) write_text_file(metrics_file_, text);
-    std::string body = text;
-    while (!body.empty() && body.back() == '\n') body.pop_back();
-    if (body.empty()) return "ok lines=0";
-    const std::size_t n =
-        1 + static_cast<std::size_t>(
-                std::count(body.begin(), body.end(), '\n'));
-    return "ok lines=" + std::to_string(n) + "\n" + body;
-  }
-
-  std::string trace_export(const std::vector<std::string>& words) {
-    const std::string path = words.size() >= 2 ? words[1] : trace_out_;
-    if (path.empty()) {
-      return "err no trace path (pass PATH or start with --trace-out)";
-    }
-    obs::TraceRecorder& rec = obs::TraceRecorder::global();
-    if (!rec.write_chrome_trace(path)) {
-      return "err cannot write trace to '" + path + "'";
-    }
-    return "ok events=" + std::to_string(rec.events()) +
-           " dropped=" + std::to_string(rec.dropped()) + " path=" + path;
-  }
-
-  std::string cache_stats() {
-    std::ostringstream out;
-    out << "ok";
-    bool any = false;
-    for (const std::string& pool : manager_.pool_names()) {
-      const auto cache = manager_.eval_cache(pool);
-      if (cache == nullptr) continue;
-      any = true;
-      const std::size_t hits = cache->hits();
-      const std::size_t misses = cache->misses();
-      const std::size_t lookups = hits + misses;
-      char rate[32];
-      std::snprintf(rate, sizeof(rate), "%.3f",
-                    lookups == 0 ? 0.0
-                                 : static_cast<double>(hits) /
-                                       static_cast<double>(lookups));
-      out << " " << pool << ":entries=" << cache->entries()
-          << ",hits=" << hits << ",misses=" << misses << ",hit_rate=" << rate
-          << (cache->degraded() ? ",degraded" : "");
-    }
-    if (!any) return "ok no eval caches (start with --eval-cache DIR)";
-    return out.str();
-  }
-
-  std::string create_study(const std::vector<std::string>& words) {
-    if (words.size() < 2) return "err usage: create-study NAME [k=v...]";
-    service::StudySpec spec;
-    spec.name = words[1];
-    spec.pool = "synth-small";
-    spec.num_configs = 8;
-    for (std::size_t i = 2; i < words.size(); ++i) {
-      const std::string& w = words[i];
-      const std::size_t eq = w.find('=');
-      if (w == "external") {
-        spec.external = true;
-        continue;
-      }
-      if (eq == std::string::npos) return "err malformed option '" + w + "'";
-      const std::string key = w.substr(0, eq);
-      const std::string value = w.substr(eq + 1);
-      if (key == "method") {
-        const auto m = service::method_from_name(value);
-        if (!m.has_value()) return "err unknown method '" + value + "'";
-        spec.method = *m;
-      } else if (key == "configs") {
-        spec.num_configs = std::stoul(value);
-      } else if (key == "budget") {
-        spec.budget_rounds = std::stoul(value);
-      } else if (key == "seed") {
-        spec.seed = std::stoull(value);
-      } else if (key == "pool") {
-        spec.pool = value;
-      } else if (key == "eval-clients") {
-        spec.noise.eval_clients = std::stoul(value);
-      } else if (key == "epsilon") {
-        spec.noise.epsilon = std::stod(value);
-      } else if (key == "bias-b") {
-        spec.noise.bias_b = std::stod(value);
-      } else if (key == "deadline") {
-        spec.deadline_slices = std::stoul(value);
-      } else if (key == "cache") {
-        if (value != "on" && value != "off") {
-          return "err cache must be on|off";
-        }
-        spec.use_eval_cache = value == "on";
-      } else if (key == "warm") {
-        if (value != "on" && value != "off") {
-          return "err warm must be on|off";
-        }
-        spec.warm_start = value == "on";
-      } else if (key == "max-trials") {
-        spec.max_trials = std::stoul(value);
-      } else {
-        return "err unknown option '" + key + "'";
-      }
-    }
-    service::StudySession& s = manager_.create_study(std::move(spec));
-    return "ok created " + s.spec().name;
-  }
-
-  static std::string status(const service::StudySession& s) {
-    std::ostringstream out;
-    out << "ok state=" << service::state_name(s.state())
-        << " health=" << service::health_name(s.health())
-        << " method=" << service::method_name(s.spec().method)
-        << " steps=" << s.steps() << " rounds=" << s.rounds_used();
-    if (s.spec().budget_rounds !=
-        std::numeric_limits<std::size_t>::max()) {
-      out << " budget=" << s.spec().budget_rounds;
-    }
-    if (const auto b = s.best()) {
-      out << " best_id=" << b->first.id << " best_error=" << b->second;
-    }
-    if (s.cache_active()) {
-      out << " cache_hits=" << s.cache_hits()
-          << " cache_misses=" << s.cache_misses();
-    }
-    if (s.io_retries() > 0) out << " retries=" << s.io_retries();
-    if (!s.last_error().empty()) {
-      // Last key on the line, spaces collapsed so the value stays one token.
-      std::string msg = s.last_error();
-      for (char& c : msg) {
-        if (c == ' ' || c == '\n') c = '_';
-      }
-      out << " last_error=" << msg;
-    }
-    return out.str();
-  }
-
-  static std::string best(const service::StudySession& s) {
-    const auto b = s.best();
-    if (!b.has_value()) return "err no completed trials";
-    std::ostringstream out;
-    out << "ok id=" << b->first.id << " config_index=" << b->first.config_index
-        << " target_rounds=" << b->first.target_rounds
-        << " error=" << hex_double(b->second);
-    return out.str();
-  }
-
-  static std::string trace(const service::StudySession& s) {
-    const core::TuneResult& result = s.result();
-    std::ostringstream out;
-    out << "ok n=" << result.records.size();
-    for (const core::TrialRecord& r : result.records) {
-      out << " " << r.trial.id << ":" << r.trial.config_index << ":"
-          << r.trial.target_rounds << ":" << hex_double(r.noisy_objective)
-          << ":" << hex_double(r.full_error) << ":" << r.cumulative_rounds;
-    }
-    if (s.finished()) {
-      out << " | best=" << (result.best ? result.best->id : -1)
-          << " best_full=" << hex_double(result.best_full_error);
-    }
-    return out.str();
-  }
-
-  static std::string ask(service::StudySession& s) {
-    const std::optional<hpo::Trial> t = s.ask();
-    if (!t.has_value()) {
-      return s.finished() ? "err study finished" : "err study not running";
-    }
-    std::ostringstream out;
-    out << "ok id=" << t->id << " target_rounds=" << t->target_rounds
-        << " parent=" << t->parent_id << " config=";
-    bool first = true;
-    for (const auto& [key, value] : t->config) {
-      out << (first ? "" : ",") << key << "=" << hex_double(value);
-      first = false;
-    }
-    return out.str();
-  }
-
-  static std::string tell(service::StudySession& s,
-                          const std::vector<std::string>& words) {
-    if (words.size() != 4) return "err usage: tell NAME TRIAL_ID OBJECTIVE";
-    const int trial_id = std::stoi(words[2]);
-    const double objective = std::stod(words[3]);
-    const core::TrialRecord r = s.tell(trial_id, objective);
-    return "ok recorded trial=" + std::to_string(r.trial.id) +
-           " steps=" + std::to_string(s.steps());
-  }
-
-  static std::string drive(service::StudySession& s,
-                           const std::vector<std::string>& words) {
-    if (words.size() != 3) return "err usage: drive NAME STEPS";
-    const std::size_t steps = std::stoul(words[2]);
-    std::size_t ran = 0;
-    for (; ran < steps; ++ran) {
-      if (!s.run_one_step()) break;
-    }
-    return "ok ran=" + std::to_string(ran) +
-           " state=" + service::state_name(s.state());
-  }
-
-  service::StudyManager manager_;
-  std::string metrics_file_;  // rewritten by `metrics` and at shutdown
-  std::string trace_out_;     // default target of `trace-export`
-};
 
 volatile std::sig_atomic_t g_stop = 0;
 void handle_signal(int) { g_stop = 1; }
 
-int serve(const std::string& socket_path, Daemon& daemon, bool autodrive) {
-  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd < 0) {
-    std::perror("socket");
-    return 1;
-  }
-  ::unlink(socket_path.c_str());
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path.size() >= sizeof(addr.sun_path)) {
-    std::cerr << "error: socket path too long: " << socket_path << "\n";
-    return 1;
-  }
-  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
-  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-          0 ||
-      ::listen(listen_fd, 16) < 0) {
-    std::perror("bind/listen");
-    ::close(listen_fd);
-    return 1;
-  }
-  std::cerr << "[studyd] listening on " << socket_path
-            << (autodrive ? " (autodrive)" : "") << "\n";
+struct Args {
+  std::string socket_path;
+  std::string tcp_host = "127.0.0.1";
+  int tcp_port = -1;  // -1 = no TCP listener
+  std::string port_file;
+  service::ManagerOptions opts;
+  bool autodrive = false;
+  std::size_t pool_configs = 8;
+  std::string metrics_file;
+  std::string trace_out;
+  std::string auth_file;
+  net::ServerOptions server;
+};
 
-  std::map<int, std::string> clients;  // fd -> partial input line
-  bool running = true;
-  while (running && !g_stop) {
-    std::vector<pollfd> fds;
-    fds.push_back({listen_fd, POLLIN, 0});
-    for (const auto& [fd, buf] : clients) fds.push_back({fd, POLLIN, 0});
-    // Autodrive paces the scheduler: one fair-share cycle per poll interval
-    // keeps the daemon responsive and leaves a wide window for the CI
-    // kill/resume smoke test to land mid-study.
-    const bool work = autodrive && daemon.manager().has_runnable();
-    const int timeout_ms = work ? 20 : 200;
-    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      std::perror("poll");
-      break;
-    }
-    for (const pollfd& p : fds) {
-      if ((p.revents & POLLIN) == 0 &&
-          (p.revents & (POLLHUP | POLLERR)) == 0) {
-        continue;
-      }
-      if (p.fd == listen_fd) {
-        const int client = ::accept(listen_fd, nullptr, nullptr);
-        if (client >= 0) clients[client] = "";
-        continue;
-      }
-      char buf[4096];
-      const ssize_t n = ::read(p.fd, buf, sizeof(buf));
-      if (n <= 0) {
-        ::close(p.fd);
-        clients.erase(p.fd);
-        continue;
-      }
-      clients[p.fd].append(buf, static_cast<std::size_t>(n));
-      std::string& pending = clients[p.fd];
-      std::size_t nl;
-      while (running && (nl = pending.find('\n')) != std::string::npos) {
-        const std::string line = pending.substr(0, nl);
-        pending.erase(0, nl + 1);
-        const std::string response = daemon.handle(line, &running) + "\n";
-        ssize_t off = 0;
-        while (off < static_cast<ssize_t>(response.size())) {
-          const ssize_t w = ::write(p.fd, response.data() + off,
-                                    response.size() - off);
-          if (w <= 0) break;
-          off += w;
-        }
-      }
-    }
-    if (work) daemon.manager().pump();
-  }
-  for (const auto& [fd, buf] : clients) ::close(fd);
-  ::close(listen_fd);
-  ::unlink(socket_path.c_str());
-  std::cerr << "[studyd] shut down\n";
-  return 0;
+int usage(int rc) {
+  std::cerr
+      << "usage: fedtune_studyd [--socket PATH] [--tcp [HOST:]PORT]\n"
+         "                      [--port-file PATH] [--journal-dir DIR]\n"
+         "                      [--autodrive] [--pool-configs N]\n"
+         "                      [--rounds-per-slice R] [--fsync-on-commit]\n"
+         "                      [--eval-cache DIR] [--metrics-file PATH]\n"
+         "                      [--trace-out PATH] [--max-studies N]\n"
+         "                      [--auth-file PATH] [--quota-fps F]\n"
+         "                      [--quota-burst B] [--quota-studies N]\n"
+         "                      [--max-write-queue BYTES]\n";
+  return rc;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string socket_path;
-  service::ManagerOptions opts;
-  opts.journal_dir = "fedtune_studies";
-  opts.rounds_per_slice = 9;  // one full-fidelity synth-small trial per cycle
-  bool autodrive = false;
-  std::size_t pool_configs = 8;
-  std::string metrics_file;
-  std::string trace_out;
+  Args args;
+  args.opts.journal_dir = "fedtune_studies";
+  args.opts.rounds_per_slice = 9;  // one full-fidelity synth-small trial
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> const char* {
@@ -545,53 +148,145 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (a == "--socket") {
-      socket_path = next();
+      args.socket_path = next();
+    } else if (a == "--tcp") {
+      // [HOST:]PORT; port 0 binds an ephemeral port (see --port-file).
+      const std::string spec = next();
+      const std::size_t colon = spec.rfind(':');
+      try {
+        if (colon == std::string::npos) {
+          args.tcp_port = std::stoi(spec);
+        } else {
+          args.tcp_host = spec.substr(0, colon);
+          args.tcp_port = std::stoi(spec.substr(colon + 1));
+        }
+      } catch (const std::exception&) {
+        args.tcp_port = -1;
+      }
+      if (args.tcp_port < 0 || args.tcp_port > 65535 ||
+          args.tcp_host.empty()) {
+        std::cerr << "error: bad --tcp spec '" << spec
+                  << "' (want [HOST:]PORT)\n";
+        return 2;
+      }
+    } else if (a == "--port-file") {
+      args.port_file = next();
     } else if (a == "--journal-dir") {
-      opts.journal_dir = next();
+      args.opts.journal_dir = next();
     } else if (a == "--autodrive") {
-      autodrive = true;
+      args.autodrive = true;
     } else if (a == "--pool-configs") {
-      pool_configs = std::stoul(next());
+      args.pool_configs = std::stoul(next());
     } else if (a == "--rounds-per-slice") {
-      opts.rounds_per_slice = std::stoul(next());
+      args.opts.rounds_per_slice = std::stoul(next());
     } else if (a == "--fsync-on-commit") {
       // Machine-crash durability: fsync after every journal frame.
-      opts.sync_on_commit = true;
+      args.opts.sync_on_commit = true;
     } else if (a == "--eval-cache") {
       // Shared cross-tenant evaluation caches, one per pool, in this dir.
-      opts.eval_cache_dir = next();
+      args.opts.eval_cache_dir = next();
     } else if (a == "--metrics-file") {
       // Rewritten on every `metrics` request and at shutdown.
-      metrics_file = next();
+      args.metrics_file = next();
     } else if (a == "--trace-out") {
       // Enables the TraceRecorder; Chrome trace JSON written here at
       // shutdown and by `trace-export`.
-      trace_out = next();
+      args.trace_out = next();
+    } else if (a == "--max-studies") {
+      args.opts.max_studies = std::stoul(next());
+    } else if (a == "--auth-file") {
+      args.auth_file = next();
+    } else if (a == "--quota-fps") {
+      args.server.quota.frames_per_sec = std::stod(next());
+    } else if (a == "--quota-burst") {
+      args.server.quota.burst = std::stod(next());
+    } else if (a == "--quota-studies") {
+      args.server.quota.max_studies_per_tenant = std::stoul(next());
+    } else if (a == "--max-write-queue") {
+      args.server.max_write_queue_bytes = std::stoul(next());
     } else {
-      std::cerr << "usage: fedtune_studyd --socket PATH [--journal-dir DIR] "
-                   "[--autodrive] [--pool-configs N] [--rounds-per-slice R] "
-                   "[--fsync-on-commit] [--eval-cache DIR] "
-                   "[--metrics-file PATH] [--trace-out PATH]\n";
-      return a == "--help" || a == "-h" ? 0 : 2;
+      return usage(a == "--help" || a == "-h" ? 0 : 2);
     }
   }
-  if (socket_path.empty()) {
-    std::cerr << "error: --socket is required\n";
+  if (args.socket_path.empty() && args.tcp_port < 0) {
+    std::cerr << "error: at least one of --socket / --tcp is required\n";
     return 2;
   }
+
   std::signal(SIGTERM, handle_signal);
   std::signal(SIGINT, handle_signal);
   // A client that disconnects before its response is written must cost an
   // EPIPE on that fd, not the whole multi-tenant daemon.
   std::signal(SIGPIPE, SIG_IGN);
-  if (!trace_out.empty()) {
-    fedtune::obs::TraceRecorder::global().set_enabled(true);
+  raise_fd_limit();
+  if (!args.trace_out.empty()) {
+    obs::TraceRecorder::global().set_enabled(true);
   }
+
   try {
-    Daemon daemon(opts, pool_configs, metrics_file, trace_out);
-    const int rc = serve(socket_path, daemon, autodrive);
-    daemon.flush_observability();
-    return rc;
+    if (!args.auth_file.empty()) {
+      args.server.auth = net::AuthTable::load(args.auth_file);
+    }
+    service::StudyManager manager(args.opts);
+    manager.register_pool("synth-small",
+                          build_synth_pool(args.pool_configs));
+    const std::size_t resumed = manager.resume_all();
+    if (resumed > 0) {
+      std::cerr << "[studyd] resumed " << resumed << " journaled studies\n";
+    }
+    service::ServiceHandler handler(manager, "synth-small",
+                                    args.metrics_file, args.trace_out);
+
+    net::EventLoop loop;
+    net::Server server(
+        loop, std::move(args.server),
+        [&handler](const std::string& line, std::uint64_t /*tenant*/,
+                   bool* keep_running) {
+          return handler.handle(line, keep_running);
+        });
+    if (!args.socket_path.empty() && !server.listen_unix(args.socket_path)) {
+      std::cerr << "error: cannot listen on unix socket "
+                << args.socket_path << "\n";
+      return 1;
+    }
+    if (args.tcp_port >= 0 &&
+        !server.listen_tcp(args.tcp_host,
+                           static_cast<std::uint16_t>(args.tcp_port))) {
+      std::cerr << "error: cannot listen on tcp " << args.tcp_host << ":"
+                << args.tcp_port << "\n";
+      return 1;
+    }
+    if (!args.port_file.empty()) {
+      std::ofstream pf(args.port_file, std::ios::trunc);
+      pf << server.tcp_port() << "\n";
+      if (!pf) {
+        std::cerr << "error: cannot write --port-file " << args.port_file
+                  << "\n";
+        return 1;
+      }
+    }
+    std::cerr << "[studyd] listening on";
+    if (!args.socket_path.empty()) {
+      std::cerr << " unix:" << args.socket_path;
+    }
+    if (args.tcp_port >= 0) {
+      std::cerr << " tcp:" << args.tcp_host << ":" << server.tcp_port();
+    }
+    std::cerr << (args.autodrive ? " (autodrive)" : "") << "\n";
+
+    while (!g_stop && !server.stopping()) {
+      // Autodrive paces the scheduler: one fair-share cycle per loop
+      // interval keeps the daemon responsive and leaves a wide window for
+      // the CI kill/resume smoke test to land mid-study.
+      const bool work = args.autodrive && manager.has_runnable();
+      const int dispatched = loop.run_once(work ? 20 : 200);
+      if (dispatched < 0) break;
+      if (work) manager.pump();
+    }
+    server.shutdown(/*drain_timeout_ms=*/200);
+    handler.flush_observability();
+    std::cerr << "[studyd] shut down\n";
+    return 0;
   } catch (const std::exception& ex) {
     std::cerr << "fatal: " << ex.what() << "\n";
     return 1;
