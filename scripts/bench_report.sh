@@ -92,6 +92,123 @@ else
   echo "note: $studyd / $loadgen not built; snapshot has no net_frontend section"
 fi
 
+# Cluster numbers: a two-member roster with live journal replication.
+# Pass 1 measures replication lag under load (fedtune_repl_lag_frames
+# quantiles scraped from the primary's metrics). Pass 2 SIGKILLs the
+# primary mid-run and reports the loadgen's drop->first-served failover
+# latency; retried if the run finishes before the kill lands. Folded into
+# the snapshot as "cluster".
+ctl="$build_dir/fedtune_ctl"
+if [[ -x "$studyd" && -x "$loadgen" && -x "$ctl" ]]; then
+  cl_tmp="$(mktemp -d)"
+  cl_a=""
+  cl_b=""
+  cl_port_a=39321
+  cl_port_b=39322
+  printf 'a 127.0.0.1:%s\nb 127.0.0.1:%s\n' "$cl_port_a" "$cl_port_b" \
+    > "$cl_tmp/roster.txt"
+  cleanup_cluster() {
+    for pid in "$cl_a" "$cl_b"; do
+      if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+        kill -9 "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+      fi
+    done
+    rm -rf "$cl_tmp"
+  }
+  trap cleanup_cluster EXIT
+  start_cluster() {
+    rm -rf "$cl_tmp/ja" "$cl_tmp/jb"
+    "$studyd" --cluster-file "$cl_tmp/roster.txt" --self a \
+      --journal-dir "$cl_tmp/ja" --pool-configs 4 2>>"$cl_tmp/a.log" &
+    cl_a=$!
+    "$studyd" --cluster-file "$cl_tmp/roster.txt" --self b \
+      --journal-dir "$cl_tmp/jb" --pool-configs 4 2>>"$cl_tmp/b.log" &
+    cl_b=$!
+    sleep 1
+  }
+  stop_cluster() {
+    for pid in "$cl_a" "$cl_b"; do
+      if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+        kill -9 "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+      fi
+    done
+    cl_a=""; cl_b=""
+  }
+
+  # Pass 1: replication lag under steady multi-tenant load.
+  start_cluster
+  "$loadgen" --tcp "127.0.0.1:$cl_port_a" --tenants 4 --studies 50 \
+    --trials 8 --mode binary --prefix rl --json "$cl_tmp/repl.json" >/dev/null
+  sleep 0.5  # let the replicator drain before scraping
+  "$ctl" --tcp "127.0.0.1:$cl_port_a" metrics \
+    | grep '^fedtune_repl' > "$cl_tmp/repl_metrics.txt" || true
+  stop_cluster
+
+  # Pass 2: failover latency — kill the loadgen's primary mid-run.
+  failover_ok=0
+  for attempt in 1 2 3; do
+    start_cluster
+    "$loadgen" --tcp "127.0.0.1:$cl_port_a" --failover "127.0.0.1:$cl_port_b" \
+      --tenants 4 --studies 75 --trials 8 --mode binary \
+      --prefix "fo${attempt}" --json "$cl_tmp/failover.json" >/dev/null &
+    lg_pid=$!
+    sleep 0.4
+    kill -9 "$cl_a" 2>/dev/null || true
+    wait "$cl_a" 2>/dev/null || true
+    cl_a=""
+    if wait "$lg_pid" && \
+       python3 -c 'import json,sys; j=json.load(open(sys.argv[1])); sys.exit(0 if j.get("failovers",0)>=1 else 1)' \
+         "$cl_tmp/failover.json"; then
+      failover_ok=1
+      stop_cluster
+      break
+    fi
+    stop_cluster
+  done
+  if [[ "$failover_ok" -ne 1 ]]; then
+    echo "warning: no failover observed; cluster section has no failover arm" >&2
+  fi
+
+  python3 - "$out" "$cl_tmp/repl.json" "$cl_tmp/repl_metrics.txt" \
+    "$cl_tmp/failover.json" "$failover_ok" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f: snap = json.load(f)
+cluster = {}
+with open(sys.argv[2]) as f: cluster["repl_load"] = json.load(f)
+lag = {}
+for line in open(sys.argv[3]):
+    line = line.strip()
+    if not line or " " not in line: continue
+    key, value = line.rsplit(" ", 1)
+    try: value = float(value)
+    except ValueError: continue
+    if key.startswith("fedtune_repl_lag_frames{quantile="):
+        q = key.split('"')[1]
+        name = {"0.5": "p50", "0.9": "p90", "0.99": "p99"}.get(q)
+        if name: lag[name] = value
+    elif key in ("fedtune_repl_lag_frames_count", "fedtune_repl_batches_total",
+                 "fedtune_repl_frames_total", "fedtune_repl_bytes_total",
+                 "fedtune_repl_snapshots_total"):
+        lag[key.removeprefix("fedtune_repl_")] = value
+cluster["repl_lag_frames"] = lag
+if sys.argv[5] == "1":
+    with open(sys.argv[4]) as f: fo = json.load(f)
+    cluster["failover"] = fo
+    cluster["failover_p50_us"] = fo.get("failover_p50_us")
+    cluster["failover_p99_us"] = fo.get("failover_p99_us")
+snap["cluster"] = cluster
+with open(sys.argv[1], "w") as f:
+    json.dump(snap, f, indent=2)
+    f.write("\n")
+EOF
+  cleanup_cluster
+  trap - EXIT
+else
+  echo "note: cluster binaries not all built; snapshot has no cluster section"
+fi
+
 echo "wrote $out"
 cat "$out"
 
@@ -147,6 +264,10 @@ SERIES = [
      lambda d: get(d, "net_frontend", "tcp", "ask_tell_p99_us"), False),
     ("net tcp frames/s",
      lambda d: get(d, "net_frontend", "tcp", "frames_per_sec"), True),
+    ("cluster repl lag p99 frames",
+     lambda d: get(d, "cluster", "repl_lag_frames", "p99"), False),
+    ("cluster failover p99 us",
+     lambda d: get(d, "cluster", "failover_p99_us"), False),
 ]
 
 THRESHOLD = 0.10  # flag >10% moves in the bad direction

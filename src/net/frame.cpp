@@ -12,7 +12,7 @@ namespace fedtune::net {
 namespace {
 
 // One row per request opcode; order is irrelevant (looked up both ways).
-constexpr std::array<std::pair<Opcode, const char*>, 17> kVerbTable = {{
+constexpr std::array<std::pair<Opcode, const char*>, 22> kVerbTable = {{
     {Opcode::kPing, "ping"},
     {Opcode::kList, "list"},
     {Opcode::kPump, "pump"},
@@ -29,6 +29,11 @@ constexpr std::array<std::pair<Opcode, const char*>, 17> kVerbTable = {{
     {Opcode::kResume, "resume"},
     {Opcode::kDrive, "drive"},
     {Opcode::kTraceExport, "trace-export"},
+    {Opcode::kReplAppend, "repl-append"},
+    {Opcode::kReplAck, "repl-ack"},
+    {Opcode::kReplSnapshot, "repl-snapshot"},
+    {Opcode::kPromote, "promote"},
+    {Opcode::kClusterInfo, "cluster-info"},
     {Opcode::kHello, "hello"},
 }};
 
@@ -122,6 +127,19 @@ DecodeResult decode_frame(std::string_view in, std::size_t max_payload) {
   r.frame.tenant = read_le<std::uint64_t>(in.data() + 8);
   r.frame.payload.assign(in.data() + kFrameHeaderSize, payload_size);
   return r;
+}
+
+std::optional<std::size_t> parse_ok_lines_header(std::string_view header) {
+  constexpr std::string_view kPrefix = "ok lines=";
+  if (header.substr(0, kPrefix.size()) != kPrefix) return std::nullopt;
+  const std::string_view digits = header.substr(kPrefix.size());
+  if (digits.empty() || digits.size() > 9) return std::nullopt;
+  std::size_t n = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    n = n * 10 + static_cast<std::size_t>(c - '0');
+  }
+  return n;
 }
 
 }  // namespace fedtune::net

@@ -67,6 +67,15 @@ enum class Opcode : std::uint8_t {
   kResume = 14,
   kDrive = 15,
   kTraceExport = 16,
+  // Cluster replication + failover (src/README.md §Cluster): repl-* frames
+  // carry journal bytes hex-encoded in the payload's argument tail, so they
+  // survive both the binary framing and the text shim's whitespace
+  // splitting identically.
+  kReplAppend = 17,   // repl-append STUDY BASE_OFFSET HEXBYTES
+  kReplAck = 18,      // repl-ack STUDY           (offset probe)
+  kReplSnapshot = 19, // repl-snapshot STUDY HEXBYTES (whole-file install)
+  kPromote = 20,      // promote STUDY            (follower takeover)
+  kClusterInfo = 21,  // cluster-info [STUDY]     (roster + placement)
   kHello = 31,
   kOk = 64,
   kErr = 65,
@@ -107,5 +116,13 @@ struct DecodeResult {
 // bytes.
 DecodeResult decode_frame(std::string_view in,
                           std::size_t max_payload = kMaxFramePayload);
+
+// Strictly parses the protocol's one multi-line response header,
+// `ok lines=N`: returns N only when everything after "ok lines=" is one to
+// nine decimal digits (bounding N below any overflow or hostile
+// memory-ballooning value). nullopt for anything else — clients must treat
+// a malformed header from a daemon as a protocol error, not as "0 body
+// lines" (mis-framing) and never let a bare std::stoul abort them.
+std::optional<std::size_t> parse_ok_lines_header(std::string_view header);
 
 }  // namespace fedtune::net

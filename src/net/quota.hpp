@@ -29,13 +29,16 @@ namespace fedtune::net {
 
 // Classic token bucket: `capacity` tokens max, refilled continuously at
 // `refill_per_sec`. A non-positive rate means unlimited (every try_consume
-// succeeds).
+// succeeds). With a positive rate, capacity is clamped to >= 1 token: a
+// zero-capacity bucket can never accumulate a token past its own cap, so
+// it would reject every request forever — a misconfiguration
+// (`--quota-fps N --quota-burst 0`-style), not a meaningful limit.
 class TokenBucket {
  public:
   TokenBucket() = default;
   TokenBucket(double capacity, double refill_per_sec, double now_s)
-      : capacity_(capacity),
-        tokens_(capacity),
+      : capacity_(refill_per_sec > 0.0 && capacity < 1.0 ? 1.0 : capacity),
+        tokens_(capacity_),
         refill_per_sec_(refill_per_sec),
         last_s_(now_s) {}
 

@@ -352,7 +352,12 @@ void Server::dispatch(int fd, const std::string& verb,
     return;
   }
   const std::uint64_t tenant = c->tenant;
-  if (!quotas_.admit_frame(tenant, now_seconds())) {
+  // Peer replication traffic (repl-*) is inter-node, not tenant-billable:
+  // it still passes the auth gate above, but throttling it under a tenant's
+  // rate bucket would let one tenant's quota starve another study's
+  // durability copy.
+  const bool is_repl = verb.rfind("repl-", 0) == 0;
+  if (!is_repl && !quotas_.admit_frame(tenant, now_seconds())) {
     quota_rate_rejections_->add();
     queue_response(fd, "err quota exceeded (rate)");
     return;

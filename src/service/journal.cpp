@@ -252,7 +252,15 @@ void StudyJournal::append_frame(const std::string& payload) {
     heal_to_durable();
     throw;
   }
+  const std::uint64_t offset = durable_;
   durable_ += frame.size();
+  if (sink_) {
+    JournalMutation m;
+    m.kind = JournalMutation::Kind::kAppend;
+    m.offset = offset;
+    m.bytes = std::move(frame);
+    sink_(m);
+  }
 }
 
 void StudyJournal::heal_to_durable() {

@@ -60,6 +60,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -71,6 +72,25 @@
 #include "service/study_spec.hpp"
 
 namespace fedtune::service {
+
+// One byte-level journal change, for replication (cluster/replicator.hpp):
+// kAppend carries one durable frame and the file offset it starts at;
+// kRewrite carries the whole file (emitted after create, resume, and
+// compaction — any point where the file is not a pure extension of what a
+// follower may hold). A follower that applies the stream at matching
+// offsets holds a byte-identical copy of the journal.
+struct JournalMutation {
+  enum class Kind : std::uint8_t { kAppend, kRewrite };
+  Kind kind = Kind::kAppend;
+  std::uint64_t offset = 0;  // kAppend: where `bytes` begins in the file
+  std::string bytes;         // kAppend: one frame; kRewrite: the whole file
+};
+
+// Mutation consumer. Invoked synchronously after the bytes are durable, on
+// whatever thread performed the append (the scheduler pumps sessions on a
+// thread pool, so sinks must be thread-safe). Sinks must not throw: a
+// replication hiccup must never fail a locally-durable step.
+using JournalSink = std::function<void(const JournalMutation&)>;
 
 // recover()'s reconstruction of a journal: the spec, the completed steps in
 // order, and the terminal selection if the study finished.
@@ -123,6 +143,13 @@ class StudyJournal {
   void append_selection(std::int64_t best_id, double best_full_error);
   void append_snapshot(std::span<const core::TrialRecord> steps);
 
+  // Installs the replication sink; pass {} to detach. The sink sees every
+  // subsequent durable frame as a kAppend at its offset. It does NOT see
+  // bytes already on disk — callers that attach mid-life (create, resume,
+  // reopen after compact) emit a kRewrite of the current file themselves
+  // (StudySession::wire_journal_sink).
+  void set_sink(JournalSink sink) { sink_ = std::move(sink); }
+
   // False once a failed append could not be healed; appends then throw.
   bool good() const { return !broken_ && file_ != nullptr; }
 
@@ -145,6 +172,7 @@ class StudyJournal {
   std::uint64_t durable_ = 0;
   bool sync_on_commit_ = false;
   bool broken_ = false;
+  JournalSink sink_;
 };
 
 }  // namespace fedtune::service

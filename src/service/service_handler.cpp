@@ -8,12 +8,27 @@
 #include <sstream>
 #include <utility>
 
+#include "cluster/placement.hpp"
+#include "cluster/replica_store.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace fedtune::service {
 
 namespace {
+
+// Strict u64 parse for repl offsets: digits only, bounded width. Offsets
+// come from a peer daemon, not a trusted CLI — a bare std::stoull would
+// abort on garbage.
+std::optional<std::uint64_t> parse_offset(const std::string& word) {
+  if (word.empty() || word.size() > 19) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : word) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
 
 std::vector<std::string> split_words(const std::string& line) {
   std::vector<std::string> words;
@@ -82,8 +97,13 @@ std::string ServiceHandler::handle(const std::string& line, bool* running) {
     if (verb == "metrics") return metrics();
     if (verb == "trace-export") return trace_export(words);
     if (verb == "create-study") return create_study(words);
+    if (verb == "cluster-info") return cluster_info(words);
+    if (verb == "repl-append") return repl_append(words);
+    if (verb == "repl-ack") return repl_ack(words);
+    if (verb == "repl-snapshot") return repl_snapshot(words);
     if (words.size() < 2) return "err missing study name";
     const std::string& name = words[1];
+    if (verb == "promote") return promote(name);
     if (verb == "resume") {
       // Three flavors: un-park an in-memory session the scheduler
       // suspended (e.g. past its deadline — resume grants a fresh
@@ -103,11 +123,18 @@ std::string ServiceHandler::handle(const std::string& line, bool* running) {
         return "ok resumed " + name +
                " steps=" + std::to_string(active->steps());
       }
+      // No in-memory session. A replica left by a dead primary is promoted
+      // into the live journal first, so `resume` doubles as explicit
+      // failover.
+      if (cluster_.replicas != nullptr && cluster_.replicas->has(name) &&
+          manager_.find(name) == nullptr) {
+        cluster_.replicas->promote(name, manager_.journal_path(name));
+      }
       StudySession& s = manager_.resume_study(name);
       s.resume_from_suspend();
       return "ok resumed " + name + " steps=" + std::to_string(s.steps());
     }
-    StudySession* session = manager_.find(name);
+    StudySession* session = find_or_promote(name);
     if (session == nullptr) {
       return "err no active study '" + name + "' (resume it?)";
     }
@@ -321,6 +348,105 @@ std::string ServiceHandler::tell(StudySession& s,
   const core::TrialRecord r = s.tell(trial_id, objective);
   return "ok recorded trial=" + std::to_string(r.trial.id) +
          " steps=" + std::to_string(s.steps());
+}
+
+StudySession* ServiceHandler::find_or_promote(const std::string& name) {
+  if (StudySession* active = manager_.find(name)) return active;
+  if (cluster_.replicas == nullptr || !cluster_.replicas->has(name)) {
+    return nullptr;
+  }
+  // Failover: the first study-scoped request reaching a follower that only
+  // holds a replica promotes it — journal replay reconstructs the session,
+  // so every already-completed trial comes back without a live evaluation.
+  cluster_.replicas->promote(name, manager_.journal_path(name));
+  return &manager_.resume_study(name);
+}
+
+std::string ServiceHandler::repl_append(
+    const std::vector<std::string>& words) {
+  if (cluster_.replicas == nullptr) return "err not a cluster member";
+  if (words.size() != 4) {
+    return "err usage: repl-append STUDY BASE_OFFSET HEXBYTES";
+  }
+  const auto base = parse_offset(words[2]);
+  if (!base.has_value()) return "err bad offset '" + words[2] + "'";
+  const auto bytes = cluster::hex_decode(words[3]);
+  if (!bytes.has_value()) return "err bad hex payload";
+  // A study actively served here must not also be overwritten as a replica
+  // (split brain: two primaries for one study). Reject; the sender's
+  // placement or the operator has to resolve who owns it.
+  if (manager_.find(words[1]) != nullptr) {
+    return "err study '" + words[1] + "' is active here (dual primary?)";
+  }
+  const std::uint64_t size =
+      cluster_.replicas->append(words[1], *base, *bytes);
+  return "ok acked=" + std::to_string(size);
+}
+
+std::string ServiceHandler::repl_ack(const std::vector<std::string>& words) {
+  if (cluster_.replicas == nullptr) return "err not a cluster member";
+  if (words.size() != 2) return "err usage: repl-ack STUDY";
+  return "ok offset=" + std::to_string(cluster_.replicas->size(words[1]));
+}
+
+std::string ServiceHandler::repl_snapshot(
+    const std::vector<std::string>& words) {
+  if (cluster_.replicas == nullptr) return "err not a cluster member";
+  if (words.size() != 3) return "err usage: repl-snapshot STUDY HEXBYTES";
+  const auto bytes = cluster::hex_decode(words[2]);
+  if (!bytes.has_value()) return "err bad hex payload";
+  if (manager_.find(words[1]) != nullptr) {
+    return "err study '" + words[1] + "' is active here (dual primary?)";
+  }
+  const std::uint64_t size = cluster_.replicas->install(words[1], *bytes);
+  return "ok acked=" + std::to_string(size);
+}
+
+std::string ServiceHandler::promote(const std::string& name) {
+  if (StudySession* active = manager_.find(name)) {
+    return "ok promoted " + name + " already-active steps=" +
+           std::to_string(active->steps()) +
+           " live_evals=" + std::to_string(active->live_evaluations());
+  }
+  StudySession* s = find_or_promote(name);
+  if (s == nullptr) {
+    // No replica — maybe a plain suspended journal (promote then behaves
+    // like resume so clients need only one takeover verb).
+    try {
+      s = &manager_.resume_study(name);
+    } catch (const std::exception&) {
+      return "err no replica or journal for study '" + name + "'";
+    }
+  }
+  // live_evals counts evaluations performed by THIS session since replay:
+  // 0 proves the takeover re-served history from the journal instead of
+  // re-running trials.
+  return "ok promoted " + name + " steps=" + std::to_string(s->steps()) +
+         " live_evals=" + std::to_string(s->live_evaluations());
+}
+
+std::string ServiceHandler::cluster_info(
+    const std::vector<std::string>& words) {
+  if (cluster_.placement == nullptr) return "err not a cluster member";
+  std::ostringstream out;
+  if (words.size() >= 2) {
+    const cluster::StudyPlacement p = cluster_.placement->place(words[1]);
+    out << "ok study=" << words[1] << " primary=" << p.primary.id << "@"
+        << p.primary.endpoint();
+    if (p.follower.has_value()) {
+      out << " follower=" << p.follower->id << "@" << p.follower->endpoint();
+    }
+    return out.str();
+  }
+  out << "ok self=" << cluster_.self_id;
+  for (const cluster::ClusterMember& m :
+       cluster_.placement->roster().members()) {
+    out << " " << m.id << "@" << m.endpoint();
+  }
+  if (cluster_.replicas != nullptr) {
+    out << " replicas=" << cluster_.replicas->list().size();
+  }
+  return out.str();
 }
 
 std::string ServiceHandler::drive(StudySession& s,

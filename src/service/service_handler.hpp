@@ -19,7 +19,23 @@
 
 #include "service/study_manager.hpp"
 
+namespace fedtune::cluster {
+class Placement;
+class ReplicaStore;
+}  // namespace fedtune::cluster
+
 namespace fedtune::service {
+
+// Wiring that turns a handler into a cluster member: where follower copies
+// of peer journals live, and the placement function used by the
+// `cluster-info` verb. All pointers are borrowed and must outlive the
+// handler; a default-constructed context (all null) means "not clustered" —
+// every repl-* verb then answers `err not a cluster member`.
+struct ClusterContext {
+  cluster::ReplicaStore* replicas = nullptr;
+  const cluster::Placement* placement = nullptr;
+  std::string self_id;
+};
 
 class ServiceHandler {
  public:
@@ -42,6 +58,14 @@ class ServiceHandler {
 
   StudyManager& manager() { return manager_; }
 
+  // Enables the cluster verbs (repl-append/repl-ack/repl-snapshot/promote/
+  // cluster-info) and auto-promotion: a study-scoped verb for a study this
+  // instance only holds a replica of first promotes that replica (journal
+  // replay, zero live re-evaluations) and then serves the verb — which is
+  // exactly what a failed-over client's first request does.
+  void set_cluster(ClusterContext ctx) { cluster_ = ctx; }
+  const ClusterContext& cluster() const { return cluster_; }
+
   // Hex-float-exact trajectory line for a session — the bitwise kill/resume
   // fingerprint (`trace` verb); exposed for tests that compare transports.
   static std::string format_trace(const StudySession& s);
@@ -51,6 +75,14 @@ class ServiceHandler {
   std::string trace_export(const std::vector<std::string>& words);
   std::string cache_stats();
   std::string create_study(const std::vector<std::string>& words);
+  std::string repl_append(const std::vector<std::string>& words);
+  std::string repl_ack(const std::vector<std::string>& words);
+  std::string repl_snapshot(const std::vector<std::string>& words);
+  std::string promote(const std::string& name);
+  std::string cluster_info(const std::vector<std::string>& words);
+  // find() that falls back to promoting a local replica (failover) or
+  // resuming a suspended journal before giving up.
+  StudySession* find_or_promote(const std::string& name);
   static std::string status(const StudySession& s);
   static std::string best(const StudySession& s);
   static std::string ask(StudySession& s);
@@ -63,6 +95,7 @@ class ServiceHandler {
   std::string default_pool_;
   std::string metrics_file_;  // rewritten by `metrics` and at shutdown
   std::string trace_out_;     // default target of `trace-export`
+  ClusterContext cluster_;
 };
 
 }  // namespace fedtune::service

@@ -170,6 +170,7 @@ StudySession::StudySession(StudySpec spec,
   init_engine();
   journal_ = StudyJournal::create(journal_path_, spec_, options_.env,
                                   options_.sync_on_commit);
+  wire_journal_sink();
 }
 
 StudySession::StudySession(RecoveredStudy recovered,
@@ -189,10 +190,33 @@ StudySession::StudySession(RecoveredStudy recovered,
   }
   journal_ = StudyJournal::append_to(journal_path_, options_.env,
                                      options_.sync_on_commit);
+  wire_journal_sink();
   if (recovered.finished) {
     final_ = session_->finalize();
     state_ = StudyState::kFinished;
   }
+}
+
+void StudySession::wire_journal_sink() {
+  if (!options_.journal_sink || !journal_.has_value()) return;
+  journal_->set_sink([this](const JournalMutation& m) {
+    options_.journal_sink(spec_.name, m);
+  });
+  // The journal existed before the sink did (create wrote the header +
+  // create record; resume/compact reopened a full file): ship the whole
+  // file once so followers hold the byte-identical prefix every later
+  // kAppend extends. Compaction keeps journals small, so this stays cheap.
+  JournalMutation m;
+  m.kind = JournalMutation::Kind::kRewrite;
+  try {
+    m.bytes = env_or_real(options_.env).read_file(journal_path_);
+  } catch (const IoError&) {
+    // Replication must not fail a locally-durable study. A missed rewrite
+    // surfaces as an offset mismatch on the next append and the replicator
+    // re-syncs with a fresh snapshot then.
+    return;
+  }
+  options_.journal_sink(spec_.name, m);
 }
 
 std::size_t StudySession::live_evaluations() const {
@@ -280,6 +304,7 @@ void StudySession::compact_journal() {
     journal_ = StudyJournal::append_to(journal_path_, options_.env,
                                        options_.sync_on_commit);
   });
+  wire_journal_sink();  // the rewrite invalidated every follower offset
   steps_since_compact_ = 0;
 }
 

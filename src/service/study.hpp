@@ -124,6 +124,13 @@ struct SessionOptions {
   // core::EvalCache; tests may pass a MemoryEvalStore). Consulted only when
   // the spec opts in (spec.use_eval_cache) and the study is managed.
   std::shared_ptr<hpo::EvalStore> eval_cache;
+  // Replication feed (cluster/replicator.hpp): every byte-level journal
+  // mutation, labeled with the study name. Invoked on the appending thread
+  // (the scheduler runs sessions on a pool — sinks must be thread-safe) and
+  // must not throw. Fresh/resumed sessions and reopen-after-compact emit a
+  // kRewrite of the whole file so a follower can sync from any point.
+  std::function<void(const std::string& study, const JournalMutation&)>
+      journal_sink;
 };
 
 class StudySession {
@@ -215,6 +222,9 @@ class StudySession {
   void init_metrics();
   void finish();
   void maybe_compact();
+  // Attaches options_.journal_sink to the (re)opened journal and emits a
+  // whole-file kRewrite so followers re-sync after create/resume/compact.
+  void wire_journal_sink();
 
   // Runs `fn` (a journal write) under the retry policy: transient IoErrors
   // back off and retry; a persistent error or exhausted attempts quarantine

@@ -84,8 +84,9 @@ std::shared_ptr<core::EvalCache> StudyManager::eval_cache(
 }
 
 SessionOptions StudyManager::session_options(const std::string& pool) const {
-  SessionOptions options{opts_.env, opts_.sync_on_commit, opts_.retry, {}};
+  SessionOptions options{opts_.env, opts_.sync_on_commit, opts_.retry, {}, {}};
   options.eval_cache = eval_cache(pool);
+  options.journal_sink = opts_.journal_sink;
   return options;
 }
 

@@ -52,6 +52,11 @@ struct ManagerOptions {
   // start (a new tenant's first lookups hit outcomes its predecessors paid
   // for). Empty disables caching service-wide.
   std::string eval_cache_dir;
+  // Replication feed handed to every session (study.hpp SessionOptions):
+  // the daemon binds this to its JournalReplicator so each durable journal
+  // mutation streams to the study's cluster follower.
+  std::function<void(const std::string& study, const JournalMutation&)>
+      journal_sink;
 };
 
 class StudyManager {

@@ -169,6 +169,45 @@ TEST(TokenBucket, NonPositiveRateIsUnlimited) {
   for (int i = 0; i < 1000; ++i) EXPECT_TRUE(bucket.try_consume(0.0));
 }
 
+// A positive rate with zero burst used to reject every request forever:
+// the bucket could never accumulate a token past its own zero cap. The
+// capacity is now clamped to one token, so the configured RATE still
+// applies but the bucket is usable.
+TEST(TokenBucket, ZeroBurstWithPositiveRateClampsToOneToken) {
+  TokenBucket bucket(/*capacity=*/0.0, /*refill_per_sec=*/5.0, /*now_s=*/0.0);
+  EXPECT_TRUE(bucket.try_consume(0.0));   // the clamped single token
+  EXPECT_FALSE(bucket.try_consume(0.0));  // not unlimited
+  EXPECT_FALSE(bucket.try_consume(0.1));  // half a token refilled
+  EXPECT_TRUE(bucket.try_consume(0.25));  // rate still enforced at 5/s
+  // Idle refill is capped at the clamped capacity, not unbounded.
+  EXPECT_TRUE(bucket.try_consume(100.0));
+  EXPECT_FALSE(bucket.try_consume(100.0));
+  // Fractional burst below one token clamps the same way.
+  TokenBucket frac(0.25, 2.0, 0.0);
+  EXPECT_TRUE(frac.try_consume(0.0));
+  EXPECT_FALSE(frac.try_consume(0.0));
+}
+
+// Clients frame multi-line responses off this header; a hostile or
+// corrupted header must parse to nullopt, never to a bogus line count (or
+// an aborting std::stoul).
+TEST(FrameCodec, ParseOkLinesHeaderIsStrict) {
+  ASSERT_TRUE(parse_ok_lines_header("ok lines=0").has_value());
+  EXPECT_EQ(*parse_ok_lines_header("ok lines=0"), 0u);
+  EXPECT_EQ(*parse_ok_lines_header("ok lines=42"), 42u);
+  EXPECT_EQ(*parse_ok_lines_header("ok lines=123456789"), 123456789u);
+  EXPECT_FALSE(parse_ok_lines_header("ok lines=").has_value());
+  EXPECT_FALSE(parse_ok_lines_header("ok lines=banana").has_value());
+  EXPECT_FALSE(parse_ok_lines_header("ok lines=12x").has_value());
+  EXPECT_FALSE(parse_ok_lines_header("ok lines=-1").has_value());
+  EXPECT_FALSE(parse_ok_lines_header("ok lines= 1").has_value());
+  // Ten digits would admit memory-ballooning counts; nine is the cap.
+  EXPECT_FALSE(parse_ok_lines_header("ok lines=1234567890").has_value());
+  EXPECT_FALSE(parse_ok_lines_header("err lines=3").has_value());
+  EXPECT_FALSE(parse_ok_lines_header("ok").has_value());
+  EXPECT_FALSE(parse_ok_lines_header("").has_value());
+}
+
 TEST(TenantQuotas, ConcurrentStudyCapPerTenant) {
   QuotaOptions opts;
   opts.max_studies_per_tenant = 2;

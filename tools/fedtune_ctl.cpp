@@ -59,6 +59,9 @@
 #include <thread>
 #include <vector>
 
+#include "flag_parse.hpp"
+
+#include "cluster/placement.hpp"
 #include "net/frame.hpp"
 
 namespace {
@@ -82,16 +85,13 @@ struct Endpoint {
   }
 };
 
-// Number of body lines following the header when the response is the
-// protocol's one multi-line answer (`ok lines=N`); 0 otherwise.
-std::size_t body_lines_of(const std::string& header) {
-  constexpr const char* kPrefix = "ok lines=";
-  if (header.rfind(kPrefix, 0) != 0) return 0;
-  try {
-    return std::stoul(header.substr(std::strlen(kPrefix)));
-  } catch (const std::exception&) {
-    return 0;
-  }
+// Verbs whose first argument is a study name — the ones --cluster routes by
+// placement (and fails over to the follower for).
+bool study_scoped_verb(const std::string& verb) {
+  return verb == "create-study" || verb == "status" || verb == "best" ||
+         verb == "trace" || verb == "suspend" || verb == "resume" ||
+         verb == "ask" || verb == "tell" || verb == "drive" ||
+         verb == "promote";
 }
 
 int connect_to(const Endpoint& ep) {
@@ -266,7 +266,19 @@ std::optional<std::string> roundtrip_text(const Endpoint& ep,
     return std::nullopt;
   }
   // Multi-line answer: keep reading until the announced body has arrived.
-  const std::size_t body_lines = body_lines_of(response.substr(0, nl));
+  // The count is parsed strictly — a daemon (or an impostor on the port)
+  // announcing `ok lines=banana` or a 40-digit count is a protocol error
+  // surfaced as `err ...` (exit 1), never an abort or a silent mis-framing.
+  const std::string header = response.substr(0, nl);
+  std::size_t body_lines = 0;
+  if (header.rfind("ok lines=", 0) == 0) {
+    const auto n = fedtune::net::parse_ok_lines_header(header);
+    if (!n.has_value()) {
+      ::close(fd);
+      return "err malformed response header '" + header + "'";
+    }
+    body_lines = *n;
+  }
   std::size_t have =
       static_cast<std::size_t>(std::count(response.begin(), response.end(),
                                           '\n'));
@@ -336,11 +348,69 @@ int wait_for_finish(const Endpoint& ep, const std::string& name,
   return 1;
 }
 
+// Failover round trip: try each candidate in order (primary first, then the
+// follower), looping with backoff until one answers or the deadline passes.
+// A dead primary therefore costs one failed connect per loop; the follower
+// answers the same request — auto-promoting server-side when the study only
+// exists there as a replica.
+std::optional<std::string> roundtrip_failover(
+    const std::vector<Endpoint>& candidates, const std::string& line,
+    double timeout_seconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_seconds);
+  double delay_ms = 10.0;
+  for (;;) {
+    for (const Endpoint& ep : candidates) {
+      const auto response = roundtrip(ep, line);
+      if (response.has_value()) return response;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return std::nullopt;
+    const double remaining_ms =
+        std::chrono::duration<double, std::milli>(deadline - now).count();
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        std::min(delay_ms, remaining_ms)));
+    delay_ms = std::min(delay_ms * 2.0, 500.0);
+  }
+}
+
+int wait_for_finish_any(const std::vector<Endpoint>& candidates,
+                        const std::string& name, double timeout_seconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    for (const Endpoint& ep : candidates) {
+      const auto response = roundtrip(ep, "status " + name);
+      if (response.has_value() &&
+          response->find("state=finished") != std::string::npos) {
+        std::cout << *response << "\n";
+        return 0;
+      }
+      if (response.has_value()) break;  // reached a live server; don't poll
+                                        // the follower into promoting too
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::cerr << "error: study '" << name << "' did not finish within "
+            << timeout_seconds << "s\n";
+  return 1;
+}
+
+Endpoint endpoint_for(const fedtune::cluster::ClusterMember& m,
+                      const Endpoint& base) {
+  Endpoint ep = base;
+  ep.unix_path.clear();
+  ep.tcp_host = m.host;
+  ep.tcp_port = m.port;
+  return ep;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Endpoint ep;
   double timeout_seconds = 5.0;
+  std::string cluster_file;
   std::vector<std::string> words;
   // A daemon that closes mid-write must cost this client an EPIPE errno,
   // not a fatal signal.
@@ -376,15 +446,18 @@ int main(int argc, char** argv) {
       ep.tcp_port = static_cast<std::uint16_t>(port);
     } else if (a == "--binary") {
       ep.binary = true;
+    } else if (a == "--cluster") {
+      cluster_file = next();
     } else if (a == "--tenant") {
-      ep.tenant = std::stoull(next());
+      ep.tenant = fedtune::tools::parse_u64_flag(a, next());
     } else if (a == "--token") {
       ep.token = next();
     } else if (a == "--timeout") {
-      timeout_seconds = std::stod(next());
+      timeout_seconds = fedtune::tools::parse_double_flag(a, next());
     } else if (a == "--help" || a == "-h") {
       std::cout
-          << "usage: fedtune_ctl (--socket PATH | --tcp HOST:PORT)\n"
+          << "usage: fedtune_ctl (--socket PATH | --tcp HOST:PORT | "
+             "--cluster FILE)\n"
              "                   [--binary] [--tenant N] [--token T]\n"
              "                   [--timeout SEC] VERB [ARGS...]\n"
              "       fedtune_ctl (--socket PATH | --tcp HOST:PORT) wait "
@@ -394,6 +467,11 @@ int main(int argc, char** argv) {
              "  --socket PATH             Unix socket, text protocol\n"
              "  --tcp HOST:PORT           TCP; text protocol unless "
              "--binary\n"
+             "  --cluster FILE            roster file (ID HOST:PORT lines); "
+             "study\n"
+             "                            verbs route to the study's primary "
+             "and\n"
+             "                            fail over to its follower\n"
              "  --binary                  length-prefixed frame protocol\n"
              "  --tenant N --token T      authenticate as tenant N (sends "
              "hello)\n"
@@ -439,6 +517,8 @@ int main(int argc, char** argv) {
              "\n"
              "client-side verbs:\n"
              "  wait NAME TIMEOUT_SEC     poll status until state=finished\n"
+             "  route NAME                print the study's placement "
+             "(--cluster)\n"
              "\n"
              "exit codes: 0 ok, 1 daemon err/wait timeout, 2 usage,\n"
              "            3 connect failure past --timeout\n";
@@ -447,28 +527,98 @@ int main(int argc, char** argv) {
       words.push_back(a);
     }
   }
-  const bool have_endpoint = !ep.unix_path.empty() || !ep.tcp_host.empty();
-  if (!have_endpoint || words.empty()) {
-    std::cerr << "usage: fedtune_ctl (--socket PATH | --tcp HOST:PORT) "
-                 "[--binary] [--tenant N] [--token T] [--timeout SEC] VERB "
-                 "[ARGS...]\n";
+  const int given = (!ep.unix_path.empty() ? 1 : 0) +
+                    (!ep.tcp_host.empty() ? 1 : 0) +
+                    (!cluster_file.empty() ? 1 : 0);
+  if (given == 0 || words.empty()) {
+    std::cerr << "usage: fedtune_ctl (--socket PATH | --tcp HOST:PORT | "
+                 "--cluster FILE) [--binary] [--tenant N] [--token T] "
+                 "[--timeout SEC] VERB [ARGS...]\n";
     return 2;
   }
-  if (!ep.unix_path.empty() && !ep.tcp_host.empty()) {
-    std::cerr << "error: pass exactly one of --socket / --tcp\n";
+  if (given > 1) {
+    std::cerr
+        << "error: pass exactly one of --socket / --tcp / --cluster\n";
     return 2;
   }
-  if (ep.binary && ep.tcp_host.empty()) {
+  if (ep.binary && ep.tcp_host.empty() && cluster_file.empty()) {
     std::cerr << "error: --binary needs --tcp\n";
     return 2;
   }
+
+  // --cluster: compute the study's placement client-side and talk to the
+  // primary, falling over to the follower when the primary stops answering.
+  if (!cluster_file.empty()) {
+    std::optional<fedtune::cluster::Placement> placement;
+    try {
+      placement.emplace(fedtune::cluster::Roster::load(cluster_file));
+    } catch (const std::exception& ex) {
+      std::cerr << "error: " << ex.what() << "\n";
+      return 2;
+    }
+    const std::string& verb = words[0];
+    if (verb == "route") {
+      if (words.size() != 2) {
+        std::cerr << "usage: fedtune_ctl --cluster FILE route NAME\n";
+        return 2;
+      }
+      const auto p = placement->place(words[1]);
+      std::cout << "ok study=" << words[1] << " primary=" << p.primary.id
+                << "@" << p.primary.endpoint();
+      if (p.follower.has_value()) {
+        std::cout << " follower=" << p.follower->id << "@"
+                  << p.follower->endpoint();
+      }
+      std::cout << "\n";
+      return 0;
+    }
+    std::vector<Endpoint> candidates;
+    const bool scoped = (study_scoped_verb(verb) || verb == "wait") &&
+                        words.size() >= 2;
+    if (scoped) {
+      const auto p = placement->place(words[1]);
+      candidates.push_back(endpoint_for(p.primary, ep));
+      if (p.follower.has_value()) {
+        candidates.push_back(endpoint_for(*p.follower, ep));
+      }
+    } else {
+      // Fleet-wide verbs (ping, list, metrics, ...): first live member.
+      for (const auto& m : placement->roster().members()) {
+        candidates.push_back(endpoint_for(m, ep));
+      }
+    }
+    if (verb == "wait") {
+      if (words.size() != 3) {
+        std::cerr << "usage: fedtune_ctl --cluster FILE wait NAME "
+                     "TIMEOUT_SEC\n";
+        return 2;
+      }
+      return wait_for_finish_any(
+          candidates, words[1],
+          fedtune::tools::parse_double_flag("wait TIMEOUT_SEC", words[2]));
+    }
+    std::string line = words[0];
+    for (std::size_t i = 1; i < words.size(); ++i) line += " " + words[i];
+    const auto response =
+        roundtrip_failover(candidates, line, timeout_seconds);
+    if (!response.has_value()) {
+      std::cerr << "error: no cluster member answered within "
+                << timeout_seconds << "s\n";
+      return 3;
+    }
+    std::cout << *response << "\n";
+    return response->rfind("ok", 0) == 0 ? 0 : 1;
+  }
+
   if (words[0] == "wait") {
     if (words.size() != 3) {
       std::cerr << "usage: fedtune_ctl (--socket PATH | --tcp HOST:PORT) "
                    "wait NAME TIMEOUT_SEC\n";
       return 2;
     }
-    return wait_for_finish(ep, words[1], std::stod(words[2]));
+    return wait_for_finish(
+        ep, words[1],
+        fedtune::tools::parse_double_flag("wait TIMEOUT_SEC", words[2]));
   }
   std::string line = words[0];
   for (std::size_t i = 1; i < words.size(); ++i) line += " " + words[i];

@@ -51,6 +51,8 @@
 #include <string>
 #include <vector>
 
+#include "flag_parse.hpp"
+
 #include "net/event_loop.hpp"
 #include "net/frame.hpp"
 
@@ -63,6 +65,12 @@ struct Options {
   std::string tcp_host;
   std::uint16_t tcp_port = 0;
   std::string unix_path;
+  // Failover target (--failover HOST:PORT): when the primary connection
+  // drops mid-study, the tenant reconnects here, probes the study with
+  // `status` (which auto-promotes the follower's replica server-side), and
+  // resumes its ask/tell loop where the journal left off.
+  std::string failover_host;
+  std::uint16_t failover_port = 0;
   std::size_t tenants = 8;
   std::size_t studies = 1;   // per tenant, sequential
   std::size_t trials = 4;    // ask/tell rounds per study
@@ -79,14 +87,19 @@ struct Stats {
   std::size_t completed_studies = 0;
   std::size_t failed_requests = 0;
   std::size_t dropped_connections = 0;
+  std::size_t failovers = 0;
   std::size_t frames_sent = 0;
   std::size_t frames_received = 0;
   std::vector<double> ask_tell_us;
+  // Connection-drop → first served response on the failover target: the
+  // client-observed failover latency (includes the server-side promotion).
+  std::vector<double> failover_us;
 };
 
 enum class State : std::uint8_t {
   kConnecting,
   kHello,
+  kProbe,  // post-failover `status`: where did the replicated journal leave us?
   kCreate,
   kAsk,
   kTell,
@@ -102,6 +115,10 @@ struct Client {
   std::size_t study = 0;
   std::size_t trial = 0;
   long trial_id = -1;
+  std::size_t endpoint = 0;   // 0 = --tcp target, 1 = --failover target
+  std::size_t failovers = 0;  // re-routes this client has performed
+  bool failover_pending = false;
+  Clock::time_point failover_start;
   Clock::time_point ask_start;
   std::string in;
   std::string out;
@@ -175,11 +192,17 @@ class LoadGen {
   }
 
   // Deterministic objective in (0, 1): the run is replayable and the
-  // daemon-side journals are identical across runs.
+  // daemon-side journals are identical across runs. Keyed on the
+  // SERVER-assigned trial id, not the client's local trial counter — after
+  // a failover the client's counter and the journal can disagree by one
+  // (an ack lost in the crash), and the trace stays bitwise identical only
+  // if trial N is always told the same objective.
   double objective(const Client& c) const {
-    const double x = 0.1 + 0.7919 * static_cast<double>(c.tenant * 10007 +
-                                                        c.study * 101 +
-                                                        c.trial);
+    const double x =
+        0.1 + 0.7919 * static_cast<double>(
+                           c.tenant * 10007 + c.study * 101 +
+                           static_cast<std::size_t>(
+                               c.trial_id < 0 ? 0 : c.trial_id));
     return std::fmod(x, 1.0);
   }
 
@@ -205,11 +228,14 @@ class LoadGen {
     } else {
       fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
       if (fd < 0) return false;
+      const std::string& host =
+          c.endpoint == 0 ? opts_.tcp_host : opts_.failover_host;
+      const std::uint16_t port =
+          c.endpoint == 0 ? opts_.tcp_port : opts_.failover_port;
       sockaddr_in addr{};
       addr.sin_family = AF_INET;
-      addr.sin_port = htons(opts_.tcp_port);
-      if (::inet_pton(AF_INET, opts_.tcp_host.c_str(), &addr.sin_addr) !=
-          1) {
+      addr.sin_port = htons(port);
+      if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
         ::close(fd);
         return false;
       }
@@ -258,6 +284,8 @@ class LoadGen {
                      opts_.binary
                          ? opts_.token
                          : std::to_string(c.tenant) + " " + opts_.token);
+      } else if (c.failover_pending) {
+        begin_probe(c);
       } else {
         begin_create(c);
       }
@@ -323,8 +351,43 @@ class LoadGen {
           fail(c, "hello rejected: " + response);
           return false;
         }
-        begin_create(c);
+        if (c.failover_pending) {
+          begin_probe(c);
+        } else {
+          begin_create(c);
+        }
         return true;
+      case State::kProbe: {
+        // First answer after a failover reconnect: the drop→served latency
+        // sample, whatever the study's state turned out to be.
+        stats_.failover_us.push_back(
+            std::chrono::duration<double, std::micro>(Clock::now() -
+                                                      c.failover_start)
+                .count());
+        c.failover_pending = false;
+        if (!ok) {
+          // status auto-promotes a replica, so an err means the failover
+          // target holds neither session, journal, nor replica. Replication
+          // is asynchronous: a create acked by the primary in its last
+          // instants may never have reached the follower. The study's
+          // history died with the primary — recreate it from scratch.
+          if (response.find("no active study") != std::string::npos) {
+            begin_create(c);
+            return true;
+          }
+          fail(c, "failover probe: " + response);
+          return false;
+        }
+        if (response.find("state=finished") != std::string::npos) {
+          begin_suspend(c);
+        } else {
+          // Resume the trial loop; a study that is actually done answers
+          // the next ask with `err ... finished`, which begin_suspend
+          // handling already covers.
+          begin_ask(c);
+        }
+        return true;
+      }
       case State::kCreate:
         if (!ok) {
           fail(c, "create-study: " + response);
@@ -408,6 +471,11 @@ class LoadGen {
     send_request(c, "ask", study_name(c));
   }
 
+  void begin_probe(Client& c) {
+    c.state = State::kProbe;
+    send_request(c, "status", study_name(c));
+  }
+
   void begin_suspend(Client& c) {
     c.state = State::kSuspend;
     send_request(c, "suspend", study_name(c));
@@ -463,6 +531,29 @@ class LoadGen {
   }
 
   void dropped(Client& c) {
+    // With --failover, a dropped connection re-routes instead of failing
+    // the run: reconnect to the other endpoint and probe the study there.
+    // The cap stops a flapping pair of daemons from ping-ponging forever.
+    if (opts_.failover_port != 0 && c.failovers < 4 &&
+        c.state != State::kDone && c.state != State::kFailed) {
+      ++c.failovers;
+      ++stats_.failovers;
+      c.failover_start = Clock::now();
+      c.failover_pending = true;
+      loop_.remove(c.fd);
+      ::close(c.fd);
+      c.fd = -1;
+      if (live_ > 0) --live_;  // start_connect re-counts this client
+      c.in.clear();
+      c.out.clear();
+      c.out_off = 0;
+      c.endpoint ^= 1;
+      if (!start_connect(c)) {
+        ++stats_.dropped_connections;
+        c.state = State::kFailed;
+      }
+      return;
+    }
     ++stats_.dropped_connections;
     c.state = State::kFailed;
     close_client(c, /*dropped=*/false);  // already counted as a drop
@@ -508,6 +599,12 @@ class LoadGen {
        << "  \"failed_requests\": " << stats_.failed_requests << ",\n"
        << "  \"dropped_connections\": " << stats_.dropped_connections
        << ",\n"
+       << "  \"failovers\": " << stats_.failovers << ",\n"
+       << "  \"failover_samples\": " << stats_.failover_us.size() << ",\n"
+       << "  \"failover_p50_us\": " << percentile(stats_.failover_us, 0.50)
+       << ",\n"
+       << "  \"failover_p99_us\": " << percentile(stats_.failover_us, 0.99)
+       << ",\n"
        << "  \"frames_sent\": " << stats_.frames_sent << ",\n"
        << "  \"frames_received\": " << stats_.frames_received << ",\n"
        << "  \"elapsed_seconds\": " << elapsed_s << ",\n"
@@ -537,12 +634,31 @@ class LoadGen {
 
 int usage(int rc) {
   std::cerr << "usage: fedtune_loadgen (--tcp HOST:PORT | --socket PATH)\n"
+               "                       [--failover HOST:PORT]\n"
                "                       [--tenants N] [--studies M] "
                "[--trials T]\n"
                "                       [--mode text|binary] [--token TOK]\n"
                "                       [--prefix P] [--timeout SEC] "
                "[--json PATH]\n";
   return rc;
+}
+
+// "HOST:PORT" with a strictly numeric non-zero port.
+bool parse_hostport(const std::string& spec, std::string* host,
+                    std::uint16_t* port) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  const std::string digits = spec.substr(colon + 1);
+  if (digits.empty() || digits.size() > 5) return false;
+  unsigned long p = 0;
+  for (const char ch : digits) {
+    if (ch < '0' || ch > '9') return false;
+    p = p * 10 + static_cast<unsigned long>(ch - '0');
+  }
+  if (p == 0 || p > 65535) return false;
+  *host = spec.substr(0, colon);
+  *port = static_cast<std::uint16_t>(p);
+  return true;
 }
 
 }  // namespace
@@ -560,30 +676,27 @@ int main(int argc, char** argv) {
     };
     if (a == "--tcp") {
       const std::string spec = next();
-      const std::size_t colon = spec.rfind(':');
-      int port = -1;
-      try {
-        if (colon != std::string::npos) {
-          opts.tcp_host = spec.substr(0, colon);
-          port = std::stoi(spec.substr(colon + 1));
-        }
-      } catch (const std::exception&) {
-        port = -1;
-      }
-      if (port < 0 || port > 65535 || opts.tcp_host.empty()) {
+      if (!parse_hostport(spec, &opts.tcp_host, &opts.tcp_port)) {
         std::cerr << "error: bad --tcp spec '" << spec
                   << "' (want HOST:PORT)\n";
         return 2;
       }
-      opts.tcp_port = static_cast<std::uint16_t>(port);
+    } else if (a == "--failover") {
+      const std::string spec = next();
+      if (!parse_hostport(spec, &opts.failover_host,
+                          &opts.failover_port)) {
+        std::cerr << "error: bad --failover spec '" << spec
+                  << "' (want HOST:PORT)\n";
+        return 2;
+      }
     } else if (a == "--socket") {
       opts.unix_path = next();
     } else if (a == "--tenants") {
-      opts.tenants = std::stoul(next());
+      opts.tenants = tools::parse_size_flag(a, next());
     } else if (a == "--studies") {
-      opts.studies = std::stoul(next());
+      opts.studies = tools::parse_size_flag(a, next());
     } else if (a == "--trials") {
-      opts.trials = std::stoul(next());
+      opts.trials = tools::parse_size_flag(a, next());
     } else if (a == "--mode") {
       const std::string m = next();
       if (m == "text") {
@@ -599,7 +712,7 @@ int main(int argc, char** argv) {
     } else if (a == "--prefix") {
       opts.prefix = next();
     } else if (a == "--timeout") {
-      opts.timeout_s = std::stod(next());
+      opts.timeout_s = tools::parse_double_flag(a, next());
     } else if (a == "--json") {
       opts.json_path = next();
     } else {
@@ -608,6 +721,10 @@ int main(int argc, char** argv) {
   }
   if (opts.tcp_host.empty() == opts.unix_path.empty()) {
     std::cerr << "error: pass exactly one of --tcp / --socket\n";
+    return 2;
+  }
+  if (opts.failover_port != 0 && opts.tcp_host.empty()) {
+    std::cerr << "error: --failover needs --tcp\n";
     return 2;
   }
   if (opts.tenants == 0 || opts.studies == 0 || opts.trials == 0) {

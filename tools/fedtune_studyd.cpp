@@ -41,11 +41,18 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include <sys/resource.h>
 
+#include "flag_parse.hpp"
+
+#include "cluster/placement.hpp"
+#include "cluster/replica_store.hpp"
+#include "cluster/replicator.hpp"
 #include "core/config_pool.hpp"
 #include "data/synth_image.hpp"
 #include "hpo/search_space.hpp"
@@ -116,6 +123,13 @@ struct Args {
   std::string trace_out;
   std::string auth_file;
   net::ServerOptions server;
+  // Cluster membership: --cluster-file + --self (full roster mode), or
+  // --peer HOST:PORT (ad-hoc two-node mode: replicate everything there).
+  std::string cluster_file;
+  std::string self_id;
+  std::string peer;
+  std::uint64_t repl_tenant = 0;
+  std::string repl_token;
 };
 
 int usage(int rc) {
@@ -128,8 +142,28 @@ int usage(int rc) {
          "                      [--trace-out PATH] [--max-studies N]\n"
          "                      [--auth-file PATH] [--quota-fps F]\n"
          "                      [--quota-burst B] [--quota-studies N]\n"
-         "                      [--max-write-queue BYTES]\n";
+         "                      [--max-write-queue BYTES]\n"
+         "                      [--cluster-file FILE --self ID]\n"
+         "                      [--peer HOST:PORT]\n"
+         "                      [--repl-tenant N] [--repl-token T]\n";
   return rc;
+}
+
+// "HOST:PORT" with a strictly numeric port; nullopt on anything else.
+std::optional<std::pair<std::string, std::uint16_t>> parse_endpoint(
+    const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0) return std::nullopt;
+  const std::string host = spec.substr(0, colon);
+  const std::string digits = spec.substr(colon + 1);
+  if (digits.empty() || digits.size() > 5) return std::nullopt;
+  unsigned long port = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    port = port * 10 + static_cast<unsigned long>(c - '0');
+  }
+  if (port == 0 || port > 65535) return std::nullopt;
+  return std::make_pair(host, static_cast<std::uint16_t>(port));
 }
 
 }  // namespace
@@ -176,9 +210,9 @@ int main(int argc, char** argv) {
     } else if (a == "--autodrive") {
       args.autodrive = true;
     } else if (a == "--pool-configs") {
-      args.pool_configs = std::stoul(next());
+      args.pool_configs = tools::parse_size_flag(a, next());
     } else if (a == "--rounds-per-slice") {
-      args.opts.rounds_per_slice = std::stoul(next());
+      args.opts.rounds_per_slice = tools::parse_size_flag(a, next());
     } else if (a == "--fsync-on-commit") {
       // Machine-crash durability: fsync after every journal frame.
       args.opts.sync_on_commit = true;
@@ -193,23 +227,41 @@ int main(int argc, char** argv) {
       // shutdown and by `trace-export`.
       args.trace_out = next();
     } else if (a == "--max-studies") {
-      args.opts.max_studies = std::stoul(next());
+      args.opts.max_studies = tools::parse_size_flag(a, next());
     } else if (a == "--auth-file") {
       args.auth_file = next();
     } else if (a == "--quota-fps") {
-      args.server.quota.frames_per_sec = std::stod(next());
+      args.server.quota.frames_per_sec = tools::parse_double_flag(a, next());
     } else if (a == "--quota-burst") {
-      args.server.quota.burst = std::stod(next());
+      args.server.quota.burst = tools::parse_double_flag(a, next());
     } else if (a == "--quota-studies") {
-      args.server.quota.max_studies_per_tenant = std::stoul(next());
+      args.server.quota.max_studies_per_tenant =
+          tools::parse_size_flag(a, next());
     } else if (a == "--max-write-queue") {
-      args.server.max_write_queue_bytes = std::stoul(next());
+      args.server.max_write_queue_bytes = tools::parse_size_flag(a, next());
+    } else if (a == "--cluster-file") {
+      args.cluster_file = next();
+    } else if (a == "--self") {
+      args.self_id = next();
+    } else if (a == "--peer") {
+      args.peer = next();
+    } else if (a == "--repl-tenant") {
+      args.repl_tenant = tools::parse_u64_flag(a, next());
+    } else if (a == "--repl-token") {
+      args.repl_token = next();
     } else {
       return usage(a == "--help" || a == "-h" ? 0 : 2);
     }
   }
-  if (args.socket_path.empty() && args.tcp_port < 0) {
+  if (args.socket_path.empty() && args.tcp_port < 0 &&
+      args.cluster_file.empty()) {
+    // With --cluster-file the TCP listener can be derived from the roster's
+    // entry for --self (below); otherwise a transport must be explicit.
     std::cerr << "error: at least one of --socket / --tcp is required\n";
+    return 2;
+  }
+  if (!args.cluster_file.empty() && !args.peer.empty()) {
+    std::cerr << "error: pass at most one of --cluster-file / --peer\n";
     return 2;
   }
 
@@ -227,6 +279,66 @@ int main(int argc, char** argv) {
     if (!args.auth_file.empty()) {
       args.server.auth = net::AuthTable::load(args.auth_file);
     }
+
+    // Cluster mode: load the roster, hold follower replicas, and stream
+    // every durable journal mutation to each study's replica peer. The
+    // replicator must exist before the manager so the journal sink is wired
+    // into every session from the first resumed journal onward.
+    std::unique_ptr<cluster::ReplicaStore> replicas;
+    std::unique_ptr<cluster::JournalReplicator> replicator;
+    std::string cluster_self;
+    if (!args.cluster_file.empty() || !args.peer.empty()) {
+      cluster::Roster roster;
+      if (!args.cluster_file.empty()) {
+        if (args.self_id.empty()) {
+          std::cerr << "error: --cluster-file requires --self ID\n";
+          return 2;
+        }
+        roster = cluster::Roster::load(args.cluster_file);
+        const cluster::ClusterMember* self = roster.find(args.self_id);
+        if (self == nullptr) {
+          std::cerr << "error: --self '" << args.self_id
+                    << "' is not in " << args.cluster_file << "\n";
+          return 2;
+        }
+        cluster_self = args.self_id;
+        if (args.tcp_port < 0) {
+          args.tcp_host = self->host;
+          args.tcp_port = self->port;
+        }
+      } else {
+        // Ad-hoc two-node mode: everything this instance serves replicates
+        // to --peer, whatever the hash says — the synthesized two-member
+        // roster makes replica_target() always answer "the other one".
+        const auto ep = parse_endpoint(args.peer);
+        if (!ep.has_value()) {
+          std::cerr << "error: bad --peer '" << args.peer
+                    << "' (want HOST:PORT)\n";
+          return 2;
+        }
+        cluster_self = "self";
+        roster = cluster::Roster(std::vector<cluster::ClusterMember>{
+            {"peer", ep->first, ep->second}, {"self", "127.0.0.1", 0}});
+      }
+      replicas =
+          std::make_unique<cluster::ReplicaStore>(args.opts.journal_dir);
+      cluster::ReplicatorOptions ropts;
+      ropts.self_id = cluster_self;
+      ropts.tenant = args.repl_tenant;
+      ropts.token = args.repl_token;
+      const std::string journal_dir = args.opts.journal_dir;
+      ropts.read_journal = [journal_dir](const std::string& study) {
+        return Env::real().read_file(journal_dir + "/" + study + ".journal");
+      };
+      replicator = std::make_unique<cluster::JournalReplicator>(
+          std::move(roster), std::move(ropts));
+      args.opts.journal_sink =
+          [rep = replicator.get()](const std::string& study,
+                                   const service::JournalMutation& m) {
+            rep->on_mutation(study, m);
+          };
+    }
+
     service::StudyManager manager(args.opts);
     manager.register_pool("synth-small",
                           build_synth_pool(args.pool_configs));
@@ -236,6 +348,16 @@ int main(int argc, char** argv) {
     }
     service::ServiceHandler handler(manager, "synth-small",
                                     args.metrics_file, args.trace_out);
+    if (replicas != nullptr) {
+      service::ClusterContext cctx;
+      cctx.replicas = replicas.get();
+      cctx.placement = &replicator->placement();
+      cctx.self_id = cluster_self;
+      handler.set_cluster(cctx);
+      std::cerr << "[studyd] cluster member '" << cluster_self << "' ("
+                << replicator->placement().roster().size() << " members, "
+                << replicas->list().size() << " replicas held)\n";
+    }
 
     net::EventLoop loop;
     net::Server server(
@@ -284,6 +406,12 @@ int main(int argc, char** argv) {
       if (work) manager.pump();
     }
     server.shutdown(/*drain_timeout_ms=*/200);
+    if (replicator != nullptr) {
+      // Best-effort drain so a clean shutdown leaves the follower current;
+      // an unreachable peer only costs this timeout.
+      replicator->flush(2.0);
+      replicator->stop();
+    }
     handler.flush_observability();
     std::cerr << "[studyd] shut down\n";
     return 0;
